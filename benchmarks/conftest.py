@@ -1,0 +1,51 @@
+"""Shared fixtures and configuration for the pytest-benchmark targets.
+
+The benchmark suite regenerates every table and figure of the paper at a
+reduced scale (pattern counts and circuit sizes chosen so the whole run
+finishes in a few minutes on a laptop); the full-scale regeneration lives
+behind the ``repro-table1`` / ``repro-table2`` command-line entry points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import epfl_benchmark
+from repro.circuits.sweep_workloads import sweep_workload
+from repro.networks import map_aig_to_klut
+from repro.simulation import PatternSet
+
+#: Benchmarks used by the per-circuit Table I targets (a representative
+#: subset covering arithmetic and control profiles; pass --benchmark-only
+#: -k table1 to run them all).
+TABLE1_SUBSET = ["adder", "bar", "sin", "priority", "i2c", "voter"]
+
+#: Workloads used by the per-circuit Table II targets.
+TABLE2_SUBSET = ["beemfwt4b1", "leon2", "b18"]
+
+
+@pytest.fixture(scope="session")
+def table1_networks():
+    """AIG plus 6-LUT mapping of the Table I subset, built once per session."""
+    networks = {}
+    for name in TABLE1_SUBSET:
+        aig = epfl_benchmark(name)
+        klut, _ = map_aig_to_klut(aig, k=6)
+        klut2, _ = map_aig_to_klut(aig, k=2)
+        networks[name] = (aig, klut, klut2)
+    return networks
+
+
+@pytest.fixture(scope="session")
+def table1_patterns(table1_networks):
+    """One shared random pattern set per Table I benchmark."""
+    return {
+        name: PatternSet.random(aig.num_pis, 256, seed=1)
+        for name, (aig, _klut, _klut2) in table1_networks.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def table2_workloads():
+    """The Table II workload subset, built once per session."""
+    return {name: sweep_workload(name) for name in TABLE2_SUBSET}

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the primitives behind both tables.
+
+Not tied to one specific table; these isolate the kernels whose relative
+cost explains the table-level results: the semi-tensor product itself,
+canonical-form construction, cut truth-table computation, window
+simulation, and the SAT query path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import epfl_benchmark
+from repro.networks import Aig, map_aig_to_klut
+from repro.networks.cuts import simulation_cuts
+from repro.sat import CircuitSolver
+from repro.simulation import (
+    PatternSet,
+    compute_local_truth_tables,
+    cut_truth_table_stp,
+    simulate_aig,
+    stp_window_truth_tables,
+)
+from repro.stp import expression_to_stp, semi_tensor_product, structural_matrix
+from repro.truthtable import TruthTable, truth_table_to_structural_matrix
+
+
+def test_micro_semi_tensor_product(benchmark):
+    """One STP of a 6-input structural matrix with a logic vector chain."""
+    import numpy as np
+
+    matrix = truth_table_to_structural_matrix(TruthTable(6, 0x123456789ABCDEF0))
+    vector = np.array([[1], [0]])
+
+    def kernel():
+        result = matrix
+        for _ in range(6):
+            result = semi_tensor_product(result, vector)
+        return result
+
+    benchmark(kernel)
+
+
+def test_micro_canonical_form_construction(benchmark):
+    """Canonical form of the three-liars expression (Example 2)."""
+    benchmark(expression_to_stp, "(a <-> !b) & (b <-> !c) & (c <-> (!a & !b))", ["a", "b", "c"])
+
+
+def test_micro_structural_matrix_lookup(benchmark):
+    benchmark(structural_matrix, "nand")
+
+
+def test_micro_cut_truth_table(benchmark):
+    """Cut function computation on a 6-LUT mapping of the EPFL 'sin' profile."""
+    aig = epfl_benchmark("sin")
+    klut, _ = map_aig_to_klut(aig, k=6)
+    targets = list(klut.luts())[:32]
+    cuts = simulation_cuts(klut, targets, limit=8)
+
+    def kernel():
+        return [cut_truth_table_stp(klut, cut) for cut in cuts]
+
+    benchmark(kernel)
+
+
+def test_micro_local_truth_tables(benchmark):
+    """One bottom-up pass of per-node exhaustive functions (priority profile)."""
+    aig = epfl_benchmark("priority")
+    benchmark(compute_local_truth_tables, aig, 12)
+
+
+def test_micro_window_truth_tables(benchmark):
+    """Exhaustive window simulation of a pair of nodes (int2float profile)."""
+    aig = epfl_benchmark("int2float")
+    gates = list(aig.gates())
+    pair = [gates[len(gates) // 3], gates[len(gates) // 2]]
+    benchmark(stp_window_truth_tables, aig, pair, 16)
+
+
+def test_micro_bit_parallel_aig_simulation(benchmark):
+    aig = epfl_benchmark("bar")
+    patterns = PatternSet.random(aig.num_pis, 1024, seed=1)
+    benchmark(simulate_aig, aig, patterns)
+
+
+def test_micro_sat_equivalence_query(benchmark):
+    """One UNSAT equivalence proof on associative AND trees (the common merge query)."""
+    aig = Aig()
+    pis = [aig.add_pi() for _ in range(12)]
+    left = aig.add_and_multi(pis)
+    right = pis[0]
+    for pi in pis[1:]:
+        right = aig.add_and(right, pi)
+    aig.add_po(left)
+    aig.add_po(right)
+
+    def kernel():
+        solver = CircuitSolver(aig)
+        return solver.prove_equivalence(left, right)
+
+    outcome = benchmark(kernel)
+    assert outcome.is_equivalent

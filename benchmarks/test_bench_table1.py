@@ -1,0 +1,87 @@
+"""Benchmark targets regenerating Table I (simulator comparison).
+
+Four timed kernels per benchmark circuit, matching the four time columns
+of Table I:
+
+* ``TA`` baseline -- word-parallel AIG simulation,
+* ``TA`` STP      -- STP simulation of the 2-LUT view,
+* ``TL`` baseline -- per-pattern 6-LUT simulation,
+* ``TL`` STP      -- STP simulation of the 6-LUT network.
+
+The paper's quantity of interest is the TL ratio (baseline / STP), which
+pytest-benchmark exposes by comparing the two groups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import (
+    StpSimulator,
+    simulate_aig,
+    simulate_klut_per_pattern,
+)
+
+from .conftest import TABLE1_SUBSET
+
+
+@pytest.mark.parametrize("name", TABLE1_SUBSET)
+def test_table1_ta_baseline_aig_bitparallel(benchmark, table1_networks, table1_patterns, name):
+    """Table I, ``TA`` column, baseline: word-parallel AIG simulation."""
+    aig, _klut, _klut2 = table1_networks[name]
+    patterns = table1_patterns[name]
+    benchmark.group = f"table1-TA-{name}"
+    benchmark(simulate_aig, aig, patterns)
+
+
+@pytest.mark.parametrize("name", TABLE1_SUBSET)
+def test_table1_ta_stp_simulator(benchmark, table1_networks, table1_patterns, name):
+    """Table I, ``TA`` column, STP: matrix-pass simulation of the 2-LUT view."""
+    _aig, _klut, klut2 = table1_networks[name]
+    patterns = table1_patterns[name]
+    simulator = StpSimulator(klut2)
+    benchmark.group = f"table1-TA-{name}"
+    benchmark(simulator.simulate_all, patterns)
+
+
+@pytest.mark.parametrize("name", TABLE1_SUBSET)
+def test_table1_tl_baseline_per_pattern(benchmark, table1_networks, table1_patterns, name):
+    """Table I, ``TL`` column, baseline: per-pattern 6-LUT simulation."""
+    _aig, klut, _klut2 = table1_networks[name]
+    patterns = table1_patterns[name]
+    benchmark.group = f"table1-TL-{name}"
+    benchmark(simulate_klut_per_pattern, klut, patterns)
+
+
+@pytest.mark.parametrize("name", TABLE1_SUBSET)
+def test_table1_tl_stp_simulator(benchmark, table1_networks, table1_patterns, name):
+    """Table I, ``TL`` column, STP: matrix-pass simulation of the 6-LUT network."""
+    _aig, klut, _klut2 = table1_networks[name]
+    patterns = table1_patterns[name]
+    simulator = StpSimulator(klut)
+    benchmark.group = f"table1-TL-{name}"
+    benchmark(simulator.simulate_all, patterns)
+
+
+def test_table1_speedup_shape(table1_networks, table1_patterns):
+    """Sanity check of the headline Table I claim on the benchmark subset.
+
+    The geometric-mean TL speedup (baseline / STP) must be greater than
+    one; the paper reports 7.18x on the full EPFL suite.
+    """
+    import time
+
+    from repro.harness import geometric_mean
+
+    speedups = []
+    for name, (aig, klut, _klut2) in table1_networks.items():
+        patterns = table1_patterns[name]
+        start = time.perf_counter()
+        simulate_klut_per_pattern(klut, patterns)
+        baseline = time.perf_counter() - start
+        simulator = StpSimulator(klut)
+        start = time.perf_counter()
+        simulator.simulate_all(patterns)
+        stp = time.perf_counter() - start
+        speedups.append(baseline / stp)
+    assert geometric_mean(speedups) > 1.0

@@ -1,0 +1,60 @@
+"""Benchmark targets regenerating Table II (SAT sweeper comparison).
+
+One timed kernel per (workload, engine) pair -- the "Total runtime" columns
+of Table II -- plus a non-timed shape check that records the SAT-call and
+simulation-time columns the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweeping import FraigSweeper, StpSweeper
+
+from .conftest import TABLE2_SUBSET
+
+
+@pytest.mark.parametrize("name", TABLE2_SUBSET)
+def test_table2_baseline_fraig_sweeper(benchmark, table2_workloads, name):
+    """Table II, "Total runtime" column, the &fraig-style baseline."""
+    workload = table2_workloads[name]
+    benchmark.group = f"table2-{name}"
+
+    def run():
+        return FraigSweeper(workload, num_patterns=64).run()
+
+    swept, _stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert swept.num_ands <= workload.num_ands
+
+
+@pytest.mark.parametrize("name", TABLE2_SUBSET)
+def test_table2_stp_sweeper(benchmark, table2_workloads, name):
+    """Table II, "Total runtime" column, the STP-enhanced sweeper."""
+    workload = table2_workloads[name]
+    benchmark.group = f"table2-{name}"
+
+    def run():
+        return StpSweeper(workload, num_patterns=64).run()
+
+    swept, _stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert swept.num_ands <= workload.num_ands
+
+
+def test_table2_sat_call_shape(table2_workloads):
+    """The SAT-call columns of Table II: the STP sweeper issues fewer
+    satisfiable SAT calls and at most as many total calls as the baseline
+    (geometric mean over the benchmark subset); the result sizes agree."""
+    from repro.harness import geometric_mean
+
+    satisfiable_ratios = []
+    total_ratios = []
+    for workload in table2_workloads.values():
+        _swept_base, stats_base = FraigSweeper(workload, num_patterns=64).run()
+        swept_stp, stats_stp = StpSweeper(workload, num_patterns=64).run()
+        assert swept_stp.num_ands == _swept_base.num_ands
+        satisfiable_ratios.append(
+            max(stats_stp.satisfiable_sat_calls, 1) / max(stats_base.satisfiable_sat_calls, 1)
+        )
+        total_ratios.append(max(stats_stp.total_sat_calls, 1) / max(stats_base.total_sat_calls, 1))
+    assert geometric_mean(satisfiable_ratios) < 1.0
+    assert geometric_mean(total_ratios) <= 1.05

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Table I in miniature: simulator runtimes across the EPFL profiles.
+
+Runs the word-parallel AIG baseline, the per-pattern 6-LUT baseline and
+the STP-based simulator on a selection of EPFL-profile benchmarks and
+prints the per-circuit speedups plus the geometric means, i.e. a small
+version of Table I (use ``repro-table1`` for the full twenty circuits and
+larger pattern counts).
+
+Run with:  python examples/simulator_comparison.py [num_patterns]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness import format_table1, run_table1
+
+DEFAULT_BENCHMARKS = ["adder", "bar", "max", "sin", "priority", "i2c", "voter", "int2float"]
+
+
+def main() -> None:
+    num_patterns = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    print(
+        f"simulating {len(DEFAULT_BENCHMARKS)} EPFL profiles with {num_patterns} random patterns "
+        f"(three simulators each) ...\n"
+    )
+    rows = run_table1(benchmarks=DEFAULT_BENCHMARKS, num_patterns=num_patterns)
+    print(format_table1(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package that PEP 517
+editable installs require, so ``pip install -e . --no-build-isolation``
+falls back to the legacy ``setup.py develop`` path, which needs this file.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

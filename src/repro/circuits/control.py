@@ -1,0 +1,160 @@
+"""Control-logic circuit generators (the EPFL "random/control" family).
+
+These are genuine, hand-written control blocks -- arbiters, ALU decoders,
+CRC and parity units, Gray-code successor logic, a small memory-controller
+style state update -- used both on their own and as building blocks of the
+synthetic EPFL-profile benchmarks in :mod:`repro.circuits.epfl`.
+"""
+
+from __future__ import annotations
+
+from ..networks.aig import Aig, LIT_FALSE, LIT_TRUE
+from .arithmetic import add_words, equal_words, mux_words
+
+__all__ = [
+    "round_robin_arbiter",
+    "simple_controller",
+    "parity_checker",
+    "crc_unit",
+    "gray_counter_next",
+    "alu_decoder",
+]
+
+
+def round_robin_arbiter(num_clients: int = 8, name: str = "arbiter") -> Aig:
+    """Round-robin arbiter: grants one of ``num_clients`` requests.
+
+    Inputs are the request lines plus a binary pointer giving the highest
+    priority client; outputs are the one-hot grant lines and a ``busy``
+    flag.  This is the combinational core of the EPFL ``arbiter`` profile.
+    """
+    aig = Aig(name)
+    requests = [aig.add_pi(f"req{i}") for i in range(num_clients)]
+    pointer_width = max(1, (num_clients - 1).bit_length())
+    pointer = [aig.add_pi(f"ptr{i}") for i in range(pointer_width)]
+
+    grants = [LIT_FALSE] * num_clients
+    taken = LIT_FALSE
+    # Rotate priority: client (pointer + offset) mod num_clients wins first.
+    for offset in range(num_clients):
+        for client in range(num_clients):
+            start_value = (client - offset) % num_clients
+            start_bits = [(LIT_TRUE if (start_value >> i) & 1 else LIT_FALSE) for i in range(pointer_width)]
+            is_start = equal_words(aig, pointer, start_bits)
+            eligible = aig.add_and(is_start, aig.add_and(requests[client], Aig.negate(taken)))
+            grants[client] = aig.add_or(grants[client], eligible)
+        taken = aig.add_or_multi(grants)
+    for client, grant in enumerate(grants):
+        aig.add_po(grant, f"gnt{client}")
+    aig.add_po(taken, "busy")
+    return aig
+
+
+def simple_controller(num_states: int = 8, num_inputs: int = 4, name: str = "ctrl") -> Aig:
+    """Next-state and output logic of a small Moore controller.
+
+    The state is one-hot encoded; each state advances to the next state
+    when its trigger input is high and falls back to state 0 otherwise --
+    the shape of the tiny EPFL ``ctrl`` benchmark.
+    """
+    aig = Aig(name)
+    state = [aig.add_pi(f"s{i}") for i in range(num_states)]
+    triggers = [aig.add_pi(f"t{i}") for i in range(num_inputs)]
+
+    next_state = [LIT_FALSE] * num_states
+    for index in range(num_states):
+        trigger = triggers[index % num_inputs]
+        advance = aig.add_and(state[index], trigger)
+        hold = aig.add_and(state[index], Aig.negate(trigger))
+        next_state[(index + 1) % num_states] = aig.add_or(next_state[(index + 1) % num_states], advance)
+        next_state[0] = aig.add_or(next_state[0], hold)
+    for index, bit in enumerate(next_state):
+        aig.add_po(bit, f"ns{index}")
+    # Moore outputs: even states drive the done flag, odd states the busy flag.
+    done = aig.add_or_multi([state[i] for i in range(0, num_states, 2)])
+    busy = aig.add_or_multi([state[i] for i in range(1, num_states, 2)])
+    aig.add_po(done, "done")
+    aig.add_po(busy, "busy")
+    return aig
+
+
+def parity_checker(width: int = 16, name: str = "parity") -> Aig:
+    """Even/odd parity over a data word."""
+    aig = Aig(name)
+    data = [aig.add_pi(f"d{i}") for i in range(width)]
+    parity = aig.add_xor_multi(data)
+    aig.add_po(parity, "odd")
+    aig.add_po(Aig.negate(parity), "even")
+    return aig
+
+
+def crc_unit(width: int = 16, polynomial: int = 0x1021, crc_width: int = 16, name: str = "crc") -> Aig:
+    """Bit-serial CRC update unrolled over one data word."""
+    aig = Aig(name)
+    data = [aig.add_pi(f"d{i}") for i in range(width)]
+    crc = [aig.add_pi(f"c{i}") for i in range(crc_width)]
+    state = list(crc)
+    for bit in reversed(data):
+        feedback = aig.add_xor(state[-1], bit)
+        shifted = [LIT_FALSE] + state[:-1]
+        state = [
+            aig.add_xor(shifted[i], feedback) if (polynomial >> i) & 1 else shifted[i]
+            for i in range(crc_width)
+        ]
+    for index, bit in enumerate(state):
+        aig.add_po(bit, f"crc{index}")
+    return aig
+
+
+def gray_counter_next(width: int = 8, name: str = "gray") -> Aig:
+    """Next value of a Gray-code counter (binary convert, increment, convert back)."""
+    aig = Aig(name)
+    gray = [aig.add_pi(f"g{i}") for i in range(width)]
+    # Gray to binary: b[i] = xor of gray[i..width-1].
+    binary = [LIT_FALSE] * width
+    running = LIT_FALSE
+    for index in reversed(range(width)):
+        running = aig.add_xor(running, gray[index])
+        binary[index] = running
+    one = [LIT_TRUE] + [LIT_FALSE] * (width - 1)
+    incremented, _carry = add_words(aig, binary, one)
+    # Binary to Gray: g[i] = b[i] xor b[i+1].
+    next_gray = [
+        aig.add_xor(incremented[i], incremented[i + 1]) if i + 1 < width else incremented[i]
+        for i in range(width)
+    ]
+    for index, bit in enumerate(next_gray):
+        aig.add_po(bit, f"ng{index}")
+    return aig
+
+
+def alu_decoder(opcode_width: int = 4, width: int = 8, name: str = "alu") -> Aig:
+    """A small ALU: the opcode selects among add, and, or, xor results.
+
+    Used as the datapath-plus-decoder mix that the ``cavlc`` / ``i2c``
+    profiles exhibit (datapath slices steered by control decoding).
+    """
+    aig = Aig(name)
+    opcode = [aig.add_pi(f"op{i}") for i in range(opcode_width)]
+    a = [aig.add_pi(f"a{i}") for i in range(width)]
+    b = [aig.add_pi(f"b{i}") for i in range(width)]
+
+    sum_bits, carry = add_words(aig, a, b)
+    and_bits = [aig.add_and(x, y) for x, y in zip(a, b)]
+    or_bits = [aig.add_or(x, y) for x, y in zip(a, b)]
+    xor_bits = [aig.add_xor(x, y) for x, y in zip(a, b)]
+
+    select_add = aig.add_and(Aig.negate(opcode[0]), Aig.negate(opcode[1]))
+    select_and = aig.add_and(opcode[0], Aig.negate(opcode[1]))
+    select_or = aig.add_and(Aig.negate(opcode[0]), opcode[1])
+
+    result = mux_words(aig, select_add, sum_bits, xor_bits)
+    result = mux_words(aig, select_and, and_bits, result)
+    result = mux_words(aig, select_or, or_bits, result)
+    # Remaining opcode bits gate a zero flag and the carry output.
+    zero = Aig.negate(aig.add_or_multi(result))
+    for index, bit in enumerate(result):
+        aig.add_po(bit, f"r{index}")
+    aig.add_po(aig.add_and(carry, opcode[-1] if opcode_width > 2 else LIT_TRUE), "carry")
+    aig.add_po(zero, "zero")
+    return aig

@@ -1,0 +1,149 @@
+"""The EPFL benchmark suite, reconstructed at reduced widths.
+
+Table I of the paper simulates the twenty EPFL combinational benchmarks.
+The suite itself is distributed as files we do not ship; this module
+reconstructs every profile from scratch:
+
+* the ten arithmetic benchmarks are genuine gate-level constructions
+  (adder, barrel shifter, divider, hypotenuse, log2, max, multiplier,
+  sine, square root, square) at widths reduced so that a pure-Python
+  simulation of the whole suite finishes in seconds;
+* the ten random/control benchmarks are either genuine control blocks
+  (arbiter, ctrl, dec, int2float, priority, voter) or seeded structured
+  random logic with the published size profile (cavlc, i2c, mem_ctrl,
+  router).
+
+Sizes are therefore smaller than the originals; the Table I comparison is
+between two simulators on *identical* networks, so the speedup ratios --
+the quantity the paper reports -- are preserved.  See DESIGN.md, section
+"Substitutions".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..networks.aig import Aig
+from . import arithmetic, control, random_logic
+
+__all__ = ["EPFL_BENCHMARKS", "epfl_benchmark", "epfl_suite"]
+
+
+def _adder() -> Aig:
+    return arithmetic.ripple_carry_adder(width=32, name="adder")
+
+
+def _bar() -> Aig:
+    return arithmetic.barrel_shifter(width=32, name="bar")
+
+
+def _div() -> Aig:
+    return arithmetic.restoring_divider(width=10, name="div")
+
+
+def _hyp() -> Aig:
+    return arithmetic.hypotenuse_unit(width=6, name="hyp")
+
+
+def _log2() -> Aig:
+    return arithmetic.log2_unit(width=32, fraction=6, name="log2")
+
+
+def _max() -> Aig:
+    return arithmetic.max_unit(width=24, operands=4, name="max")
+
+
+def _multiplier() -> Aig:
+    return arithmetic.array_multiplier(width=10, name="multiplier")
+
+
+def _sin() -> Aig:
+    return arithmetic.sine_unit(width=10, name="sin")
+
+
+def _sqrt() -> Aig:
+    return arithmetic.integer_square_root(width=12, name="sqrt")
+
+
+def _square() -> Aig:
+    return arithmetic.square(width=10, name="square")
+
+
+def _arbiter() -> Aig:
+    return control.round_robin_arbiter(num_clients=12, name="arbiter")
+
+
+def _cavlc() -> Aig:
+    return random_logic.random_aig(num_pis=10, num_gates=350, num_pos=11, seed=101, name="cavlc")
+
+
+def _ctrl() -> Aig:
+    return control.simple_controller(num_states=8, num_inputs=7, name="ctrl")
+
+
+def _dec() -> Aig:
+    return arithmetic.decoder(address_width=8, name="dec")
+
+
+def _i2c() -> Aig:
+    return random_logic.random_aig(num_pis=18, num_gates=650, num_pos=15, seed=102, name="i2c")
+
+
+def _int2float() -> Aig:
+    return arithmetic.int_to_float(width=16, mantissa=7, name="int2float")
+
+
+def _mem_ctrl() -> Aig:
+    return random_logic.layered_random_aig(
+        num_pis=48, num_layers=12, layer_width=96, num_pos=32, seed=103, name="mem_ctrl"
+    )
+
+
+def _priority() -> Aig:
+    return arithmetic.priority_encoder(width=32, name="priority")
+
+
+def _router() -> Aig:
+    return random_logic.random_aig(num_pis=20, num_gates=260, num_pos=10, seed=104, name="router")
+
+
+def _voter() -> Aig:
+    return arithmetic.majority_voter(num_inputs=31, name="voter")
+
+
+#: Factories for all twenty EPFL benchmark profiles, in Table I order.
+EPFL_BENCHMARKS: dict[str, Callable[[], Aig]] = {
+    "adder": _adder,
+    "bar": _bar,
+    "div": _div,
+    "hyp": _hyp,
+    "log2": _log2,
+    "max": _max,
+    "multiplier": _multiplier,
+    "sin": _sin,
+    "sqrt": _sqrt,
+    "square": _square,
+    "arbiter": _arbiter,
+    "cavlc": _cavlc,
+    "ctrl": _ctrl,
+    "dec": _dec,
+    "i2c": _i2c,
+    "int2float": _int2float,
+    "mem_ctrl": _mem_ctrl,
+    "priority": _priority,
+    "router": _router,
+    "voter": _voter,
+}
+
+
+def epfl_benchmark(name: str) -> Aig:
+    """Construct one EPFL-profile benchmark by name."""
+    if name not in EPFL_BENCHMARKS:
+        raise KeyError(f"unknown EPFL benchmark {name!r}; known: {sorted(EPFL_BENCHMARKS)}")
+    return EPFL_BENCHMARKS[name]()
+
+
+def epfl_suite(names: list[str] | None = None) -> dict[str, Aig]:
+    """Construct several (by default all) EPFL-profile benchmarks."""
+    selected = names if names is not None else list(EPFL_BENCHMARKS)
+    return {name: epfl_benchmark(name) for name in selected}

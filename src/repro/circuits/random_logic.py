@@ -1,0 +1,108 @@
+"""Seeded structured-random AIG generators.
+
+Some EPFL control benchmarks (``cavlc``, ``i2c``, ``router``, ``mem_ctrl``)
+and the HWMCC'15 model-checking frames are large irregular control
+networks; this module generates seeded random AIGs with a controllable
+size, depth and fan-in profile that stand in for them.  The generators are
+deterministic for a given seed, so every benchmark table row is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..networks.aig import Aig
+
+__all__ = ["random_aig", "layered_random_aig"]
+
+
+def random_aig(
+    num_pis: int = 16,
+    num_gates: int = 200,
+    num_pos: int = 8,
+    seed: int = 1,
+    xor_fraction: float = 0.2,
+    name: str = "random",
+) -> Aig:
+    """A random AIG grown gate by gate.
+
+    Each new gate combines two previously created literals (PIs or gates),
+    drawn with a bias towards recent nodes so the network has realistic
+    depth; a fraction of the gates are XOR pairs (two-level AND trees),
+    which is what makes the profile resemble control logic rather than a
+    monotone AND cascade.
+    """
+    if num_pis < 2:
+        raise ValueError("random_aig needs at least two primary inputs")
+    rng = random.Random(seed)
+    aig = Aig(name)
+    literals = [aig.add_pi(f"x{i}") for i in range(num_pis)]
+
+    def pick_literal() -> int:
+        # Bias towards the most recent third of the nodes for depth.
+        if literals and rng.random() < 0.5:
+            start = max(0, len(literals) - max(4, len(literals) // 3))
+            literal = literals[rng.randrange(start, len(literals))]
+        else:
+            literal = literals[rng.randrange(len(literals))]
+        return Aig.negate(literal) if rng.random() < 0.5 else literal
+
+    while aig.num_ands < num_gates:
+        a = pick_literal()
+        b = pick_literal()
+        if rng.random() < xor_fraction:
+            literal = aig.add_xor(a, b)
+        else:
+            literal = aig.add_and(a, b)
+        if Aig.node_of(literal) != 0:
+            literals.append(literal)
+
+    pos = rng.sample(literals[num_pis:], min(num_pos, max(1, len(literals) - num_pis)))
+    for index, literal in enumerate(pos):
+        aig.add_po(literal if rng.random() < 0.5 else Aig.negate(literal), f"y{index}")
+    return aig
+
+
+def layered_random_aig(
+    num_pis: int = 16,
+    num_layers: int = 8,
+    layer_width: int = 32,
+    num_pos: int = 8,
+    seed: int = 1,
+    name: str = "layered",
+) -> Aig:
+    """A random AIG organised in layers (uniform depth, datapath-like shape).
+
+    Every layer draws its fanins from the two preceding layers only, which
+    produces the long, narrow structure of pipelined datapaths and
+    model-checking unrollings.
+    """
+    rng = random.Random(seed)
+    aig = Aig(name)
+    previous = [aig.add_pi(f"x{i}") for i in range(num_pis)]
+    before_previous = list(previous)
+
+    for _layer in range(num_layers):
+        pool = previous + before_previous
+        current = []
+        for _ in range(layer_width):
+            a = pool[rng.randrange(len(pool))]
+            b = pool[rng.randrange(len(pool))]
+            if rng.random() < 0.5:
+                a = Aig.negate(a)
+            if rng.random() < 0.5:
+                b = Aig.negate(b)
+            if rng.random() < 0.25:
+                literal = aig.add_xor(a, b)
+            else:
+                literal = aig.add_and(a, b)
+            current.append(literal)
+        before_previous = previous
+        previous = current
+
+    outputs = previous if len(previous) >= num_pos else previous + before_previous
+    for index in range(num_pos):
+        literal = outputs[index % len(outputs)]
+        aig.add_po(literal if rng.random() < 0.5 else Aig.negate(literal), f"y{index}")
+    return aig

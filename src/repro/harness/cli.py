@@ -1,0 +1,187 @@
+"""Command-line front-ends for working with circuit files directly.
+
+Besides the table-regeneration entry points (``repro-table1`` and
+``repro-table2``), the package installs two file-level tools:
+
+* ``repro-simulate`` -- read an AIGER/BENCH file, map it to k-LUTs and
+  simulate it with a chosen engine, printing per-output signatures or
+  writing them to a CSV file;
+* ``repro-sweep`` -- read an AIGER/BENCH file, run one of the two SAT
+  sweepers on it, verify the result and write it back out in any of the
+  supported formats.
+
+Both tools work purely on files, so they can be dropped into existing
+shell-based synthesis flows the way ``abc`` commands are.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from ..io import (
+    read_aiger_file,
+    read_bench_file,
+    write_aiger_file,
+    write_bench_file,
+    write_blif_file,
+    write_verilog_file,
+)
+from ..networks import Aig, map_aig_to_klut, network_statistics
+from ..networks.mapping import map_aig_to_klut as _map
+from ..simulation import (
+    PatternSet,
+    klut_po_signatures,
+    aig_po_signatures,
+    simulate_aig,
+    simulate_klut_per_pattern,
+    simulate_klut_stp,
+)
+from ..sweeping import FraigSweeper, StpSweeper, check_combinational_equivalence
+
+__all__ = ["simulate_main", "sweep_main", "read_network", "write_network"]
+
+
+def read_network(path: str) -> Aig:
+    """Read an AIG from an AIGER (.aag/.aig) or BENCH (.bench) file."""
+    extension = os.path.splitext(path)[1].lower()
+    if extension in (".aag", ".aig"):
+        return read_aiger_file(path)
+    if extension == ".bench":
+        return read_bench_file(path)
+    raise ValueError(f"unsupported input format {extension!r} (expected .aag, .aig or .bench)")
+
+
+def write_network(aig: Aig, path: str, lut_size: int = 6) -> None:
+    """Write an AIG to AIGER, BENCH, BLIF (via LUT mapping) or Verilog."""
+    extension = os.path.splitext(path)[1].lower()
+    if extension in (".aag", ".aig"):
+        write_aiger_file(aig, path)
+    elif extension == ".bench":
+        write_bench_file(aig, path)
+    elif extension == ".blif":
+        klut, _ = _map(aig, k=lut_size)
+        write_blif_file(klut, path)
+    elif extension == ".v":
+        write_verilog_file(aig, path)
+    else:
+        raise ValueError(f"unsupported output format {extension!r} (expected .aag, .aig, .bench, .blif or .v)")
+
+
+# ---------------------------------------------------------------------------
+# repro-simulate
+# ---------------------------------------------------------------------------
+
+
+def simulate_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-simulate``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Simulate an AIGER/BENCH circuit with the baseline or the STP simulator",
+    )
+    parser.add_argument("input", help="input circuit (.aag, .aig or .bench)")
+    parser.add_argument("--patterns", type=int, default=256, help="number of random patterns")
+    parser.add_argument("--seed", type=int, default=1, help="pattern seed")
+    parser.add_argument(
+        "--engine",
+        choices=["aig", "lut", "stp"],
+        default="stp",
+        help="aig = word-parallel AIG, lut = per-pattern k-LUT, stp = STP simulator",
+    )
+    parser.add_argument("--lut-size", type=int, default=6, help="LUT size for the lut/stp engines")
+    parser.add_argument("--csv", default=None, help="write per-output signatures to this CSV file")
+    arguments = parser.parse_args(argv)
+
+    aig = read_network(arguments.input)
+    stats = network_statistics(aig)
+    print(f"{os.path.basename(arguments.input)}: {stats}")
+    patterns = PatternSet.random(aig.num_pis, arguments.patterns, arguments.seed)
+
+    if arguments.engine == "aig":
+        result = simulate_aig(aig, patterns)
+        signatures = aig_po_signatures(aig, result)
+    else:
+        klut, _ = map_aig_to_klut(aig, k=arguments.lut_size)
+        if arguments.engine == "lut":
+            result = simulate_klut_per_pattern(klut, patterns)
+        else:
+            result = simulate_klut_stp(klut, patterns)
+        signatures = klut_po_signatures(klut, result)
+
+    width = max((len(name) for name in aig.po_names), default=4)
+    print(f"simulated {patterns.num_patterns} patterns with engine {arguments.engine!r}")
+    rows = []
+    for name, signature in zip(aig.po_names, signatures):
+        ones = bin(signature).count("1")
+        rows.append((name, ones, signature))
+        print(f"  {name:{width}}  ones={ones:6d}/{patterns.num_patterns}  signature=0x{signature:x}")
+    if arguments.csv:
+        with open(arguments.csv, "w", encoding="ascii") as handle:
+            handle.write("output,ones,patterns,signature_hex\n")
+            for name, ones, signature in rows:
+                handle.write(f"{name},{ones},{patterns.num_patterns},{signature:x}\n")
+        print(f"wrote {arguments.csv}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-sweep
+# ---------------------------------------------------------------------------
+
+
+def sweep_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-sweep``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="SAT-sweep an AIGER/BENCH circuit with the baseline or the STP engine",
+    )
+    parser.add_argument("input", help="input circuit (.aag, .aig or .bench)")
+    parser.add_argument("--output", "-o", default=None, help="write the swept circuit here (.aag/.aig/.bench/.blif/.v)")
+    parser.add_argument("--engine", choices=["fraig", "stp"], default="stp", help="sweeping engine")
+    parser.add_argument("--patterns", type=int, default=64, help="initial pattern count")
+    parser.add_argument("--conflict-limit", type=int, default=10_000, help="SAT conflict limit per query")
+    parser.add_argument("--tfi-limit", type=int, default=1000, help="TFI candidate bound")
+    parser.add_argument("--window-leaves", type=int, default=16, help="exhaustive window bound (stp engine)")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument("--no-verify", action="store_true", help="skip the CEC verification")
+    arguments = parser.parse_args(argv)
+
+    aig = read_network(arguments.input)
+    print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
+
+    if arguments.engine == "fraig":
+        sweeper = FraigSweeper(
+            aig,
+            num_patterns=arguments.patterns,
+            seed=arguments.seed,
+            conflict_limit=arguments.conflict_limit,
+            tfi_limit=arguments.tfi_limit,
+        )
+    else:
+        sweeper = StpSweeper(
+            aig,
+            num_patterns=arguments.patterns,
+            seed=arguments.seed,
+            conflict_limit=arguments.conflict_limit,
+            tfi_limit=arguments.tfi_limit,
+            window_leaves=arguments.window_leaves,
+        )
+    swept, stats = sweeper.run()
+    print(stats)
+
+    if not arguments.no_verify:
+        verdict = check_combinational_equivalence(aig, swept)
+        print(f"equivalence check: {verdict.status}")
+        if not verdict:
+            print("refusing to write a non-equivalent result", file=sys.stderr)
+            return 1
+
+    if arguments.output:
+        write_network(swept, arguments.output)
+        print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(sweep_main())

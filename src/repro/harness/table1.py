@@ -1,0 +1,163 @@
+"""Regeneration of Table I: circuit-simulation runtimes on the EPFL suite.
+
+For every EPFL-profile benchmark the harness measures four simulation
+times on the *same* random pattern set:
+
+* ``TA`` (baseline)  -- word-parallel AIG simulation (the mockturtle fast path);
+* ``TA`` (STP)       -- STP simulation of the AIG viewed as a 2-LUT network;
+* ``TL`` (baseline)  -- per-pattern k-LUT simulation of the 6-LUT mapping
+  (the bit-extraction path the paper observes in off-the-shelf tools);
+* ``TL`` (STP)       -- STP simulation of the same 6-LUT network.
+
+and reports the per-benchmark speedups ``x`` plus the geometric means, the
+same layout as Table I.  Absolute times are Python-scale, not the paper's
+C++ numbers; the quantity being reproduced is the speedup structure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from ..circuits.epfl import EPFL_BENCHMARKS, epfl_benchmark
+from ..networks.mapping import map_aig_to_klut
+from ..simulation.bitwise import simulate_aig, simulate_klut_per_pattern
+from ..simulation.patterns import PatternSet
+from ..simulation.stp_simulator import StpSimulator
+from .reporting import format_table, geometric_mean
+
+__all__ = ["Table1Row", "run_table1", "format_table1", "main"]
+
+
+@dataclass
+class Table1Row:
+    """One benchmark row of Table I."""
+
+    benchmark: str
+    num_gates: int
+    num_luts: int
+    ta_baseline: float
+    ta_stp: float
+    tl_baseline: float
+    tl_stp: float
+
+    @property
+    def ta_speedup(self) -> float:
+        """Speedup of the STP simulator on the AIG ("x" column under TA)."""
+        return self.ta_baseline / self.ta_stp if self.ta_stp > 0 else 0.0
+
+    @property
+    def tl_speedup(self) -> float:
+        """Speedup of the STP simulator on the 6-LUT network ("x" column under TL)."""
+        return self.tl_baseline / self.tl_stp if self.tl_stp > 0 else 0.0
+
+
+def _measure(callable_, repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_table1(
+    benchmarks: list[str] | None = None,
+    num_patterns: int = 1024,
+    lut_size: int = 6,
+    seed: int = 1,
+    repeats: int = 1,
+) -> list[Table1Row]:
+    """Measure all four simulation times for every requested benchmark."""
+    names = benchmarks if benchmarks is not None else list(EPFL_BENCHMARKS)
+    rows: list[Table1Row] = []
+    for name in names:
+        aig = epfl_benchmark(name)
+        patterns = PatternSet.random(aig.num_pis, num_patterns, seed)
+
+        klut6, _ = map_aig_to_klut(aig, k=lut_size)
+        klut2, _ = map_aig_to_klut(aig, k=2)
+        stp6 = StpSimulator(klut6)
+        stp2 = StpSimulator(klut2)
+
+        ta_baseline = _measure(lambda: simulate_aig(aig, patterns), repeats)
+        ta_stp = _measure(lambda: stp2.simulate_all(patterns), repeats)
+        tl_baseline = _measure(lambda: simulate_klut_per_pattern(klut6, patterns), repeats)
+        tl_stp = _measure(lambda: stp6.simulate_all(patterns), repeats)
+
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                num_gates=aig.num_ands,
+                num_luts=klut6.num_luts,
+                ta_baseline=ta_baseline,
+                ta_stp=ta_stp,
+                tl_baseline=tl_baseline,
+                tl_stp=tl_stp,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render the rows in the layout of Table I (plus geometric-mean summary)."""
+    headers = ["Benchmark", "Gates", "6-LUTs", "TA base(s)", "TL base(s)", "TA STP(s)", "x", "TL STP(s)", "x"]
+    body = [
+        [
+            row.benchmark,
+            row.num_gates,
+            row.num_luts,
+            row.ta_baseline,
+            row.tl_baseline,
+            row.ta_stp,
+            row.ta_speedup,
+            row.tl_stp,
+            row.tl_speedup,
+        ]
+        for row in rows
+    ]
+    geo = [
+        "Geo.",
+        "",
+        "",
+        geometric_mean([r.ta_baseline for r in rows]),
+        geometric_mean([r.tl_baseline for r in rows]),
+        geometric_mean([r.ta_stp for r in rows]),
+        geometric_mean([r.ta_speedup for r in rows]),
+        geometric_mean([r.tl_stp for r in rows]),
+        geometric_mean([r.tl_speedup for r in rows]),
+    ]
+    body.append(geo)
+    table = format_table(headers, body, title="Table I -- circuit simulation on the EPFL suite")
+    ta_improvement = geometric_mean([r.ta_speedup for r in rows])
+    tl_improvement = geometric_mean([r.tl_speedup for r in rows])
+    summary = (
+        f"\nImp. (geom. mean speedup, baseline/STP): TA {ta_improvement:.2f}x, TL {tl_improvement:.2f}x\n"
+        f"Paper reports: TA ~1.0x, TL 7.18x (22.04x maximum)."
+    )
+    return table + summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point (``repro-table1``)."""
+    parser = argparse.ArgumentParser(description="Regenerate Table I (EPFL simulation comparison)")
+    parser.add_argument("--benchmarks", nargs="*", default=None, help="benchmark names (default: all twenty)")
+    parser.add_argument("--patterns", type=int, default=1024, help="number of random simulation patterns")
+    parser.add_argument("--lut-size", type=int, default=6, help="LUT size for the TL comparison")
+    parser.add_argument("--seed", type=int, default=1, help="random pattern seed")
+    parser.add_argument("--repeats", type=int, default=1, help="timing repetitions (best of N)")
+    arguments = parser.parse_args(argv)
+    rows = run_table1(
+        benchmarks=arguments.benchmarks,
+        num_patterns=arguments.patterns,
+        lut_size=arguments.lut_size,
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+    )
+    print(format_table1(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

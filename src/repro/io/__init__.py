@@ -1,0 +1,28 @@
+"""File formats: AIGER, BLIF, BENCH readers/writers and a Verilog writer.
+
+These let the library exchange circuits with ABC, mockturtle and the
+benchmark suites the paper evaluates on (EPFL, HWMCC'15, IWLS'05), all of
+which distribute AIGER or BLIF files.
+"""
+
+from .aiger import read_aiger, read_aiger_file, write_aiger, write_aiger_file
+from .bench import read_bench, read_bench_file, write_bench, write_bench_file
+from .blif import read_blif, read_blif_file, write_blif, write_blif_file
+from .verilog import write_verilog, write_verilog_file
+
+__all__ = [
+    "read_aiger",
+    "read_aiger_file",
+    "write_aiger",
+    "write_aiger_file",
+    "read_bench",
+    "read_bench_file",
+    "write_bench",
+    "write_bench_file",
+    "read_blif",
+    "read_blif_file",
+    "write_blif",
+    "write_blif_file",
+    "write_verilog",
+    "write_verilog_file",
+]

@@ -1,0 +1,295 @@
+"""AIGER reader and writer (ASCII ``aag`` and binary ``aig`` formats).
+
+The AIGER format is the lingua franca of SAT-sweeping tools (ABC,
+mockturtle, the HWMCC benchmark suites).  This module supports the
+combinational subset: latches are accepted on input and modelled as extra
+primary inputs (latch outputs) and extra primary outputs (latch next-state
+functions), which is the standard "one frame" combinational view a SAT
+sweeper operates on.
+
+Literal conventions match :class:`repro.networks.aig.Aig` exactly
+(``2 * node + complement``), so conversion is loss-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..networks.aig import Aig
+
+__all__ = ["read_aiger", "read_aiger_file", "write_aiger", "write_aiger_file"]
+
+
+def read_aiger(data: str | bytes) -> Aig:
+    """Parse an AIGER document given as text (``aag``) or bytes (``aag``/``aig``)."""
+    if isinstance(data, str):
+        return _read_ascii(data.encode("ascii"))
+    if data.startswith(b"aag"):
+        return _read_ascii(data)
+    if data.startswith(b"aig"):
+        return _read_binary(data)
+    raise ValueError("not an AIGER document (expected 'aag' or 'aig' header)")
+
+
+def read_aiger_file(path: str | os.PathLike) -> Aig:
+    """Read an AIGER file (ASCII or binary, decided by the header)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    aig = read_aiger(data)
+    aig.name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return aig
+
+
+def write_aiger(aig: Aig, binary: bool = False) -> bytes:
+    """Serialise an AIG to AIGER bytes (ASCII ``aag`` or binary ``aig``)."""
+    return _write_binary(aig) if binary else _write_ascii(aig)
+
+
+def write_aiger_file(aig: Aig, path: str | os.PathLike, binary: bool | None = None) -> None:
+    """Write an AIG to a file; the format defaults to the file extension."""
+    if binary is None:
+        binary = os.fspath(path).endswith(".aig")
+    with open(path, "wb") as handle:
+        handle.write(write_aiger(aig, binary=binary))
+
+
+# ---------------------------------------------------------------------------
+# ASCII format
+# ---------------------------------------------------------------------------
+
+
+def _read_ascii(data: bytes) -> Aig:
+    text = data.decode("ascii", errors="replace")
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError("empty AIGER document")
+    header = lines[0].split()
+    if len(header) < 6 or header[0] != "aag":
+        raise ValueError(f"invalid AIGER header: {lines[0]!r}")
+    max_var, num_inputs, num_latches, num_outputs, num_ands = (int(v) for v in header[1:6])
+
+    cursor = 1
+    input_literals = []
+    for _ in range(num_inputs):
+        input_literals.append(int(lines[cursor].split()[0]))
+        cursor += 1
+    latch_lines = []
+    for _ in range(num_latches):
+        latch_lines.append([int(v) for v in lines[cursor].split()])
+        cursor += 1
+    output_literals = []
+    for _ in range(num_outputs):
+        output_literals.append(int(lines[cursor].split()[0]))
+        cursor += 1
+    and_lines = []
+    for _ in range(num_ands):
+        and_lines.append([int(v) for v in lines[cursor].split()])
+        cursor += 1
+    symbols, _comments = _parse_symbols(lines[cursor:])
+
+    return _build_aig(
+        max_var,
+        input_literals,
+        latch_lines,
+        output_literals,
+        and_lines,
+        symbols,
+    )
+
+
+def _write_ascii(aig: Aig) -> bytes:
+    order = aig.topological_order()
+    # AIGER requires AND variable indices above all input indices and each
+    # gate defined after its fanins; renumber nodes accordingly.
+    node_to_var: dict[int, int] = {0: 0}
+    for position, pi in enumerate(aig.pis, start=1):
+        node_to_var[pi] = position
+    for position, node in enumerate(order, start=aig.num_pis + 1):
+        node_to_var[node] = position
+
+    def literal_of(literal: int) -> int:
+        return 2 * node_to_var[Aig.node_of(literal)] + (literal & 1)
+
+    max_var = aig.num_pis + len(order)
+    lines = [f"aag {max_var} {aig.num_pis} 0 {aig.num_pos} {len(order)}"]
+    lines.extend(str(2 * node_to_var[pi]) for pi in aig.pis)
+    lines.extend(str(literal_of(po)) for po in aig.pos)
+    for node in order:
+        fanin0, fanin1 = aig.fanins(node)
+        lhs = 2 * node_to_var[node]
+        rhs0, rhs1 = literal_of(fanin0), literal_of(fanin1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        lines.append(f"{lhs} {rhs0} {rhs1}")
+    lines.extend(f"i{index} {name}" for index, name in enumerate(aig.pi_names))
+    lines.extend(f"o{index} {name}" for index, name in enumerate(aig.po_names))
+    lines.append(f"c\n{aig.name}")
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+# ---------------------------------------------------------------------------
+# Binary format
+# ---------------------------------------------------------------------------
+
+
+def _decode_varint(data: bytes, cursor: int) -> tuple[int, int]:
+    """Decode one LEB128-style AIGER delta; returns (value, next_cursor)."""
+    value = 0
+    shift = 0
+    while True:
+        if cursor >= len(data):
+            raise ValueError("truncated binary AIGER delta")
+        byte = data[cursor]
+        cursor += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, cursor
+        shift += 7
+
+
+def _encode_varint(value: int) -> bytes:
+    """Encode one AIGER delta."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_binary(data: bytes) -> Aig:
+    newline = data.index(b"\n")
+    header = data[:newline].decode("ascii").split()
+    if len(header) < 6 or header[0] != "aig":
+        raise ValueError(f"invalid binary AIGER header: {header}")
+    max_var, num_inputs, num_latches, num_outputs, num_ands = (int(v) for v in header[1:6])
+
+    cursor = newline + 1
+    # Inputs are implicit: variables 1..num_inputs.
+    input_literals = [2 * (i + 1) for i in range(num_inputs)]
+    latch_lines = []
+    for index in range(num_latches):
+        end = data.index(b"\n", cursor)
+        fields = [int(v) for v in data[cursor:end].split()]
+        latch_lines.append([2 * (num_inputs + index + 1)] + fields)
+        cursor = end + 1
+    output_literals = []
+    for _ in range(num_outputs):
+        end = data.index(b"\n", cursor)
+        output_literals.append(int(data[cursor:end]))
+        cursor = end + 1
+    and_lines = []
+    for index in range(num_ands):
+        lhs = 2 * (num_inputs + num_latches + index + 1)
+        delta0, cursor = _decode_varint(data, cursor)
+        delta1, cursor = _decode_varint(data, cursor)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        and_lines.append([lhs, rhs0, rhs1])
+    symbols, _comments = _parse_symbols(data[cursor:].decode("ascii", errors="replace").splitlines())
+
+    return _build_aig(max_var, input_literals, latch_lines, output_literals, and_lines, symbols)
+
+
+def _write_binary(aig: Aig) -> bytes:
+    order = aig.topological_order()
+    node_to_var: dict[int, int] = {0: 0}
+    for position, pi in enumerate(aig.pis, start=1):
+        node_to_var[pi] = position
+    for position, node in enumerate(order, start=aig.num_pis + 1):
+        node_to_var[node] = position
+
+    def literal_of(literal: int) -> int:
+        return 2 * node_to_var[Aig.node_of(literal)] + (literal & 1)
+
+    max_var = aig.num_pis + len(order)
+    out = bytearray()
+    out.extend(f"aig {max_var} {aig.num_pis} 0 {aig.num_pos} {len(order)}\n".encode("ascii"))
+    for po in aig.pos:
+        out.extend(f"{literal_of(po)}\n".encode("ascii"))
+    for node in order:
+        fanin0, fanin1 = aig.fanins(node)
+        lhs = 2 * node_to_var[node]
+        rhs0, rhs1 = literal_of(fanin0), literal_of(fanin1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        out.extend(_encode_varint(lhs - rhs0))
+        out.extend(_encode_varint(rhs0 - rhs1))
+    symbol_lines = [f"i{index} {name}" for index, name in enumerate(aig.pi_names)]
+    symbol_lines.extend(f"o{index} {name}" for index, name in enumerate(aig.po_names))
+    symbol_lines.append(f"c\n{aig.name}")
+    out.extend(("\n".join(symbol_lines) + "\n").encode("ascii"))
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Shared pieces
+# ---------------------------------------------------------------------------
+
+
+def _parse_symbols(lines: Iterable[str]) -> tuple[dict[str, str], list[str]]:
+    symbols: dict[str, str] = {}
+    comments: list[str] = []
+    in_comments = False
+    for line in lines:
+        stripped = line.strip()
+        if not stripped and not in_comments:
+            continue
+        if in_comments:
+            comments.append(line)
+            continue
+        if stripped == "c":
+            in_comments = True
+            continue
+        if stripped[0] in "ilo" and " " in stripped:
+            key, _space, name = stripped.partition(" ")
+            symbols[key] = name
+    return symbols, comments
+
+
+def _build_aig(
+    max_var: int,
+    input_literals: list[int],
+    latch_lines: list[list[int]],
+    output_literals: list[int],
+    and_lines: list[list[int]],
+    symbols: dict[str, str],
+) -> Aig:
+    aig = Aig()
+    # Map AIGER variable index -> library literal.
+    var_to_literal: dict[int, int] = {0: 0}
+
+    for index, literal in enumerate(input_literals):
+        name = symbols.get(f"i{index}")
+        var_to_literal[literal >> 1] = aig.add_pi(name)
+    # Latch outputs become extra primary inputs (combinational frame view).
+    for index, fields in enumerate(latch_lines):
+        latch_literal = fields[0]
+        name = symbols.get(f"l{index}", f"latch{index}")
+        var_to_literal[latch_literal >> 1] = aig.add_pi(name)
+
+    def resolve(aiger_literal: int) -> int:
+        variable = aiger_literal >> 1
+        if variable not in var_to_literal:
+            raise ValueError(f"AIGER literal {aiger_literal} references undefined variable {variable}")
+        return var_to_literal[variable] ^ (aiger_literal & 1)
+
+    for lhs, rhs0, rhs1 in and_lines:
+        if lhs & 1:
+            raise ValueError(f"AND left-hand side must be even, got {lhs}")
+        var_to_literal[lhs >> 1] = aig.add_and(resolve(rhs0), resolve(rhs1))
+
+    for index, literal in enumerate(output_literals):
+        aig.add_po(resolve(literal), symbols.get(f"o{index}"))
+    # Latch next-state functions become extra primary outputs.
+    for index, fields in enumerate(latch_lines):
+        if len(fields) >= 2:
+            aig.add_po(resolve(fields[1]), f"latch_next{index}")
+
+    if max_var < len(input_literals) + len(latch_lines) + len(and_lines):
+        raise ValueError("AIGER header max variable index is inconsistent with the body")
+    return aig

@@ -1,0 +1,156 @@
+"""BENCH (ISCAS) reader and writer for AIGs.
+
+The BENCH format lists one gate per line (``y = AND(a, b)``); it is the
+distribution format of the ISCAS/IWLS benchmark families.  Reading builds
+an AIG (wide gates are decomposed into balanced AND/OR/XOR trees); writing
+emits one ``AND`` line per AIG node plus ``NOT`` lines for complemented
+outputs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ..networks.aig import Aig
+
+__all__ = ["read_bench", "read_bench_file", "write_bench", "write_bench_file"]
+
+_GATE_PATTERN = re.compile(r"^\s*([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(([^)]*)\)\s*$")
+_IO_PATTERN = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(([^)]*)\)\s*$", re.IGNORECASE)
+
+
+def read_bench(text: str) -> Aig:
+    """Parse a BENCH netlist into an AIG."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[tuple[str, str, list[str]]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_PATTERN.match(line)
+        if io_match:
+            kind, name = io_match.group(1).upper(), io_match.group(2).strip()
+            (inputs if kind == "INPUT" else outputs).append(name)
+            continue
+        gate_match = _GATE_PATTERN.match(line)
+        if gate_match:
+            target = gate_match.group(1)
+            operator = gate_match.group(2).upper()
+            operands = [token.strip() for token in gate_match.group(3).split(",") if token.strip()]
+            gates.append((target, operator, operands))
+            continue
+        raise ValueError(f"unrecognised BENCH line: {raw!r}")
+
+    aig = Aig()
+    signal: dict[str, int] = {}
+    for name in inputs:
+        signal[name] = aig.add_pi(name)
+
+    pending = list(gates)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for target, operator, operands in pending:
+            if all(op in signal or op.lower() in ("gnd", "vdd") for op in operands):
+                signal[target] = _build_gate(aig, signal, operator, operands)
+                progress = True
+            else:
+                remaining.append((target, operator, operands))
+        pending = remaining
+    if pending:
+        unresolved = [target for target, _op, _args in pending]
+        raise ValueError(f"could not resolve BENCH gates (cyclic or missing inputs): {unresolved}")
+
+    for name in outputs:
+        if name not in signal:
+            raise ValueError(f"output {name!r} is never defined")
+        aig.add_po(signal[name], name)
+    return aig
+
+
+def read_bench_file(path: str | os.PathLike) -> Aig:
+    """Read a BENCH file from disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        aig = read_bench(handle.read())
+    aig.name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return aig
+
+
+def _build_gate(aig: Aig, signal: dict[str, int], operator: str, operands: list[str]) -> int:
+    def resolve(name: str) -> int:
+        lowered = name.lower()
+        if lowered == "gnd":
+            return 0
+        if lowered == "vdd":
+            return 1
+        return signal[name]
+
+    literals = [resolve(op) for op in operands]
+    if operator in ("BUF", "BUFF"):
+        return literals[0]
+    if operator == "NOT":
+        return Aig.negate(literals[0])
+    if operator == "AND":
+        return aig.add_and_multi(literals)
+    if operator == "NAND":
+        return Aig.negate(aig.add_and_multi(literals))
+    if operator == "OR":
+        return aig.add_or_multi(literals)
+    if operator == "NOR":
+        return Aig.negate(aig.add_or_multi(literals))
+    if operator == "XOR":
+        return aig.add_xor_multi(literals)
+    if operator in ("XNOR", "NXOR"):
+        return Aig.negate(aig.add_xor_multi(literals))
+    if operator == "MUX" and len(literals) == 3:
+        return aig.add_mux(literals[0], literals[1], literals[2])
+    raise ValueError(f"unsupported BENCH gate type {operator!r} with {len(operands)} operands")
+
+
+def write_bench(aig: Aig) -> str:
+    """Serialise an AIG to BENCH text."""
+    lines = [f"# {aig.name}"]
+    lines.extend(f"INPUT({name})" for name in aig.pi_names)
+    lines.extend(f"OUTPUT({name})" for name in aig.po_names)
+
+    names: dict[int, str] = {0: "const0"}
+    uses_const = any(Aig.node_of(po) == 0 for po in aig.pos) or any(
+        Aig.node_of(f) == 0 for node in aig.gates() for f in aig.fanins(node)
+    )
+    for node, name in zip(aig.pis, aig.pi_names):
+        names[node] = name
+    order = aig.topological_order()
+    for node in order:
+        names[node] = f"n{node}"
+
+    body: list[str] = []
+    inverter_cache: dict[int, str] = {}
+
+    def literal_name(literal: int) -> str:
+        node = Aig.node_of(literal)
+        if not Aig.is_complemented(literal):
+            return names[node]
+        if literal not in inverter_cache:
+            inverted = f"{names[node]}_inv"
+            body.append(f"{inverted} = NOT({names[node]})")
+            inverter_cache[literal] = inverted
+        return inverter_cache[literal]
+
+    if uses_const:
+        body.append("const0 = AND(gnd, gnd)")
+    for node in order:
+        fanin0, fanin1 = aig.fanins(node)
+        body.append(f"{names[node]} = AND({literal_name(fanin0)}, {literal_name(fanin1)})")
+    for po, name in zip(aig.pos, aig.po_names):
+        body.append(f"{name} = BUFF({literal_name(po)})")
+    lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(aig: Aig, path: str | os.PathLike) -> None:
+    """Write an AIG to a BENCH file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_bench(aig))

@@ -1,0 +1,222 @@
+"""BLIF reader and writer for k-LUT networks.
+
+BLIF (Berkeley Logic Interchange Format) describes a network of
+single-output nodes, each carrying a sum-of-products cover -- exactly the
+shape of a k-LUT network.  The reader accepts the combinational subset
+(``.model``, ``.inputs``, ``.outputs``, ``.names``, ``.end``); the writer
+emits one ``.names`` block per LUT with a minterm cover.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..networks.klut import KLutNetwork
+from ..truthtable import TruthTable
+
+__all__ = ["read_blif", "read_blif_file", "write_blif", "write_blif_file"]
+
+
+def read_blif(text: str) -> KLutNetwork:
+    """Parse a combinational BLIF document into a k-LUT network."""
+    model_name = "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    names_blocks: list[tuple[list[str], list[str]]] = []
+
+    lines = _continuation_joined_lines(text)
+    current_block: tuple[list[str], list[str]] | None = None
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("."):
+            current_block = None
+            tokens = stripped.split()
+            directive = tokens[0]
+            if directive == ".model":
+                model_name = tokens[1] if len(tokens) > 1 else model_name
+            elif directive == ".inputs":
+                inputs.extend(tokens[1:])
+            elif directive == ".outputs":
+                outputs.extend(tokens[1:])
+            elif directive == ".names":
+                current_block = (tokens[1:], [])
+                names_blocks.append(current_block)
+            elif directive == ".end":
+                break
+            elif directive in (".latch", ".gate", ".subckt"):
+                raise ValueError(f"unsupported BLIF construct {directive!r} (combinational subset only)")
+            # Other dot-directives (.default_input_arrival, ...) are ignored.
+        else:
+            if current_block is None:
+                raise ValueError(f"cover line outside a .names block: {stripped!r}")
+            current_block[1].append(stripped)
+
+    network = KLutNetwork(name=model_name)
+    signal_to_node: dict[str, int] = {}
+    for name in inputs:
+        signal_to_node[name] = network.add_pi(name)
+
+    # .names blocks may reference signals defined later; process in dependency order.
+    pending = list(names_blocks)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for signals, cover in pending:
+            *input_names, output_name = signals
+            if all(name in signal_to_node for name in input_names):
+                node = _build_names_node(network, signal_to_node, input_names, cover)
+                signal_to_node[output_name] = node
+                progress = True
+            else:
+                remaining.append((signals, cover))
+        pending = remaining
+    if pending:
+        unresolved = [block[0][-1] for block in pending]
+        raise ValueError(f"could not resolve BLIF nodes (cyclic or missing inputs): {unresolved}")
+
+    for name in outputs:
+        if name not in signal_to_node:
+            raise ValueError(f"output {name!r} is never defined")
+        network.add_po(signal_to_node[name], name=name)
+    return network
+
+
+def read_blif_file(path: str | os.PathLike) -> KLutNetwork:
+    """Read a BLIF file from disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        return read_blif(handle.read())
+
+
+def write_blif(network: KLutNetwork) -> str:
+    """Serialise a k-LUT network to BLIF text."""
+    signal_names = _signal_names(network)
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.pi_names) if network.num_pis else ".inputs")
+    lines.append(".outputs " + " ".join(network.po_names) if network.num_pos else ".outputs")
+
+    for node in network.nodes():
+        if network.is_constant(node):
+            lines.append(f".names {signal_names[node]}")
+            if network.constant_value(node):
+                lines.append("1")
+    for node in network.topological_order():
+        fanins = network.lut_fanins(node)
+        function = network.lut_function(node)
+        lines.append(".names " + " ".join(signal_names[f] for f in fanins) + f" {signal_names[node]}")
+        lines.extend(_cover_lines(function))
+
+    # Primary outputs: emit a buffer/inverter .names block when the PO name
+    # differs from the driving node or the PO is complemented.
+    for (node, negated), name in zip(network.pos, network.po_names):
+        if name == signal_names[node] and not negated:
+            continue
+        lines.append(f".names {signal_names[node]} {name}")
+        lines.append("0 1" if negated else "1 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif_file(network: KLutNetwork, path: str | os.PathLike) -> None:
+    """Write a k-LUT network to a BLIF file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_blif(network))
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _continuation_joined_lines(text: str) -> list[str]:
+    """Join BLIF continuation lines (trailing backslash)."""
+    joined: list[str] = []
+    buffer = ""
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        joined.append(buffer + line)
+        buffer = ""
+    if buffer:
+        joined.append(buffer)
+    return joined
+
+
+def _build_names_node(
+    network: KLutNetwork,
+    signal_to_node: dict[str, int],
+    input_names: list[str],
+    cover: list[str],
+) -> int:
+    if not input_names:
+        # Constant node: a single "1" line means constant true, empty cover constant false.
+        value = any(line.strip() == "1" for line in cover)
+        return network.constant_node(value)
+    num_vars = len(input_names)
+    bits = 0
+    complemented_output = False
+    rows: list[tuple[str, str]] = []
+    for line in cover:
+        fields = line.split()
+        if len(fields) != 2:
+            raise ValueError(f"malformed BLIF cover line {line!r}")
+        rows.append((fields[0], fields[1]))
+    if rows and all(output == "0" for _pattern, output in rows):
+        complemented_output = True
+    for pattern, output in rows:
+        if len(pattern) != num_vars:
+            raise ValueError(f"cover row {pattern!r} does not match {num_vars} inputs")
+        if (output == "1") == complemented_output:
+            continue
+        for assignment in _expand_cube(pattern):
+            bits |= 1 << assignment
+    if complemented_output:
+        bits = ~bits & ((1 << (1 << num_vars)) - 1)
+    function = TruthTable(num_vars, bits)
+    fanins = [signal_to_node[name] for name in input_names]
+    return network.add_lut(fanins, function)
+
+
+def _expand_cube(pattern: str):
+    """Yield every assignment integer covered by a BLIF cube (input 0 first)."""
+    dash_positions = [i for i, c in enumerate(pattern) if c == "-"]
+    base = 0
+    for position, value in enumerate(pattern):
+        if value == "1":
+            base |= 1 << position
+    for combination in range(1 << len(dash_positions)):
+        assignment = base
+        for bit, position in enumerate(dash_positions):
+            if (combination >> bit) & 1:
+                assignment |= 1 << position
+        yield assignment
+
+
+def _cover_lines(function: TruthTable) -> list[str]:
+    """Minterm cover (one row per satisfying assignment) of a LUT function."""
+    if function.bits == 0:
+        return []
+    lines = []
+    for assignment in range(function.num_bits):
+        if function.value_at(assignment):
+            pattern = "".join("1" if (assignment >> i) & 1 else "0" for i in range(function.num_vars))
+            lines.append(f"{pattern} 1")
+    return lines
+
+
+def _signal_names(network: KLutNetwork) -> dict[int, str]:
+    names: dict[int, str] = {}
+    for node, name in zip(network.pis, network.pi_names):
+        names[node] = name
+    for node in network.nodes():
+        if node in names:
+            continue
+        if network.is_constant(node):
+            names[node] = "const1" if network.constant_value(node) else "const0"
+        else:
+            names[node] = f"n{node}"
+    return names

@@ -1,0 +1,115 @@
+"""Structural Verilog writer for AIGs and k-LUT networks.
+
+The writer produces a gate-level module (continuous ``assign`` statements)
+that synthesis tools and simulators accept directly; it is the usual way
+to hand a swept network back to an implementation flow.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..networks.aig import Aig
+from ..networks.klut import KLutNetwork
+
+__all__ = ["write_verilog", "write_verilog_file"]
+
+
+def write_verilog(network: Aig | KLutNetwork, module_name: str | None = None) -> str:
+    """Serialise an AIG or a k-LUT network to structural Verilog."""
+    if isinstance(network, Aig):
+        return _write_aig(network, module_name)
+    if isinstance(network, KLutNetwork):
+        return _write_klut(network, module_name)
+    raise TypeError(f"unsupported network type {type(network).__name__}")
+
+
+def write_verilog_file(network: Aig | KLutNetwork, path: str | os.PathLike, module_name: str | None = None) -> None:
+    """Write a network to a Verilog file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_verilog(network, module_name))
+
+
+def _sanitize(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "s_" + cleaned
+    return cleaned
+
+
+def _write_aig(aig: Aig, module_name: str | None) -> str:
+    module = _sanitize(module_name or aig.name)
+    pi_names = [_sanitize(n) for n in aig.pi_names]
+    po_names = [_sanitize(n) for n in aig.po_names]
+    ports = ", ".join(pi_names + po_names)
+    lines = [f"module {module}({ports});"]
+    lines.extend(f"  input {name};" for name in pi_names)
+    lines.extend(f"  output {name};" for name in po_names)
+
+    names: dict[int, str] = {0: "1'b0"}
+    for node, name in zip(aig.pis, pi_names):
+        names[node] = name
+    order = aig.topological_order()
+    for node in order:
+        names[node] = f"n{node}"
+    if order:
+        lines.append("  wire " + ", ".join(names[node] for node in order) + ";")
+
+    def literal_expr(literal: int) -> str:
+        node = Aig.node_of(literal)
+        base = names[node]
+        if not Aig.is_complemented(literal):
+            return base
+        return "1'b1" if base == "1'b0" else f"~{base}"
+
+    for node in order:
+        fanin0, fanin1 = aig.fanins(node)
+        lines.append(f"  assign n{node} = {literal_expr(fanin0)} & {literal_expr(fanin1)};")
+    for po, name in zip(aig.pos, po_names):
+        lines.append(f"  assign {name} = {literal_expr(po)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def _write_klut(network: KLutNetwork, module_name: str | None) -> str:
+    module = _sanitize(module_name or network.name)
+    pi_names = [_sanitize(n) for n in network.pi_names]
+    po_names = [_sanitize(n) for n in network.po_names]
+    ports = ", ".join(pi_names + po_names)
+    lines = [f"module {module}({ports});"]
+    lines.extend(f"  input {name};" for name in pi_names)
+    lines.extend(f"  output {name};" for name in po_names)
+
+    names: dict[int, str] = {}
+    for node in network.nodes():
+        if network.is_constant(node):
+            names[node] = "1'b1" if network.constant_value(node) else "1'b0"
+    for node, name in zip(network.pis, pi_names):
+        names[node] = name
+    order = network.topological_order()
+    for node in order:
+        names[node] = f"n{node}"
+    if order:
+        lines.append("  wire " + ", ".join(names[node] for node in order) + ";")
+
+    for node in order:
+        fanins = network.lut_fanins(node)
+        function = network.lut_function(node)
+        terms: list[str] = []
+        for assignment in range(function.num_bits):
+            if not function.value_at(assignment):
+                continue
+            factors = []
+            for position, fanin in enumerate(fanins):
+                value = (assignment >> position) & 1
+                factors.append(names[fanin] if value else f"~{names[fanin]}")
+            terms.append("(" + " & ".join(factors) + ")" if factors else "1'b1")
+        expression = " | ".join(terms) if terms else "1'b0"
+        lines.append(f"  assign n{node} = {expression};")
+    for (node, negated), name in zip(network.pos, po_names):
+        driver = names[node]
+        if negated:
+            driver = "1'b1" if driver == "1'b0" else ("1'b0" if driver == "1'b1" else f"~{driver}")
+        lines.append(f"  assign {name} = {driver};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

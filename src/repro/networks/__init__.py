@@ -1,0 +1,58 @@
+"""Logic-network data structures: AIGs, k-LUT networks, cuts and mappings.
+
+The package provides the two network representations the paper operates on:
+
+* :class:`~repro.networks.aig.Aig` -- And-Inverter Graphs with structural
+  hashing and complemented edges, the representation SAT-sweeping runs on;
+* :class:`~repro.networks.klut.KLutNetwork` -- k-input LUT networks, the
+  representation the STP simulator targets;
+
+plus generic traversal helpers, cut computation (including the paper's
+simulation-cut algorithm of Section III-B), AIG-to-k-LUT mapping and
+structural transforms (cleanup, substitution, constant propagation).
+"""
+
+from .aig import Aig, AigNode, LIT_FALSE, LIT_TRUE
+from .klut import KLutNetwork, LutNode
+from .traversal import (
+    topological_sort,
+    levelize,
+    transitive_fanin,
+    transitive_fanout,
+    fanout_counts,
+)
+from .cuts import Cut, SimulationCut, enumerate_cuts, simulation_cuts, cut_truth_table
+from .mapping import map_aig_to_klut, aig_node_truth_table
+from .transforms import (
+    cleanup_dangling,
+    rebuild_strashed,
+    propagate_constants,
+    network_statistics,
+    NetworkStatistics,
+)
+
+__all__ = [
+    "Aig",
+    "AigNode",
+    "LIT_FALSE",
+    "LIT_TRUE",
+    "KLutNetwork",
+    "LutNode",
+    "topological_sort",
+    "levelize",
+    "transitive_fanin",
+    "transitive_fanout",
+    "fanout_counts",
+    "Cut",
+    "SimulationCut",
+    "enumerate_cuts",
+    "simulation_cuts",
+    "cut_truth_table",
+    "map_aig_to_klut",
+    "aig_node_truth_table",
+    "cleanup_dangling",
+    "rebuild_strashed",
+    "propagate_constants",
+    "network_statistics",
+    "NetworkStatistics",
+]

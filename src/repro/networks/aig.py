@@ -1,0 +1,462 @@
+"""And-Inverter Graphs (AIGs) with structural hashing.
+
+The AIG is the working representation of the SAT sweeper: every internal
+node is a two-input AND gate and inversion is expressed by *complemented
+edges*.  The encoding follows the AIGER convention:
+
+* every node has an integer index; node ``0`` is the constant-false node,
+  nodes ``1 .. num_pis`` are primary inputs, higher indices are AND gates;
+* a *literal* is ``2 * node + complement``, so literal ``0`` is constant
+  false, literal ``1`` constant true, and odd literals are complemented.
+
+The :class:`Aig` container supports structural hashing (identical AND
+gates are created only once), the usual one-level simplifications
+(``a & 0 = 0``, ``a & a = a``, ``a & !a = 0`` ...), convenience
+constructors for derived gates (OR, XOR, MUX, adders' carry, ...), node
+substitution used by SAT-sweeping, and the traversal queries (topological
+order, levels, fanouts, TFI/TFO cones) required by the simulator and the
+sweeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from .traversal import levelize, topological_sort, transitive_fanin, transitive_fanout
+
+__all__ = ["Aig", "AigNode", "LIT_FALSE", "LIT_TRUE"]
+
+#: Literal of the constant-false node.
+LIT_FALSE = 0
+#: Literal of the constant-true node (complement of constant false).
+LIT_TRUE = 1
+
+
+@dataclass
+class AigNode:
+    """One AND node of the graph.
+
+    ``fanin0`` and ``fanin1`` are literals (``2 * node + complement``).
+    Primary inputs and the constant node store ``(-1, -1)``.
+    """
+
+    fanin0: int
+    fanin1: int
+
+
+class Aig:
+    """An And-Inverter Graph with structural hashing and complemented edges."""
+
+    def __init__(self, name: str = "aig") -> None:
+        self.name = name
+        # Node 0 is the constant-false node.
+        self._nodes: list[AigNode] = [AigNode(-1, -1)]
+        self._pis: list[int] = []
+        self._pi_names: list[str] = []
+        self._pos: list[int] = []
+        self._po_names: list[str] = []
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Literal helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def literal(node: int, complement: bool = False) -> int:
+        """Build a literal from a node index and a complement flag."""
+        return 2 * node + int(bool(complement))
+
+    @staticmethod
+    def node_of(literal: int) -> int:
+        """Node index referenced by a literal."""
+        return literal >> 1
+
+    @staticmethod
+    def is_complemented(literal: int) -> bool:
+        """True if the literal has the complement bit set."""
+        return bool(literal & 1)
+
+    @staticmethod
+    def negate(literal: int) -> int:
+        """Complement a literal."""
+        return literal ^ 1
+
+    @staticmethod
+    def regular(literal: int) -> int:
+        """Strip the complement bit from a literal."""
+        return literal & ~1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Create a primary input; returns its (positive) literal."""
+        node = len(self._nodes)
+        self._nodes.append(AigNode(-1, -1))
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        return self.literal(node)
+
+    def add_po(self, literal: int, name: str | None = None) -> int:
+        """Register ``literal`` as a primary output; returns the PO index."""
+        self._check_literal(literal)
+        self._pos.append(literal)
+        self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    def add_and(self, a: int, b: int) -> int:
+        """AND of two literals, with one-level simplification and strashing."""
+        self._check_literal(a)
+        self._check_literal(b)
+        # Trivial cases.
+        if a == LIT_FALSE or b == LIT_FALSE:
+            return LIT_FALSE
+        if a == LIT_TRUE:
+            return b
+        if b == LIT_TRUE:
+            return a
+        if a == b:
+            return a
+        if a == self.negate(b):
+            return LIT_FALSE
+        # Canonical fanin order for structural hashing.
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return self.literal(existing)
+        node = len(self._nodes)
+        self._nodes.append(AigNode(a, b))
+        self._strash[key] = node
+        return self.literal(node)
+
+    # Derived gates -----------------------------------------------------
+
+    def add_or(self, a: int, b: int) -> int:
+        """OR of two literals (built from AND by De Morgan)."""
+        return self.negate(self.add_and(self.negate(a), self.negate(b)))
+
+    def add_nand(self, a: int, b: int) -> int:
+        """NAND of two literals."""
+        return self.negate(self.add_and(a, b))
+
+    def add_nor(self, a: int, b: int) -> int:
+        """NOR of two literals."""
+        return self.add_and(self.negate(a), self.negate(b))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """XOR of two literals (two-level AND/OR construction)."""
+        return self.add_or(self.add_and(a, self.negate(b)), self.add_and(self.negate(a), b))
+
+    def add_xnor(self, a: int, b: int) -> int:
+        """XNOR of two literals."""
+        return self.negate(self.add_xor(a, b))
+
+    def add_mux(self, select: int, when_true: int, when_false: int) -> int:
+        """2:1 multiplexer ``select ? when_true : when_false``."""
+        return self.add_or(
+            self.add_and(select, when_true),
+            self.add_and(self.negate(select), when_false),
+        )
+
+    def add_maj(self, a: int, b: int, c: int) -> int:
+        """Majority of three literals (the full-adder carry)."""
+        return self.add_or(self.add_and(a, b), self.add_or(self.add_and(a, c), self.add_and(b, c)))
+
+    def add_and_multi(self, literals: Sequence[int]) -> int:
+        """Balanced AND of an arbitrary number of literals."""
+        return self._balanced(literals, self.add_and, LIT_TRUE)
+
+    def add_or_multi(self, literals: Sequence[int]) -> int:
+        """Balanced OR of an arbitrary number of literals."""
+        return self._balanced(literals, self.add_or, LIT_FALSE)
+
+    def add_xor_multi(self, literals: Sequence[int]) -> int:
+        """Balanced XOR (parity) of an arbitrary number of literals."""
+        return self._balanced(literals, self.add_xor, LIT_FALSE)
+
+    @staticmethod
+    def _balanced(literals: Sequence[int], combine: Callable[[int, int], int], empty: int) -> int:
+        items = list(literals)
+        if not items:
+            return empty
+        while len(items) > 1:
+            paired = [
+                combine(items[i], items[i + 1]) if i + 1 < len(items) else items[i]
+                for i in range(0, len(items), 2)
+            ]
+            items = paired
+        return items[0]
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including the constant node and PIs."""
+        return len(self._nodes)
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def num_ands(self) -> int:
+        """Number of internal AND gates."""
+        return len(self._nodes) - 1 - len(self._pis)
+
+    @property
+    def pis(self) -> list[int]:
+        """Node indices of the primary inputs."""
+        return list(self._pis)
+
+    @property
+    def pos(self) -> list[int]:
+        """Literals driving the primary outputs."""
+        return list(self._pos)
+
+    @property
+    def pi_names(self) -> list[str]:
+        """Names of the primary inputs (parallel to :attr:`pis`)."""
+        return list(self._pi_names)
+
+    @property
+    def po_names(self) -> list[str]:
+        """Names of the primary outputs (parallel to :attr:`pos`)."""
+        return list(self._po_names)
+
+    def set_po(self, index: int, literal: int) -> None:
+        """Redirect primary output ``index`` to a new literal."""
+        self._check_literal(literal)
+        self._pos[index] = literal
+
+    def is_constant(self, node: int) -> bool:
+        """True for the constant-false node 0."""
+        return node == 0
+
+    def is_pi(self, node: int) -> bool:
+        """True if ``node`` is a primary input."""
+        return 1 <= node <= len(self._pis)
+
+    def is_and(self, node: int) -> bool:
+        """True if ``node`` is an internal AND gate."""
+        return node > len(self._pis) and node < len(self._nodes)
+
+    def fanins(self, node: int) -> tuple[int, int]:
+        """Fanin literals of an AND node."""
+        if not self.is_and(node):
+            raise ValueError(f"node {node} is not an AND gate")
+        entry = self._nodes[node]
+        return entry.fanin0, entry.fanin1
+
+    def fanin_nodes(self, node: int) -> tuple[int, int]:
+        """Fanin node indices of an AND node (complements dropped)."""
+        fanin0, fanin1 = self.fanins(node)
+        return self.node_of(fanin0), self.node_of(fanin1)
+
+    def gates(self) -> Iterator[int]:
+        """Iterate the AND-node indices in creation order."""
+        return iter(range(len(self._pis) + 1, len(self._nodes)))
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate all node indices (constant, PIs, AND gates)."""
+        return iter(range(len(self._nodes)))
+
+    def pi_index(self, node: int) -> int:
+        """Position of a PI node in the PI list."""
+        if not self.is_pi(node):
+            raise ValueError(f"node {node} is not a primary input")
+        return node - 1
+
+    def _check_literal(self, literal: int) -> None:
+        if literal < 0 or self.node_of(literal) >= len(self._nodes):
+            raise ValueError(f"literal {literal} references an unknown node")
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def _gate_fanin_nodes(self, node: int) -> list[int]:
+        if self.is_and(node):
+            return [self.node_of(f) for f in self.fanins(node)]
+        return []
+
+    def topological_order(self, include_pis: bool = False) -> list[int]:
+        """AND-node indices in topological (fanin-before-fanout) order.
+
+        With ``include_pis`` the constant node and the PIs are prepended.
+        Creation order is already topological for this container, but the
+        method recomputes the order from fanin edges so that it remains
+        valid after node substitution (which can make a gate point at a
+        higher-index node).  Dangling gates are included as well, also in a
+        fanin-consistent position, so simulators can evaluate every gate.
+        """
+        roots = [self.node_of(po) for po in self._pos] + list(self.gates())
+        order = topological_sort(roots, self._gate_fanin_nodes)
+        gate_order = [n for n in order if self.is_and(n)]
+        if include_pis:
+            return [0] + list(self._pis) + gate_order
+        return gate_order
+
+    def levels(self) -> dict[int, int]:
+        """Logic level of every node (PIs and constant are level 0)."""
+        sources = [0] + list(self._pis)
+        return levelize(self.topological_order(), self._gate_fanin_nodes, sources)
+
+    def depth(self) -> int:
+        """Largest PO level (0 for a constant/PI-only network)."""
+        node_levels = self.levels()
+        if not self._pos:
+            return 0
+        return max(node_levels[self.node_of(po)] for po in self._pos)
+
+    def fanout_counts(self) -> dict[int, int]:
+        """Number of gate/PO references of every node."""
+        counts = fanout_counts_impl(self)
+        return counts
+
+    def tfi(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
+        """Transitive fanin cone of ``nodes`` (the nodes themselves included)."""
+        return transitive_fanin(list(nodes), self._gate_fanin_nodes, limit)
+
+    def tfo(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
+        """Transitive fanout cone of ``nodes`` (the nodes themselves included)."""
+        fanouts = self._fanout_lists()
+        return transitive_fanout(list(nodes), lambda n: fanouts.get(n, []), limit)
+
+    def _fanout_lists(self) -> dict[int, list[int]]:
+        fanouts: dict[int, list[int]] = {}
+        for node in self.gates():
+            for fanin in self.fanins(node):
+                fanouts.setdefault(self.node_of(fanin), []).append(node)
+        return fanouts
+
+    # ------------------------------------------------------------------
+    # Evaluation (reference semantics, used by tests and CEC)
+    # ------------------------------------------------------------------
+
+    def evaluate(self, pi_values: Sequence[bool | int]) -> list[bool]:
+        """Evaluate all POs on one input assignment (reference implementation)."""
+        if len(pi_values) != self.num_pis:
+            raise ValueError(f"expected {self.num_pis} input values, got {len(pi_values)}")
+        values: dict[int, bool] = {0: False}
+        for position, node in enumerate(self._pis):
+            values[node] = bool(pi_values[position])
+        for node in self.topological_order():
+            fanin0, fanin1 = self.fanins(node)
+            value0 = values[self.node_of(fanin0)] ^ self.is_complemented(fanin0)
+            value1 = values[self.node_of(fanin1)] ^ self.is_complemented(fanin1)
+            values[node] = value0 and value1
+        return [values[self.node_of(po)] ^ self.is_complemented(po) for po in self._pos]
+
+    def literal_value(self, literal: int, node_values: dict[int, bool]) -> bool:
+        """Value of a literal given a node-value map."""
+        return node_values[self.node_of(literal)] ^ self.is_complemented(literal)
+
+    # ------------------------------------------------------------------
+    # Mutation used by SAT-sweeping
+    # ------------------------------------------------------------------
+
+    def substitute(self, old_node: int, new_literal: int) -> int:
+        """Replace every reference to ``old_node`` by ``new_literal``.
+
+        Fanins of all AND gates and all PO literals that mention
+        ``old_node`` are redirected; the complement bit of each reference is
+        xor-ed into the replacement literal.  Returns the number of
+        references rewritten.  The replaced node becomes dangling and can be
+        removed later with :func:`repro.networks.transforms.cleanup_dangling`.
+        """
+        self._check_literal(new_literal)
+        if self.node_of(new_literal) == old_node:
+            raise ValueError("cannot substitute a node by itself")
+        if self.is_pi(old_node) or self.is_constant(old_node):
+            raise ValueError(f"cannot substitute PI/constant node {old_node}")
+        rewritten = 0
+        for node in self.gates():
+            entry = self._nodes[node]
+            changed = False
+            fanin0, fanin1 = entry.fanin0, entry.fanin1
+            if self.node_of(fanin0) == old_node:
+                fanin0 = new_literal ^ (fanin0 & 1)
+                changed = True
+            if self.node_of(fanin1) == old_node:
+                fanin1 = new_literal ^ (fanin1 & 1)
+                changed = True
+            if changed:
+                entry.fanin0, entry.fanin1 = fanin0, fanin1
+                rewritten += 1
+        for index, po in enumerate(self._pos):
+            if self.node_of(po) == old_node:
+                self._pos[index] = new_literal ^ (po & 1)
+                rewritten += 1
+        # The structural-hash table is no longer authoritative after an
+        # in-place rewrite; drop stale entries referencing the old node.
+        self._strash = {
+            key: node
+            for key, node in self._strash.items()
+            if self.node_of(key[0]) != old_node and self.node_of(key[1]) != old_node
+        }
+        return rewritten
+
+    def replace_fanin(self, gate: int, old_node: int, new_literal: int) -> bool:
+        """Redirect the fanins of one gate that reference ``old_node``.
+
+        The complement bit of the existing reference is xor-ed into the new
+        literal, so the rewiring is function-preserving whenever
+        ``new_literal`` is equivalent to ``old_node``.  Returns ``True`` if
+        at least one fanin was rewritten.
+        """
+        self._check_literal(new_literal)
+        if not self.is_and(gate):
+            raise ValueError(f"node {gate} is not an AND gate")
+        entry = self._nodes[gate]
+        changed = False
+        if self.node_of(entry.fanin0) == old_node:
+            entry.fanin0 = new_literal ^ (entry.fanin0 & 1)
+            changed = True
+        if self.node_of(entry.fanin1) == old_node:
+            entry.fanin1 = new_literal ^ (entry.fanin1 & 1)
+            changed = True
+        if changed:
+            self._strash = {
+                key: node for key, node in self._strash.items() if node != gate
+            }
+        return changed
+
+    def clone(self) -> "Aig":
+        """Deep copy of the graph."""
+        other = Aig(self.name)
+        other._nodes = [AigNode(n.fanin0, n.fanin1) for n in self._nodes]
+        other._pis = list(self._pis)
+        other._pi_names = list(self._pi_names)
+        other._pos = list(self._pos)
+        other._po_names = list(self._po_names)
+        other._strash = dict(self._strash)
+        return other
+
+    def __repr__(self) -> str:
+        return (
+            f"Aig(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"ands={self.num_ands})"
+        )
+
+
+def fanout_counts_impl(aig: Aig) -> dict[int, int]:
+    """Reference counts of every node (gate fanins plus PO references)."""
+    counts = {node: 0 for node in aig.nodes()}
+    for node in aig.gates():
+        for fanin in aig.fanins(node):
+            counts[aig.node_of(fanin)] += 1
+    for po in aig.pos:
+        counts[aig.node_of(po)] += 1
+    return counts

@@ -1,0 +1,278 @@
+"""k-input LUT networks.
+
+A :class:`KLutNetwork` is a DAG whose internal nodes are lookup tables of
+bounded fan-in; every LUT stores its function as a word-packed
+:class:`~repro.truthtable.TruthTable`.  This is the representation the
+paper's STP simulator targets: each LUT's truth table converts directly
+into a 2 x 2^k structural matrix and simulation becomes a chain of
+semi-tensor products.
+
+Unlike the AIG there are no complemented edges; inversions are folded into
+the LUT functions during mapping.  Primary outputs may optionally be
+complemented, which keeps AIG-to-LUT conversion loss-free without
+introducing single-input inverter LUTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..truthtable import TruthTable
+from .traversal import fanout_counts, levelize, topological_sort, transitive_fanin
+
+__all__ = ["KLutNetwork", "LutNode"]
+
+_KIND_CONST = "const"
+_KIND_PI = "pi"
+_KIND_LUT = "lut"
+
+
+@dataclass
+class LutNode:
+    """One node of a k-LUT network."""
+
+    kind: str
+    fanins: tuple[int, ...]
+    function: TruthTable | None
+
+    def is_lut(self) -> bool:
+        """True for internal LUT nodes."""
+        return self.kind == _KIND_LUT
+
+
+class KLutNetwork:
+    """A network of k-input lookup tables."""
+
+    def __init__(self, name: str = "klut") -> None:
+        self.name = name
+        # Node 0 is the constant-false node; constant true is created on demand.
+        self._nodes: list[LutNode] = [LutNode(_KIND_CONST, (), TruthTable.constant(False))]
+        self._const_true: int | None = None
+        self._pis: list[int] = []
+        self._pi_names: list[str] = []
+        self._pos: list[tuple[int, bool]] = []
+        self._po_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @property
+    def constant_false(self) -> int:
+        """Node index of the constant-false node."""
+        return 0
+
+    def constant_node(self, value: bool) -> int:
+        """Node index of a constant node, creating constant-true on demand."""
+        if not value:
+            return 0
+        if self._const_true is None:
+            self._const_true = len(self._nodes)
+            self._nodes.append(LutNode(_KIND_CONST, (), TruthTable.constant(True)))
+        return self._const_true
+
+    def add_pi(self, name: str | None = None) -> int:
+        """Create a primary input node; returns its node index."""
+        node = len(self._nodes)
+        self._nodes.append(LutNode(_KIND_PI, (), None))
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        return node
+
+    def add_lut(self, fanins: Sequence[int], function: TruthTable) -> int:
+        """Create a LUT node computing ``function`` over ``fanins``."""
+        fanin_tuple = tuple(fanins)
+        if function.num_vars != len(fanin_tuple):
+            raise ValueError(
+                f"function has {function.num_vars} inputs but {len(fanin_tuple)} fanins were given"
+            )
+        for fanin in fanin_tuple:
+            if not 0 <= fanin < len(self._nodes):
+                raise ValueError(f"fanin {fanin} references an unknown node")
+        node = len(self._nodes)
+        self._nodes.append(LutNode(_KIND_LUT, fanin_tuple, function))
+        return node
+
+    def add_po(self, node: int, negated: bool = False, name: str | None = None) -> int:
+        """Register a primary output; returns the PO index."""
+        if not 0 <= node < len(self._nodes):
+            raise ValueError(f"PO references unknown node {node}")
+        self._pos.append((node, bool(negated)))
+        self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (constants, PIs and LUTs)."""
+        return len(self._nodes)
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def num_luts(self) -> int:
+        """Number of internal LUT nodes."""
+        return sum(1 for entry in self._nodes if entry.kind == _KIND_LUT)
+
+    @property
+    def pis(self) -> list[int]:
+        """Node indices of the primary inputs."""
+        return list(self._pis)
+
+    @property
+    def pi_names(self) -> list[str]:
+        """Names of the primary inputs (parallel to :attr:`pis`)."""
+        return list(self._pi_names)
+
+    @property
+    def pos(self) -> list[tuple[int, bool]]:
+        """Primary outputs as ``(node, negated)`` pairs."""
+        return list(self._pos)
+
+    @property
+    def po_names(self) -> list[str]:
+        """Names of the primary outputs (parallel to :attr:`pos`)."""
+        return list(self._po_names)
+
+    def is_constant(self, node: int) -> bool:
+        """True for constant-false or constant-true nodes."""
+        return self._nodes[node].kind == _KIND_CONST
+
+    def constant_value(self, node: int) -> bool:
+        """Value of a constant node."""
+        entry = self._nodes[node]
+        if entry.kind != _KIND_CONST:
+            raise ValueError(f"node {node} is not a constant")
+        assert entry.function is not None
+        return entry.function.bits == 1
+
+    def is_pi(self, node: int) -> bool:
+        """True if ``node`` is a primary input."""
+        return self._nodes[node].kind == _KIND_PI
+
+    def is_lut(self, node: int) -> bool:
+        """True if ``node`` is an internal LUT."""
+        return self._nodes[node].kind == _KIND_LUT
+
+    def pi_index(self, node: int) -> int:
+        """Position of a PI node in the PI list."""
+        if not self.is_pi(node):
+            raise ValueError(f"node {node} is not a primary input")
+        return self._pis.index(node)
+
+    def lut_fanins(self, node: int) -> tuple[int, ...]:
+        """Fanin node indices of a LUT."""
+        entry = self._nodes[node]
+        if entry.kind != _KIND_LUT:
+            raise ValueError(f"node {node} is not a LUT")
+        return entry.fanins
+
+    def lut_function(self, node: int) -> TruthTable:
+        """Truth table of a LUT node."""
+        entry = self._nodes[node]
+        if entry.kind != _KIND_LUT or entry.function is None:
+            raise ValueError(f"node {node} is not a LUT")
+        return entry.function
+
+    def fanins(self, node: int) -> tuple[int, ...]:
+        """Fanins of any node (empty for PIs and constants)."""
+        return self._nodes[node].fanins
+
+    def luts(self) -> Iterator[int]:
+        """Iterate the LUT node indices in creation order."""
+        return (n for n, entry in enumerate(self._nodes) if entry.kind == _KIND_LUT)
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate all node indices."""
+        return iter(range(len(self._nodes)))
+
+    def max_fanin_size(self) -> int:
+        """Largest LUT fan-in in the network (0 if there are no LUTs)."""
+        sizes = [len(entry.fanins) for entry in self._nodes if entry.kind == _KIND_LUT]
+        return max(sizes) if sizes else 0
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def _fanin_nodes(self, node: int) -> tuple[int, ...]:
+        return self._nodes[node].fanins
+
+    def topological_order(self, include_sources: bool = False) -> list[int]:
+        """LUT node indices in topological order (optionally with sources)."""
+        roots = [node for node, _negated in self._pos]
+        order = topological_sort(roots, self._fanin_nodes)
+        lut_order = [n for n in order if self.is_lut(n)]
+        reachable = set(lut_order)
+        lut_order.extend(n for n in self.luts() if n not in reachable)
+        if include_sources:
+            sources = [n for n in self.nodes() if not self.is_lut(n)]
+            return sources + lut_order
+        return lut_order
+
+    def levels(self) -> dict[int, int]:
+        """Logic level of every node (sources are level 0)."""
+        sources = [n for n in self.nodes() if not self.is_lut(n)]
+        return levelize(self.topological_order(), self._fanin_nodes, sources)
+
+    def depth(self) -> int:
+        """Largest PO level."""
+        node_levels = self.levels()
+        if not self._pos:
+            return 0
+        return max(node_levels[node] for node, _negated in self._pos)
+
+    def fanout_counts(self) -> dict[int, int]:
+        """Number of LUT/PO references of every node."""
+        return fanout_counts(
+            self.nodes(),
+            self._fanin_nodes,
+            [node for node, _negated in self._pos],
+        )
+
+    def tfi(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
+        """Transitive fanin cone of ``nodes`` (the nodes themselves included)."""
+        return transitive_fanin(list(nodes), self._fanin_nodes, limit)
+
+    # ------------------------------------------------------------------
+    # Evaluation (reference semantics)
+    # ------------------------------------------------------------------
+
+    def evaluate_nodes(self, pi_values: Sequence[bool | int]) -> dict[int, bool]:
+        """Evaluate every node on one input assignment; returns a node-value map."""
+        if len(pi_values) != self.num_pis:
+            raise ValueError(f"expected {self.num_pis} input values, got {len(pi_values)}")
+        values: dict[int, bool] = {}
+        for node in self.nodes():
+            if self.is_constant(node):
+                values[node] = self.constant_value(node)
+        for position, node in enumerate(self._pis):
+            values[node] = bool(pi_values[position])
+        for node in self.topological_order():
+            function = self.lut_function(node)
+            inputs = [values[f] for f in self.lut_fanins(node)]
+            values[node] = function.evaluate(inputs)
+        return values
+
+    def evaluate(self, pi_values: Sequence[bool | int]) -> list[bool]:
+        """Evaluate all POs on one input assignment."""
+        values = self.evaluate_nodes(pi_values)
+        return [values[node] ^ negated for node, negated in self._pos]
+
+    def __repr__(self) -> str:
+        return (
+            f"KLutNetwork(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"luts={self.num_luts}, k={self.max_fanin_size()})"
+        )

@@ -1,0 +1,131 @@
+"""AIG-to-k-LUT mapping.
+
+The paper's simulator operates on k-LUT networks while the sweeper operates
+on AIGs, so a structural mapper bridges the two.  The implementation is a
+classical cut-based mapper: priority cuts are enumerated for every AND
+node, a best cut is selected (smallest depth, then fewest leaves), and the
+network is covered starting from the primary outputs.  Every selected cut
+becomes a LUT whose truth table is computed over the cut leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..truthtable import TruthTable
+from .aig import Aig
+from .cuts import Cut, enumerate_cuts
+from .klut import KLutNetwork
+
+__all__ = ["aig_node_truth_table", "aig_literal_truth_table", "map_aig_to_klut"]
+
+
+def aig_node_truth_table(aig: Aig, node: int, leaves: Sequence[int]) -> TruthTable:
+    """Truth table of an AIG node as a function of the cut ``leaves``.
+
+    ``leaves`` are node indices; leaf ``i`` becomes input ``i`` of the
+    resulting table.  The cone between ``node`` and the leaves must be
+    bounded by the leaves (a PI reached before a leaf raises an error).
+    """
+    leaf_positions = {leaf: index for index, leaf in enumerate(leaves)}
+    num_vars = len(leaves)
+    memo: dict[int, TruthTable] = {}
+
+    def table_of(current: int) -> TruthTable:
+        if current in memo:
+            return memo[current]
+        if current in leaf_positions:
+            result = TruthTable.variable(leaf_positions[current], num_vars)
+        elif aig.is_constant(current):
+            result = TruthTable.constant(False, num_vars)
+        elif aig.is_pi(current):
+            raise ValueError(f"primary input {current} reached but not listed as a cut leaf")
+        else:
+            fanin0, fanin1 = aig.fanins(current)
+            table0 = table_of(aig.node_of(fanin0))
+            table1 = table_of(aig.node_of(fanin1))
+            if aig.is_complemented(fanin0):
+                table0 = ~table0
+            if aig.is_complemented(fanin1):
+                table1 = ~table1
+            result = table0 & table1
+        memo[current] = result
+        return result
+
+    return table_of(node)
+
+
+def aig_literal_truth_table(aig: Aig, literal: int, leaves: Sequence[int]) -> TruthTable:
+    """Truth table of a literal (node plus complement) over the cut ``leaves``."""
+    table = aig_node_truth_table(aig, aig.node_of(literal), leaves)
+    return ~table if aig.is_complemented(literal) else table
+
+
+def _best_cut(cuts: list[Cut], depth: dict[int, int], node: int) -> Cut:
+    """Pick the depth-optimal cut, breaking ties by leaf count.
+
+    The trivial cut ``{node}`` is excluded unless it is the only option
+    (it would map the node onto itself and make no progress).
+    """
+    candidates = [cut for cut in cuts if cut.leaves != (node,)]
+    if not candidates:
+        return cuts[0]
+
+    def cost(cut: Cut) -> tuple[int, int]:
+        cut_depth = 1 + max((depth.get(leaf, 0) for leaf in cut.leaves), default=0)
+        return (cut_depth, cut.size)
+
+    return min(candidates, key=cost)
+
+
+def map_aig_to_klut(aig: Aig, k: int = 6, cut_limit: int = 8) -> tuple[KLutNetwork, dict[int, int]]:
+    """Map an AIG into a k-LUT network.
+
+    Returns the LUT network together with a map from AIG node index to LUT
+    node index for every node that received a LUT (plus PIs and the
+    constant node).  Primary-output complementation is preserved through
+    the k-LUT network's ``negated`` PO flag.
+    """
+    if k < 2:
+        raise ValueError("LUT size k must be at least 2")
+    all_cuts = enumerate_cuts(aig, k=k, cut_limit=cut_limit)
+
+    # Depth-oriented best-cut selection in topological order.
+    best_cuts: dict[int, Cut] = {}
+    depth: dict[int, int] = {0: 0}
+    for pi in aig.pis:
+        depth[pi] = 0
+    for node in aig.topological_order():
+        cut = _best_cut(all_cuts[node], depth, node)
+        best_cuts[node] = cut
+        depth[node] = 1 + max((depth.get(leaf, 0) for leaf in cut.leaves), default=0)
+
+    # Cover the network from the POs.
+    required: set[int] = set()
+    frontier = [aig.node_of(po) for po in aig.pos if aig.is_and(aig.node_of(po))]
+    while frontier:
+        node = frontier.pop()
+        if node in required:
+            continue
+        required.add(node)
+        for leaf in best_cuts[node].leaves:
+            if aig.is_and(leaf) and leaf not in required:
+                frontier.append(leaf)
+
+    # Build the LUT network.
+    klut = KLutNetwork(name=f"{aig.name}_lut{k}")
+    node_map: dict[int, int] = {0: klut.constant_false}
+    for pi, name in zip(aig.pis, aig.pi_names):
+        node_map[pi] = klut.add_pi(name)
+    for node in aig.topological_order():
+        if node not in required:
+            continue
+        cut = best_cuts[node]
+        leaves = list(cut.leaves)
+        function = aig_node_truth_table(aig, node, leaves)
+        fanins = [node_map[leaf] for leaf in leaves]
+        node_map[node] = klut.add_lut(fanins, function)
+    for po, name in zip(aig.pos, aig.po_names):
+        po_node = aig.node_of(po)
+        klut.add_po(node_map[po_node], negated=aig.is_complemented(po), name=name)
+    return klut, node_map

@@ -1,0 +1,97 @@
+"""Structural transforms on AIGs: cleanup, re-hashing, constant propagation.
+
+SAT-sweeping mutates the AIG in place (node substitution); these helpers
+restore the usual invariants afterwards: dangling nodes are removed,
+structurally identical gates are merged again, and constants are
+propagated.  All transforms are non-destructive -- they return a fresh
+:class:`~repro.networks.aig.Aig` plus a literal translation map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .aig import Aig
+
+__all__ = [
+    "cleanup_dangling",
+    "rebuild_strashed",
+    "propagate_constants",
+    "network_statistics",
+    "NetworkStatistics",
+]
+
+
+def rebuild_strashed(aig: Aig) -> tuple[Aig, dict[int, int]]:
+    """Rebuild the PO cones of the AIG through the strashing constructor.
+
+    Reconstructing every PO-reachable gate through :meth:`Aig.add_and`
+    merges structurally identical gates, applies the one-level
+    simplifications (which propagates constants) and drops dangling nodes.
+    Returns the new graph and a map from old literal to new literal
+    (positive literals of reachable nodes; complement by xor-ing bit 0).
+    """
+    reachable = set(aig.tfi([aig.node_of(po) for po in aig.pos]))
+    rebuilt = Aig(aig.name)
+    literal_map: dict[int, int] = {0: 0, 1: 1}
+    for pi, name in zip(aig.pis, aig.pi_names):
+        new_literal = rebuilt.add_pi(name)
+        literal_map[Aig.literal(pi)] = new_literal
+        literal_map[Aig.literal(pi, True)] = Aig.negate(new_literal)
+    for node in aig.topological_order():
+        if node not in reachable:
+            continue
+        fanin0, fanin1 = aig.fanins(node)
+        new0 = literal_map[Aig.regular(fanin0)] ^ (fanin0 & 1)
+        new1 = literal_map[Aig.regular(fanin1)] ^ (fanin1 & 1)
+        new_literal = rebuilt.add_and(new0, new1)
+        literal_map[Aig.literal(node)] = new_literal
+        literal_map[Aig.literal(node, True)] = Aig.negate(new_literal)
+    for po, name in zip(aig.pos, aig.po_names):
+        new_po = literal_map[Aig.regular(po)] ^ (po & 1)
+        rebuilt.add_po(new_po, name)
+    return rebuilt, literal_map
+
+
+def cleanup_dangling(aig: Aig) -> tuple[Aig, dict[int, int]]:
+    """Remove nodes not reachable from any primary output.
+
+    Implemented as a strashing rebuild restricted to the PO cones; returns
+    the cleaned graph and the old-literal to new-literal map.
+    """
+    return rebuild_strashed(aig)
+
+
+def propagate_constants(aig: Aig) -> tuple[Aig, dict[int, int]]:
+    """Propagate constant fanins through the network.
+
+    The strashing constructor already simplifies gates with constant
+    fanins, so constant propagation is a rebuild; the alias exists because
+    Algorithm 2 of the paper calls this step out explicitly (line 3).
+    """
+    return rebuild_strashed(aig)
+
+
+@dataclass(frozen=True)
+class NetworkStatistics:
+    """Size statistics of an AIG, mirroring the columns of Table II."""
+
+    num_pis: int
+    num_pos: int
+    num_gates: int
+    depth: int
+
+    def __str__(self) -> str:
+        return (
+            f"PI/PO {self.num_pis}/{self.num_pos}  Lev {self.depth}  Gate {self.num_gates}"
+        )
+
+
+def network_statistics(aig: Aig) -> NetworkStatistics:
+    """PI/PO/gate/level statistics of an AIG (the Table II "Statistics" block)."""
+    return NetworkStatistics(
+        num_pis=aig.num_pis,
+        num_pos=aig.num_pos,
+        num_gates=aig.num_ands,
+        depth=aig.depth(),
+    )

@@ -1,0 +1,119 @@
+"""Generic graph-traversal helpers shared by the AIG and k-LUT containers.
+
+Every function takes the graph implicitly through callback functions
+(``fanins_of`` / ``fanouts_of``), so the same code serves both network
+types and the window/cone computations of the sweeper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "topological_sort",
+    "levelize",
+    "transitive_fanin",
+    "transitive_fanout",
+    "fanout_counts",
+]
+
+
+def topological_sort(roots: Sequence[int], fanins_of: Callable[[int], Iterable[int]]) -> list[int]:
+    """Nodes reachable from ``roots`` through fanins, fanins first.
+
+    The traversal is iterative (explicit stack) so that deep circuits do not
+    hit Python's recursion limit.  Each node appears exactly once; source
+    nodes (empty fanin list) are included.
+    """
+    order: list[int] = []
+    visited: set[int] = set()
+    for root in roots:
+        if root in visited:
+            continue
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            for fanin in fanins_of(node):
+                if fanin not in visited:
+                    stack.append((fanin, False))
+    return order
+
+
+def levelize(
+    order: Sequence[int],
+    fanins_of: Callable[[int], Iterable[int]],
+    sources: Iterable[int] = (),
+) -> dict[int, int]:
+    """Logic level of every node given a topological order.
+
+    ``sources`` (constant node, PIs) get level 0; an internal node's level is
+    one more than the maximum level of its fanins.  Nodes appearing in
+    ``order`` whose fanins are missing from the map are treated as level-0
+    sources as well, which makes the helper robust for window traversals.
+    """
+    levels: dict[int, int] = {source: 0 for source in sources}
+    for node in order:
+        if node in levels:
+            continue
+        fanins = list(fanins_of(node))
+        if not fanins:
+            levels[node] = 0
+            continue
+        levels[node] = 1 + max(levels.get(fanin, 0) for fanin in fanins)
+    return levels
+
+
+def transitive_fanin(
+    roots: Sequence[int],
+    fanins_of: Callable[[int], Iterable[int]],
+    limit: int | None = None,
+) -> list[int]:
+    """Transitive fanin cone of ``roots`` (roots included), BFS order.
+
+    With ``limit`` the traversal stops once that many nodes were collected;
+    this implements the TFI bound of the paper's Algorithm 2 (line 13).
+    """
+    seen: set[int] = set()
+    cone: list[int] = []
+    frontier: list[int] = list(roots)
+    while frontier:
+        node = frontier.pop(0)
+        if node in seen:
+            continue
+        seen.add(node)
+        cone.append(node)
+        if limit is not None and len(cone) >= limit:
+            break
+        frontier.extend(fanin for fanin in fanins_of(node) if fanin not in seen)
+    return cone
+
+
+def transitive_fanout(
+    roots: Sequence[int],
+    fanouts_of: Callable[[int], Iterable[int]],
+    limit: int | None = None,
+) -> list[int]:
+    """Transitive fanout cone of ``roots`` (roots included), BFS order."""
+    return transitive_fanin(roots, fanouts_of, limit)
+
+
+def fanout_counts(
+    nodes: Iterable[int],
+    fanins_of: Callable[[int], Iterable[int]],
+    extra_references: Iterable[int] = (),
+) -> dict[int, int]:
+    """Number of references of every node: gate fanins plus ``extra_references``."""
+    counts: dict[int, int] = {node: 0 for node in nodes}
+    for node in list(counts):
+        for fanin in fanins_of(node):
+            counts[fanin] = counts.get(fanin, 0) + 1
+    for reference in extra_references:
+        counts[reference] = counts.get(reference, 0) + 1
+    return counts

@@ -1,0 +1,508 @@
+"""A CDCL SAT solver.
+
+Implements the standard conflict-driven clause-learning loop used by
+modern SAT engines: two-watched-literal propagation, first-UIP conflict
+analysis with clause minimisation, VSIDS branching with phase saving,
+Luby-sequence restarts and activity-based learned-clause deletion.  The
+solver is incremental (clauses can be added between calls), supports
+assumptions and a conflict limit; the latter produces the ``UNKNOWN``
+outcome that Algorithm 2 of the paper maps to "unDET / don't-touch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from .cnf import CnfFormula
+
+__all__ = ["CdclSolver", "SolverResult", "SolverStatistics"]
+
+
+class SolverResult(Enum):
+    """Outcome of a solver call."""
+
+    SATISFIABLE = "sat"
+    UNSATISFIABLE = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStatistics:
+    """Counters accumulated across all calls of one solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    solve_calls: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dictionary view (handy for reporting)."""
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "solve_calls": self.solve_calls,
+        }
+
+
+@dataclass
+class _Clause:
+    """Internal clause representation."""
+
+    literals: list[int]
+    learned: bool = False
+    activity: float = 0.0
+
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning SAT solver over DIMACS literals."""
+
+    def __init__(self, formula: CnfFormula | None = None) -> None:
+        self.num_vars = 0
+        self._clauses: list[_Clause] = []
+        self._watches: dict[int, list[int]] = {}
+        # Assignment state, indexed by variable (1-based).
+        self._values: list[int] = [_UNASSIGNED]
+        self._levels: list[int] = [0]
+        self._reasons: list[int | None] = [None]
+        self._saved_phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._propagation_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._clause_inc = 1.0
+        self._clause_decay = 0.999
+        self._ok = True
+        self.statistics = SolverStatistics()
+        if formula is not None:
+            for _ in range(formula.num_vars):
+                self.new_variable()
+            for clause in formula.clauses:
+                self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_variable(self) -> int:
+        """Allocate a fresh variable; returns its (positive) DIMACS index."""
+        self.num_vars += 1
+        self._values.append(_UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._saved_phase.append(False)
+        self._activity.append(0.0)
+        return self.num_vars
+
+    def _ensure_variable(self, variable: int) -> None:
+        while self.num_vars < variable:
+            self.new_variable()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` if the formula became trivially UNSAT."""
+        if self._trail_limits:
+            # Incremental use: new clauses are always added at decision level 0.
+            self._backtrack(0)
+        clause = sorted(set(literals), key=abs)
+        if not clause:
+            self._ok = False
+            return False
+        for literal in clause:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            self._ensure_variable(abs(literal))
+        # Tautology check.
+        for a, b in zip(clause, clause[1:]):
+            if a == -b:
+                return True
+        if not self._ok:
+            return False
+        # Drop literals already false at level 0; detect satisfied clauses.
+        if not self._trail_limits:
+            reduced = []
+            for literal in clause:
+                value = self._literal_value(literal)
+                if value == _TRUE and self._levels[abs(literal)] == 0:
+                    return True
+                if value == _FALSE and self._levels[abs(literal)] == 0:
+                    continue
+                reduced.append(literal)
+            clause = reduced
+            if not clause:
+                self._ok = False
+                return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        index = len(self._clauses)
+        self._clauses.append(_Clause(clause))
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        return True
+
+    # ------------------------------------------------------------------
+    # Public solving interface
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: int | None = None,
+    ) -> SolverResult:
+        """Run the CDCL loop.
+
+        ``assumptions`` are literals assumed true for this call only.  When
+        ``conflict_limit`` conflicts are exceeded the solver gives up and
+        returns :attr:`SolverResult.UNKNOWN`.
+        """
+        self.statistics.solve_calls += 1
+        if not self._ok:
+            return SolverResult.UNSATISFIABLE
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return SolverResult.UNSATISFIABLE
+
+        conflicts_at_start = self.statistics.conflicts
+        restart_cursor = 0
+        restart_budget = 64 * _luby(restart_cursor + 1)
+        conflicts_since_restart = 0
+        max_learned = max(100, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.statistics.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return SolverResult.UNSATISFIABLE
+                if self._decision_level() <= len(assumptions):
+                    # Conflict inside the assumption levels: UNSAT under assumptions.
+                    self._backtrack(0)
+                    return SolverResult.UNSATISFIABLE
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(max(backtrack_level, len(assumptions)))
+                self._attach_learned(learned)
+                self._decay_activities()
+                if conflict_limit is not None and self.statistics.conflicts - conflicts_at_start >= conflict_limit:
+                    self._backtrack(0)
+                    return SolverResult.UNKNOWN
+                continue
+
+            if conflicts_since_restart >= restart_budget and self._decision_level() > len(assumptions):
+                self.statistics.restarts += 1
+                restart_cursor += 1
+                restart_budget = 64 * _luby(restart_cursor + 1)
+                conflicts_since_restart = 0
+                self._backtrack(len(assumptions))
+                continue
+
+            if len([c for c in self._clauses if c.learned]) > max_learned:
+                self._reduce_learned()
+                max_learned = int(max_learned * 1.3)
+
+            # Assumption decisions first.
+            level = self._decision_level()
+            if level < len(assumptions):
+                literal = assumptions[level]
+                self._ensure_variable(abs(literal))
+                value = self._literal_value(literal)
+                if value == _TRUE:
+                    self._new_decision_level()
+                    continue
+                if value == _FALSE:
+                    self._backtrack(0)
+                    return SolverResult.UNSATISFIABLE
+                self._new_decision_level()
+                self._enqueue(literal, None)
+                continue
+
+            literal = self._pick_branch_literal()
+            if literal is None:
+                return SolverResult.SATISFIABLE
+            self.statistics.decisions += 1
+            self._new_decision_level()
+            self._enqueue(literal, None)
+
+    def model(self) -> dict[int, bool]:
+        """Model of the last SATISFIABLE call (unassigned variables are False)."""
+        return {
+            variable: self._values[variable] == _TRUE
+            for variable in range(1, self.num_vars + 1)
+        }
+
+    def value(self, variable: int) -> bool:
+        """Value of one variable in the last model."""
+        return self._values[variable] == _TRUE
+
+    # ------------------------------------------------------------------
+    # Assignment and propagation
+    # ------------------------------------------------------------------
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _new_decision_level(self) -> None:
+        self._trail_limits.append(len(self._trail))
+
+    def _literal_value(self, literal: int) -> int:
+        value = self._values[abs(literal)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if literal > 0 else -value
+
+    def _enqueue(self, literal: int, reason: int | None) -> bool:
+        value = self._literal_value(literal)
+        if value == _TRUE:
+            return True
+        if value == _FALSE:
+            return False
+        variable = abs(literal)
+        self._values[variable] = _TRUE if literal > 0 else _FALSE
+        self._levels[variable] = self._decision_level()
+        self._reasons[variable] = reason
+        self._saved_phase[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(-literal, []).append(clause_index)
+
+    def _propagate(self) -> int | None:
+        """Unit propagation; returns the index of a conflicting clause or None."""
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            self.statistics.propagations += 1
+            watch_list = self._watches.get(literal, [])
+            new_watch_list = []
+            conflict: int | None = None
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self._clauses[clause_index]
+                literals = clause.literals
+                # Ensure the falsified watched literal sits at position 1.
+                if literals[0] == -literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._literal_value(first) == _TRUE:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for position in range(2, len(literals)):
+                    if self._literal_value(literals[position]) != _FALSE:
+                        literals[1], literals[position] = literals[position], literals[1]
+                        self._watch(literals[1], clause_index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if not self._enqueue(first, clause_index):
+                    # Conflict: keep the remaining watches and report.
+                    new_watch_list.extend(watch_list[i:])
+                    conflict = clause_index
+                    break
+            self._watches[literal] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in reversed(self._trail[limit:]):
+            variable = abs(literal)
+            self._values[variable] = _UNASSIGNED
+            self._reasons[variable] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._propagation_head = min(self._propagation_head, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # Conflict analysis
+    # ------------------------------------------------------------------
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        """First-UIP conflict analysis; returns the learned clause and backtrack level."""
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        literal: int | None = None
+        clause_literals = list(self._clauses[conflict_index].literals)
+        trail_position = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for reason_literal in clause_literals:
+                variable = abs(reason_literal)
+                if variable in seen or self._levels[variable] == 0:
+                    continue
+                seen.add(variable)
+                self._bump_variable(variable)
+                if self._levels[variable] >= current_level:
+                    counter += 1
+                else:
+                    learned.append(reason_literal)
+            # Find the next trail literal to resolve on.
+            while True:
+                literal = self._trail[trail_position]
+                trail_position -= 1
+                if abs(literal) in seen:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self._reasons[abs(literal)]
+            assert reason_index is not None, "decision literal reached before first UIP"
+            clause_literals = [l for l in self._clauses[reason_index].literals if l != literal]
+        assert literal is not None
+        learned = [-literal] + learned
+        learned = self._minimize_learned(learned, seen)
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backtrack to the second-highest level in the learned clause.
+        levels = sorted((self._levels[abs(l)] for l in learned[1:]), reverse=True)
+        backtrack_level = levels[0]
+        # Place a literal of that level at position 1 (watch invariant).
+        for position in range(1, len(learned)):
+            if self._levels[abs(learned[position])] == backtrack_level:
+                learned[1], learned[position] = learned[position], learned[1]
+                break
+        return learned, backtrack_level
+
+    def _minimize_learned(self, learned: list[int], seen: set[int]) -> list[int]:
+        """Drop literals implied by the rest of the learned clause (recursive minimisation)."""
+        result = [learned[0]]
+        for literal in learned[1:]:
+            reason_index = self._reasons[abs(literal)]
+            if reason_index is None:
+                result.append(literal)
+                continue
+            redundant = all(
+                abs(other) in seen or self._levels[abs(other)] == 0
+                for other in self._clauses[reason_index].literals
+                if other != -literal
+            )
+            if not redundant:
+                result.append(literal)
+        return result
+
+    def _attach_learned(self, learned: list[int]) -> None:
+        self.statistics.learned_clauses += 1
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        index = len(self._clauses)
+        clause = _Clause(list(learned), learned=True, activity=self._clause_inc)
+        self._clauses.append(clause)
+        self._watch(learned[0], index)
+        self._watch(learned[1], index)
+        self._enqueue(learned[0], index)
+
+    # ------------------------------------------------------------------
+    # Heuristics
+    # ------------------------------------------------------------------
+
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] += self._var_inc
+        if self._activity[variable] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._clause_inc /= self._clause_decay
+
+    def _pick_branch_literal(self) -> int | None:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self.num_vars + 1):
+            if self._values[variable] == _UNASSIGNED and self._activity[variable] > best_activity:
+                best_variable = variable
+                best_activity = self._activity[variable]
+        if best_variable is None:
+            return None
+        return best_variable if self._saved_phase[best_variable] else -best_variable
+
+    def _reduce_learned(self) -> None:
+        """Remove the less active half of the learned clauses."""
+        learned_indices = [i for i, c in enumerate(self._clauses) if c.learned]
+        if len(learned_indices) < 20:
+            return
+        locked = {self._reasons[abs(l)] for l in self._trail if self._reasons[abs(l)] is not None}
+        learned_indices.sort(key=lambda i: self._clauses[i].activity)
+        to_remove = set()
+        for index in learned_indices[: len(learned_indices) // 2]:
+            if index in locked or len(self._clauses[index].literals) <= 2:
+                continue
+            to_remove.add(index)
+        if not to_remove:
+            return
+        self.statistics.deleted_clauses += len(to_remove)
+        # Rebuild the clause database and the watch lists.
+        remap: dict[int, int] = {}
+        new_clauses: list[_Clause] = []
+        for index, clause in enumerate(self._clauses):
+            if index in to_remove:
+                continue
+            remap[index] = len(new_clauses)
+            new_clauses.append(clause)
+        self._clauses = new_clauses
+        self._watches = {}
+        for index, clause in enumerate(self._clauses):
+            self._watch(clause.literals[0], index)
+            self._watch(clause.literals[1], index)
+        self._reasons = [
+            (remap.get(reason) if isinstance(reason, int) else reason) for reason in self._reasons
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"CdclSolver(vars={self.num_vars}, clauses={len(self._clauses)}, "
+            f"conflicts={self.statistics.conflicts})"
+        )
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,..."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= index:
+        k += 1
+    while True:
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        index = index - (1 << (k - 1)) + 1
+        k -= 1
+        if k == 0:
+            return 1

@@ -1,0 +1,194 @@
+"""Circuit-level SAT interface used by the SAT sweepers.
+
+:class:`CircuitSolver` wraps one incremental CDCL solver around an AIG and
+answers the two queries Algorithm 2 needs:
+
+* ``prove_equivalence(a, b)`` -- are two literals functionally equivalent?
+  (``unSAT`` of the miter), returning a counter-example pattern when not;
+* ``prove_constant(a, value)`` -- is a literal stuck at a constant?
+
+Cones are Tseitin-encoded lazily, one transitive fanin at a time, which
+mirrors the "circuit-based SAT solver with direct access to the network"
+of the paper [14]: the CNF only ever contains the logic relevant to the
+queries asked so far.  A conflict limit turns an expensive query into the
+``UNDETERMINED`` outcome ("unDET" in Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from ..networks.aig import Aig
+from .cdcl import CdclSolver, SolverResult
+
+__all__ = ["CircuitSolver", "EquivalenceOutcome", "EquivalenceStatus"]
+
+
+class EquivalenceStatus(Enum):
+    """Outcome of an equivalence or constant query."""
+
+    EQUIVALENT = "equivalent"
+    NOT_EQUIVALENT = "not_equivalent"
+    UNDETERMINED = "undetermined"
+
+
+@dataclass(frozen=True)
+class EquivalenceOutcome:
+    """Query result: status plus a counter-example pattern when disproved."""
+
+    status: EquivalenceStatus
+    counterexample: tuple[int, ...] | None = None
+
+    @property
+    def is_equivalent(self) -> bool:
+        """True when the query was proved (UNSAT miter)."""
+        return self.status is EquivalenceStatus.EQUIVALENT
+
+
+class CircuitSolver:
+    """Incremental circuit SAT solver over one AIG."""
+
+    def __init__(self, aig: Aig, conflict_limit: int | None = 10_000) -> None:
+        self.aig = aig
+        self.conflict_limit = conflict_limit
+        self.solver = CdclSolver()
+        self._variables: dict[int, int] = {}
+        self._encoded: set[int] = set()
+        # Query counters, reported in Table II.
+        self.num_queries = 0
+        self.num_satisfiable = 0
+        self.num_unsatisfiable = 0
+        self.num_undetermined = 0
+
+    # ------------------------------------------------------------------
+    # Lazy cone encoding
+    # ------------------------------------------------------------------
+
+    def _variable_of(self, node: int) -> int:
+        if node not in self._variables:
+            self._variables[node] = self.solver.new_variable()
+            if self.aig.is_constant(node):
+                self.solver.add_clause([-self._variables[node]])
+        return self._variables[node]
+
+    def _cnf_literal(self, aig_literal: int) -> int:
+        variable = self._variable_of(Aig.node_of(aig_literal))
+        return -variable if Aig.is_complemented(aig_literal) else variable
+
+    def _encode_cone(self, roots: Sequence[int]) -> None:
+        """Add gate clauses for every not-yet-encoded AND node in the cones."""
+        cone = self.aig.tfi(list(roots))
+        cone_set = set(cone)
+        for node in self.aig.topological_order():
+            if node not in cone_set or node in self._encoded or not self.aig.is_and(node):
+                continue
+            variable = self._variable_of(node)
+            fanin0, fanin1 = self.aig.fanins(node)
+            literal0 = self._cnf_literal(fanin0)
+            literal1 = self._cnf_literal(fanin1)
+            self.solver.add_clause([-variable, literal0])
+            self.solver.add_clause([-variable, literal1])
+            self.solver.add_clause([variable, -literal0, -literal1])
+            self._encoded.add(node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def prove_equivalence(
+        self,
+        literal_a: int,
+        literal_b: int,
+        conflict_limit: int | None = None,
+    ) -> EquivalenceOutcome:
+        """Decide whether two AIG literals are functionally equivalent.
+
+        The solver is asked for an input pattern on which the two literals
+        differ (an XOR miter activated by an assumption); ``UNSAT`` proves
+        the equivalence, ``SAT`` yields a counter-example pattern, and
+        exceeding the conflict limit yields ``UNDETERMINED``.
+        """
+        self.num_queries += 1
+        if literal_a == literal_b:
+            self.num_unsatisfiable += 1
+            return EquivalenceOutcome(EquivalenceStatus.EQUIVALENT)
+        if literal_a == Aig.negate(literal_b):
+            self.num_satisfiable += 1
+            return EquivalenceOutcome(EquivalenceStatus.NOT_EQUIVALENT, self._arbitrary_pattern())
+        self._encode_cone([Aig.node_of(literal_a), Aig.node_of(literal_b)])
+        cnf_a = self._cnf_literal(literal_a)
+        cnf_b = self._cnf_literal(literal_b)
+        activator = self.solver.new_variable()
+        # activator -> (a xor b)
+        self.solver.add_clause([-activator, cnf_a, cnf_b])
+        self.solver.add_clause([-activator, -cnf_a, -cnf_b])
+        limit = conflict_limit if conflict_limit is not None else self.conflict_limit
+        result = self.solver.solve(assumptions=[activator], conflict_limit=limit)
+        if result is SolverResult.UNSATISFIABLE:
+            self.num_unsatisfiable += 1
+            # Deactivate the miter clauses and record the proven equality,
+            # which strengthens later queries.
+            self.solver.add_clause([-activator])
+            self.solver.add_clause([-cnf_a, cnf_b])
+            self.solver.add_clause([cnf_a, -cnf_b])
+            return EquivalenceOutcome(EquivalenceStatus.EQUIVALENT)
+        if result is SolverResult.SATISFIABLE:
+            self.num_satisfiable += 1
+            pattern = self._counterexample_from_model()
+            self.solver.add_clause([-activator])
+            return EquivalenceOutcome(EquivalenceStatus.NOT_EQUIVALENT, pattern)
+        self.num_undetermined += 1
+        self.solver.add_clause([-activator])
+        return EquivalenceOutcome(EquivalenceStatus.UNDETERMINED)
+
+    def prove_constant(
+        self,
+        literal: int,
+        value: bool,
+        conflict_limit: int | None = None,
+    ) -> EquivalenceOutcome:
+        """Decide whether an AIG literal is constantly ``value``."""
+        self.num_queries += 1
+        self._encode_cone([Aig.node_of(literal)])
+        cnf_literal = self._cnf_literal(literal)
+        # Ask for a pattern where the literal takes the *other* value.
+        assumption = -cnf_literal if value else cnf_literal
+        limit = conflict_limit if conflict_limit is not None else self.conflict_limit
+        result = self.solver.solve(assumptions=[assumption], conflict_limit=limit)
+        if result is SolverResult.UNSATISFIABLE:
+            self.num_unsatisfiable += 1
+            self.solver.add_clause([cnf_literal if value else -cnf_literal])
+            return EquivalenceOutcome(EquivalenceStatus.EQUIVALENT)
+        if result is SolverResult.SATISFIABLE:
+            self.num_satisfiable += 1
+            return EquivalenceOutcome(EquivalenceStatus.NOT_EQUIVALENT, self._counterexample_from_model())
+        self.num_undetermined += 1
+        return EquivalenceOutcome(EquivalenceStatus.UNDETERMINED)
+
+    # ------------------------------------------------------------------
+    # Counter-example extraction
+    # ------------------------------------------------------------------
+
+    def _counterexample_from_model(self) -> tuple[int, ...]:
+        """PI assignment from the last model (unconstrained PIs default to 0)."""
+        pattern = []
+        for pi in self.aig.pis:
+            variable = self._variables.get(pi)
+            pattern.append(int(self.solver.value(variable)) if variable is not None else 0)
+        return tuple(pattern)
+
+    def _arbitrary_pattern(self) -> tuple[int, ...]:
+        return tuple(0 for _ in range(self.aig.num_pis))
+
+    @property
+    def total_sat_calls(self) -> int:
+        """Total number of SAT queries issued so far."""
+        return self.num_queries
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitSolver(queries={self.num_queries}, sat={self.num_satisfiable}, "
+            f"unsat={self.num_unsatisfiable}, undet={self.num_undetermined})"
+        )

@@ -1,0 +1,135 @@
+"""CNF formulas and DIMACS serialisation.
+
+Literals follow the DIMACS convention: variables are positive integers,
+a negative integer denotes the negation of the corresponding variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["CnfFormula", "negate_literal", "clause_to_string"]
+
+
+def negate_literal(literal: int) -> int:
+    """Negation of a DIMACS literal."""
+    if literal == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return -literal
+
+
+def clause_to_string(clause: Sequence[int]) -> str:
+    """DIMACS rendering of one clause (terminated by 0)."""
+    return " ".join(str(l) for l in clause) + " 0"
+
+
+@dataclass
+class CnfFormula:
+    """A CNF formula: a conjunction of clauses over ``num_vars`` variables."""
+
+    num_vars: int = 0
+    clauses: list[list[int]] = field(default_factory=list)
+
+    def new_variable(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Add one clause; literals must reference existing variables."""
+        clause_list = list(clause)
+        if not clause_list:
+            # An empty clause makes the formula trivially unsatisfiable;
+            # store it so solvers can report that immediately.
+            self.clauses.append([])
+            return
+        for literal in clause_list:
+            if literal == 0:
+                raise ValueError("0 is not a valid DIMACS literal")
+            if abs(literal) > self.num_vars:
+                self.num_vars = abs(literal)
+        self.clauses.append(clause_list)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add several clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate the formula under a (complete) assignment."""
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                value = assignment.get(abs(literal))
+                if value is None:
+                    raise KeyError(f"assignment missing variable {abs(literal)}")
+                if value == (literal > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # DIMACS
+    # ------------------------------------------------------------------
+
+    def to_dimacs(self, comments: Sequence[str] = ()) -> str:
+        """Serialise to DIMACS text."""
+        lines = [f"c {comment}" for comment in comments]
+        lines.append(f"p cnf {self.num_vars} {len(self.clauses)}")
+        lines.extend(clause_to_string(clause) for clause in self.clauses)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CnfFormula":
+        """Parse a DIMACS document."""
+        formula = cls()
+        declared_vars = 0
+        pending: list[int] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c") or line.startswith("%"):
+                continue
+            if line.startswith("p"):
+                fields = line.split()
+                if len(fields) < 4 or fields[1] != "cnf":
+                    raise ValueError(f"invalid DIMACS problem line: {line!r}")
+                declared_vars = int(fields[2])
+                continue
+            for token in line.split():
+                literal = int(token)
+                if literal == 0:
+                    formula.add_clause(pending)
+                    pending = []
+                else:
+                    pending.append(literal)
+        if pending:
+            formula.add_clause(pending)
+        formula.num_vars = max(formula.num_vars, declared_vars)
+        return formula
+
+    def write_dimacs(self, path: str | os.PathLike, comments: Sequence[str] = ()) -> None:
+        """Write the formula to a DIMACS file."""
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.to_dimacs(comments))
+
+    @classmethod
+    def read_dimacs(cls, path: str | os.PathLike) -> "CnfFormula":
+        """Read a DIMACS file."""
+        with open(path, "r", encoding="ascii") as handle:
+            return cls.from_dimacs(handle.read())
+
+    def copy(self) -> "CnfFormula":
+        """Deep copy of the formula."""
+        return CnfFormula(self.num_vars, [list(clause) for clause in self.clauses])
+
+    def __repr__(self) -> str:
+        return f"CnfFormula(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,137 @@
+"""A small DPLL solver.
+
+Used as a reference oracle in the test suite (cross-checking the CDCL
+solver on random formulas) and as a readable description of the basic
+search: unit propagation, pure-literal elimination and chronological
+backtracking.  Not intended for large instances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .cnf import CnfFormula
+
+__all__ = ["DpllSolver", "dpll_solve"]
+
+
+class DpllSolver:
+    """Recursive DPLL with unit propagation and pure-literal elimination."""
+
+    def __init__(self, formula: CnfFormula) -> None:
+        self.formula = formula
+        self.decisions = 0
+        self.propagations = 0
+
+    def solve(self) -> tuple[bool, dict[int, bool] | None]:
+        """Return ``(satisfiable, model)``; the model is ``None`` when UNSAT."""
+        clauses = [list(clause) for clause in self.formula.clauses]
+        if any(len(clause) == 0 for clause in clauses):
+            return False, None
+        assignment: dict[int, bool] = {}
+        satisfiable = self._search(clauses, assignment)
+        if not satisfiable:
+            return False, None
+        # Complete the model: unconstrained variables default to False.
+        for variable in range(1, self.formula.num_vars + 1):
+            assignment.setdefault(variable, False)
+        return True, assignment
+
+    # ------------------------------------------------------------------
+
+    def _search(self, clauses: list[list[int]], assignment: dict[int, bool]) -> bool:
+        clauses, propagated, conflict = self._propagate(clauses, assignment)
+        if conflict:
+            return False
+        if not clauses:
+            # All clauses satisfied: publish the propagated assignment.
+            assignment.clear()
+            assignment.update(propagated)
+            return True
+        variable = self._choose_variable(clauses)
+        self.decisions += 1
+        for value in (True, False):
+            trial_assignment = dict(propagated)
+            trial_assignment[variable] = value
+            literal = variable if value else -variable
+            trial_clauses = self._assign(clauses, literal)
+            if trial_clauses is None:
+                continue
+            if self._search(trial_clauses, trial_assignment):
+                assignment.clear()
+                assignment.update(trial_assignment)
+                return True
+        return False
+
+    def _propagate(
+        self,
+        clauses: list[list[int]],
+        assignment: dict[int, bool],
+    ) -> tuple[list[list[int]], dict[int, bool], bool]:
+        clauses = [list(clause) for clause in clauses]
+        assignment = dict(assignment)
+        changed = True
+        while changed:
+            changed = False
+            # Unit clauses.
+            for clause in clauses:
+                if len(clause) == 1:
+                    literal = clause[0]
+                    assignment[abs(literal)] = literal > 0
+                    self.propagations += 1
+                    reduced = self._assign(clauses, literal)
+                    if reduced is None:
+                        return clauses, assignment, True
+                    clauses = reduced
+                    changed = True
+                    break
+            if changed:
+                continue
+            # Pure literals.
+            polarity: dict[int, set[bool]] = {}
+            for clause in clauses:
+                for literal in clause:
+                    polarity.setdefault(abs(literal), set()).add(literal > 0)
+            for variable, signs in polarity.items():
+                if len(signs) == 1:
+                    value = signs.pop()
+                    assignment[variable] = value
+                    literal = variable if value else -variable
+                    reduced = self._assign(clauses, literal)
+                    if reduced is None:
+                        return clauses, assignment, True
+                    clauses = reduced
+                    changed = True
+                    break
+        conflict = any(len(clause) == 0 for clause in clauses)
+        return clauses, assignment, conflict
+
+    @staticmethod
+    def _assign(clauses: list[list[int]], literal: int) -> list[list[int]] | None:
+        """Simplify clauses under ``literal``; ``None`` signals a conflict."""
+        result = []
+        for clause in clauses:
+            if literal in clause:
+                continue
+            if -literal in clause:
+                reduced = [l for l in clause if l != -literal]
+                if not reduced:
+                    return None
+                result.append(reduced)
+            else:
+                result.append(clause)
+        return result
+
+    @staticmethod
+    def _choose_variable(clauses: Sequence[Sequence[int]]) -> int:
+        """Pick the most frequent variable (a simple MOM-like heuristic)."""
+        counts: dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[abs(literal)] = counts.get(abs(literal), 0) + 1
+        return max(counts, key=counts.get)
+
+
+def dpll_solve(formula: CnfFormula) -> tuple[bool, dict[int, bool] | None]:
+    """Convenience wrapper around :class:`DpllSolver`."""
+    return DpllSolver(formula).solve()

@@ -1,0 +1,111 @@
+"""Tseitin encoding of AIGs into CNF.
+
+Every AIG node receives one CNF variable; an AND gate ``y = a & b``
+contributes the three clauses ``(!y | a)``, ``(!y | b)`` and
+``(y | !a | !b)`` with edge complements folded into the literals.  The
+module also builds miters (the CNF asking whether two literals can ever
+differ), the encoding used by combinational equivalence checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..networks.aig import Aig
+from .cnf import CnfFormula
+
+__all__ = ["TseitinEncoding", "tseitin_encode", "miter_cnf"]
+
+
+@dataclass
+class TseitinEncoding:
+    """Result of a Tseitin encoding: the CNF plus the node-to-variable map."""
+
+    cnf: CnfFormula
+    node_variables: dict[int, int] = field(default_factory=dict)
+
+    def variable_of(self, node: int) -> int:
+        """CNF variable of an AIG node."""
+        return self.node_variables[node]
+
+    def literal_of(self, aig_literal: int) -> int:
+        """CNF literal of an AIG literal (complement becomes negation)."""
+        variable = self.node_variables[Aig.node_of(aig_literal)]
+        return -variable if Aig.is_complemented(aig_literal) else variable
+
+
+def tseitin_encode(
+    aig: Aig,
+    nodes: Iterable[int] | None = None,
+    cnf: CnfFormula | None = None,
+    node_variables: dict[int, int] | None = None,
+) -> TseitinEncoding:
+    """Encode (a cone of) an AIG into CNF.
+
+    ``nodes`` restricts the encoding to the transitive fanin cones of the
+    given nodes (the whole network by default).  An existing ``cnf`` and
+    ``node_variables`` map can be passed to encode incrementally on top of
+    a previous encoding, which is how the circuit solver grows its CNF
+    lazily, one queried cone at a time.
+    """
+    formula = cnf if cnf is not None else CnfFormula()
+    variables = node_variables if node_variables is not None else {}
+
+    if nodes is None:
+        cone = list(aig.nodes())
+    else:
+        cone = aig.tfi(list(nodes))
+
+    def variable_of(node: int) -> int:
+        if node not in variables:
+            variables[node] = formula.new_variable()
+            if aig.is_constant(node):
+                # The constant node is false.
+                formula.add_clause([-variables[node]])
+        return variables[node]
+
+    # Nodes already present in the incoming map were encoded by an earlier
+    # incremental call (or are PIs/constants) and must not be re-encoded.
+    previously_encoded = set(variables)
+
+    # Encode in topological order so fanin variables exist first.
+    cone_set = set(cone)
+    ordered = [n for n in aig.topological_order(include_pis=True) if n in cone_set]
+    for node in ordered:
+        variable = variable_of(node)
+        if not aig.is_and(node) or node in previously_encoded:
+            continue
+        fanin0, fanin1 = aig.fanins(node)
+        literal0 = _cnf_literal(aig, fanin0, variable_of)
+        literal1 = _cnf_literal(aig, fanin1, variable_of)
+        formula.add_clause([-variable, literal0])
+        formula.add_clause([-variable, literal1])
+        formula.add_clause([variable, -literal0, -literal1])
+    return TseitinEncoding(formula, variables)
+
+
+def _cnf_literal(aig: Aig, aig_literal: int, variable_of) -> int:
+    variable = variable_of(Aig.node_of(aig_literal))
+    return -variable if Aig.is_complemented(aig_literal) else variable
+
+
+def miter_cnf(aig: Aig, literal_a: int, literal_b: int) -> tuple[CnfFormula, TseitinEncoding, int]:
+    """CNF asking whether two AIG literals can take different values.
+
+    Returns ``(cnf, encoding, miter_variable)``: the formula is satisfiable
+    together with the unit clause ``[miter_variable]`` exactly when the two
+    literals are *not* functionally equivalent; a satisfying model then
+    provides the distinguishing input pattern (counter-example).
+    """
+    encoding = tseitin_encode(aig, [Aig.node_of(literal_a), Aig.node_of(literal_b)])
+    cnf = encoding.cnf
+    lit_a = encoding.literal_of(literal_a)
+    lit_b = encoding.literal_of(literal_b)
+    miter = cnf.new_variable()
+    # miter <-> (a xor b)
+    cnf.add_clause([-miter, lit_a, lit_b])
+    cnf.add_clause([-miter, -lit_a, -lit_b])
+    cnf.add_clause([miter, -lit_a, lit_b])
+    cnf.add_clause([miter, lit_a, -lit_b])
+    return cnf, encoding, miter

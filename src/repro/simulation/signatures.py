@@ -1,0 +1,150 @@
+"""Simulation signatures.
+
+The *simulation signature* of a node is the ordered set of values it takes
+under every pattern (Section II-A).  Signatures are packed integers (bit
+``j`` = value under pattern ``j``), the same layout as
+:class:`~repro.simulation.patterns.PatternSet` words, so bitwise equality
+compares whole signatures at once.
+
+:class:`SimulationResult` bundles the signatures of every node of one
+simulation run and offers the queries the sweeper needs: per-node access,
+constant detection, polarity-canonical signatures (equivalence up to
+complementation) and toggle rates (used by the SAT-guided pattern
+generator of Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "SimulationResult",
+    "signature_to_bits",
+    "signature_from_bits",
+    "signature_to_string",
+    "canonical_signature",
+    "signature_toggle_rate",
+]
+
+
+def signature_to_bits(signature: int, num_patterns: int) -> list[int]:
+    """Unpack a signature into a list of bits (pattern 0 first)."""
+    return [(signature >> i) & 1 for i in range(num_patterns)]
+
+
+def signature_from_bits(bits: Iterable[int | bool]) -> int:
+    """Pack a list of bits (pattern 0 first) into a signature integer."""
+    signature = 0
+    for position, bit in enumerate(bits):
+        if bit:
+            signature |= 1 << position
+    return signature
+
+
+def signature_to_string(signature: int, num_patterns: int) -> str:
+    """Bit-string rendering, pattern 0 leftmost."""
+    return "".join(str(b) for b in signature_to_bits(signature, num_patterns))
+
+
+def canonical_signature(signature: int, num_patterns: int) -> tuple[int, bool]:
+    """Polarity-canonical signature: complement so that bit 0 is zero.
+
+    Returns ``(canonical, inverted)``; two nodes are equivalence-class
+    candidates *up to complementation* exactly when their canonical
+    signatures are equal.
+    """
+    mask = (1 << num_patterns) - 1
+    if signature & 1:
+        return (~signature) & mask, True
+    return signature & mask, False
+
+
+def signature_toggle_rate(signature: int, num_patterns: int) -> float:
+    """Toggle rate of a signature (footnote 1 of the paper)."""
+    if num_patterns < 2:
+        return 0.0
+    bits = signature_to_bits(signature, num_patterns)
+    toggles = sum(1 for a, b in zip(bits, bits[1:]) if a != b)
+    return toggles / num_patterns
+
+
+@dataclass
+class SimulationResult:
+    """Signatures of every node produced by one simulation run.
+
+    Attributes
+    ----------
+    num_patterns:
+        Number of patterns that were simulated.
+    signatures:
+        Map from node index to packed signature.
+    """
+
+    num_patterns: int
+    signatures: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mask(self) -> int:
+        """Bit mask covering all simulated patterns."""
+        return (1 << self.num_patterns) - 1 if self.num_patterns else 0
+
+    def signature(self, node: int) -> int:
+        """Signature of one node."""
+        return self.signatures[node]
+
+    def has_node(self, node: int) -> bool:
+        """True if the run produced a signature for ``node``."""
+        return node in self.signatures
+
+    def set_signature(self, node: int, signature: int) -> None:
+        """Store or overwrite the signature of one node."""
+        self.signatures[node] = signature & self.mask
+
+    def value(self, node: int, pattern: int) -> bool:
+        """Value of ``node`` under pattern ``pattern``."""
+        return bool((self.signatures[node] >> pattern) & 1)
+
+    def bits(self, node: int) -> list[int]:
+        """Signature of ``node`` as a list of bits."""
+        return signature_to_bits(self.signatures[node], self.num_patterns)
+
+    def bit_string(self, node: int) -> str:
+        """Signature of ``node`` as a bit string (pattern 0 leftmost)."""
+        return signature_to_string(self.signatures[node], self.num_patterns)
+
+    def is_constant(self, node: int) -> bool | None:
+        """Constant value suggested by the signature, or ``None`` if mixed."""
+        signature = self.signatures[node]
+        if signature == 0:
+            return False
+        if signature == self.mask:
+            return True
+        return None
+
+    def canonical(self, node: int) -> tuple[int, bool]:
+        """Polarity-canonical signature of ``node``."""
+        return canonical_signature(self.signatures[node], self.num_patterns)
+
+    def toggle_rate(self, node: int) -> float:
+        """Toggle rate of the node's signature."""
+        return signature_toggle_rate(self.signatures[node], self.num_patterns)
+
+    def group_by_canonical(self, nodes: Iterable[int] | None = None) -> dict[int, list[int]]:
+        """Group nodes whose canonical signatures coincide (candidate classes)."""
+        groups: dict[int, list[int]] = {}
+        for node in nodes if nodes is not None else self.signatures:
+            key, _inverted = self.canonical(node)
+            groups.setdefault(key, []).append(node)
+        return groups
+
+    def merge(self, other: Mapping[int, int]) -> None:
+        """Absorb signatures from another node-to-signature map."""
+        for node, signature in other.items():
+            self.signatures[node] = signature & self.mask
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def __repr__(self) -> str:
+        return f"SimulationResult(patterns={self.num_patterns}, nodes={len(self.signatures)})"

@@ -1,0 +1,310 @@
+"""Canonical forms of STP logic expressions (Property 3 of the paper).
+
+Any Boolean expression ``Phi(x1, ..., xn)`` can be written as
+
+    Phi(x1, ..., xn) = M_Phi <| x1 <| x2 <| ... <| xn
+
+where ``M_Phi`` is a 2 x 2^n logic matrix called the *canonical form* (or
+structure matrix) of ``Phi`` and ``<|`` is the semi-tensor product.  This
+module provides:
+
+* :class:`STPForm` -- a matrix together with an ordered variable list, the
+  intermediate representation used while normalising expressions;
+* algebraic construction of the canonical form from an expression tree,
+  using the swap matrix ``W_[2,2]`` to reorder variables and the
+  power-reducing matrix ``M_r`` to merge repeated variables (this is the
+  textbook STP normalisation procedure, not a truth-table enumeration);
+* an enumeration-based construction used as an independent cross-check;
+* evaluation (simulation) of a canonical form on a pattern, which is the
+  primitive the paper's simulator is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .matrices import (
+    TRUE_VECTOR,
+    FALSE_VECTOR,
+    bool_to_vector,
+    identity,
+    is_logic_matrix,
+    power_reducing_matrix,
+    structural_matrix_from_truth_table,
+    swap_matrix,
+    truth_table_from_structural_matrix,
+    vector_to_bool,
+)
+from .product import semi_tensor_product, stp_chain
+
+__all__ = [
+    "STPForm",
+    "variable_form",
+    "constant_form",
+    "apply_unary",
+    "apply_binary",
+    "apply_operator",
+    "normalize",
+    "canonical_form_from_truth_table",
+    "truth_table_of_form",
+    "evaluate_form",
+    "evaluate_form_batch",
+]
+
+_INT = np.int64
+_SWAP22 = swap_matrix(2, 2)
+_POWER_REDUCE = power_reducing_matrix()
+
+
+@dataclass(frozen=True)
+class STPForm:
+    """An STP expression ``matrix <| x_{variables[0]} <| x_{variables[1]} ...``.
+
+    ``matrix`` has shape ``(2, 2**len(variables))``.  The variable list may
+    contain repetitions while an expression is being assembled; a
+    *canonical* form (produced by :func:`normalize`) has each variable
+    exactly once, in the requested order.
+    """
+
+    matrix: np.ndarray
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=_INT)
+        expected_columns = 1 << len(self.variables)
+        if matrix.shape != (2, expected_columns):
+            raise ValueError(
+                f"matrix shape {matrix.shape} inconsistent with {len(self.variables)} variables "
+                f"(expected (2, {expected_columns}))"
+            )
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    @property
+    def arity(self) -> int:
+        """Number of variable slots in the form (including repetitions)."""
+        return len(self.variables)
+
+    def is_canonical(self) -> bool:
+        """True if the variable list has no repetitions and the matrix is a logic matrix."""
+        return len(set(self.variables)) == len(self.variables) and is_logic_matrix(self.matrix)
+
+    def truth_table(self) -> list[int]:
+        """Truth table of the form, indexed by increasing input integers.
+
+        The canonical-form matrix lists outputs for *decreasing* input
+        integers (column 0 is the all-True assignment); this accessor
+        reverses it so that index ``i`` gives the output when the variables,
+        read ``variables[0]`` as the most significant bit, encode ``i``.
+        """
+        return truth_table_of_form(self)
+
+
+def variable_form(name: str) -> STPForm:
+    """The STP form of a bare variable: ``I_2 <| x``."""
+    return STPForm(identity(2), (name,))
+
+
+def constant_form(value: bool) -> STPForm:
+    """The STP form of a Boolean constant (no variables)."""
+    vector = TRUE_VECTOR if value else FALSE_VECTOR
+    return STPForm(vector.copy(), ())
+
+
+def apply_unary(operator_matrix: np.ndarray, operand: STPForm) -> STPForm:
+    """Apply a unary structural matrix (2x2) to an STP form."""
+    matrix = np.asarray(operator_matrix)
+    if matrix.shape != (2, 2):
+        raise ValueError(f"unary structural matrix must be 2x2, got {matrix.shape}")
+    return STPForm(semi_tensor_product(matrix, operand.matrix), operand.variables)
+
+
+def apply_binary(operator_matrix: np.ndarray, left: STPForm, right: STPForm) -> STPForm:
+    """Apply a binary structural matrix (2x4) to two STP forms.
+
+    Uses the STP swap property to move the right operand's matrix across
+    the left operand's variable chain:
+
+        M_sigma (M1 V1) (M2 V2) = M_sigma M1 (I_{2^k1} kron M2) V1 V2
+    """
+    matrix = np.asarray(operator_matrix)
+    if matrix.shape != (2, 4):
+        raise ValueError(f"binary structural matrix must be 2x4, got {matrix.shape}")
+    k1 = left.arity
+    lifted_right = np.kron(identity(1 << k1), right.matrix) if k1 else right.matrix
+    combined = stp_chain([matrix, left.matrix, lifted_right])
+    return STPForm(combined, left.variables + right.variables)
+
+
+def apply_operator(operator_matrix: np.ndarray, operands: Sequence[STPForm]) -> STPForm:
+    """Apply a k-ary structural matrix (2 x 2^k) to ``k`` STP forms.
+
+    ``operands[0]`` is the *first* STP factor, i.e. the operand whose value
+    selects the most significant position of the structural-matrix column
+    index (column 0 is the all-True assignment).  The construction
+    generalises :func:`apply_binary`: each operand matrix is lifted past the
+    variables of the operands before it with a Kronecker identity,
+
+        M (M1 V1) (M2 V2) ... = M M1 (I_{2^k1} kron M2) (I_{2^{k1+k2}} kron M3) ... V1 V2 ...
+
+    which follows from the STP swap property (Property 1 of the paper).
+    """
+    matrix = np.asarray(operator_matrix)
+    arity = len(operands)
+    if matrix.shape != (2, 1 << arity):
+        raise ValueError(f"structural matrix shape {matrix.shape} does not match {arity} operands")
+    factors: list[np.ndarray] = [matrix]
+    variables: tuple[str, ...] = ()
+    accumulated = 0
+    for operand in operands:
+        lifted = np.kron(identity(1 << accumulated), operand.matrix) if accumulated else operand.matrix
+        factors.append(lifted)
+        variables = variables + operand.variables
+        accumulated += operand.arity
+    return STPForm(stp_chain(factors), variables)
+
+
+def _swap_adjacent(form: STPForm, position: int) -> STPForm:
+    """Swap the variables at ``position`` and ``position + 1``.
+
+    Relies on ``x kron y = W_[2,2] (y kron x)``: the matrix absorbs the swap
+    matrix on the right, and the variable list is permuted.
+    """
+    k = form.arity
+    if not 0 <= position < k - 1:
+        raise IndexError(f"cannot swap positions {position},{position + 1} in a {k}-variable form")
+    left_pad = identity(1 << position)
+    right_pad = identity(1 << (k - position - 2))
+    swapper = np.kron(np.kron(left_pad, _SWAP22), right_pad)
+    new_matrix = form.matrix @ swapper
+    variables = list(form.variables)
+    variables[position], variables[position + 1] = variables[position + 1], variables[position]
+    return STPForm(new_matrix, tuple(variables))
+
+
+def _merge_adjacent_duplicate(form: STPForm, position: int) -> STPForm:
+    """Merge equal variables at ``position`` and ``position + 1``.
+
+    Relies on ``x kron x = M_r x`` (power-reducing matrix); the matrix
+    absorbs ``M_r`` on the right and one variable slot disappears.
+    """
+    k = form.arity
+    variables = list(form.variables)
+    if variables[position] != variables[position + 1]:
+        raise ValueError(
+            f"variables at positions {position},{position + 1} differ: "
+            f"{variables[position]!r} vs {variables[position + 1]!r}"
+        )
+    left_pad = identity(1 << position)
+    right_pad = identity(1 << (k - position - 2))
+    reducer = np.kron(np.kron(left_pad, _POWER_REDUCE), right_pad)
+    new_matrix = form.matrix @ reducer
+    del variables[position + 1]
+    return STPForm(new_matrix, tuple(variables))
+
+
+def _append_missing_variable(form: STPForm, name: str) -> STPForm:
+    """Append a variable the expression does not depend on.
+
+    Since the result must not depend on the new variable, the matrix is
+    extended with ``M' = M kron [1, 1]`` which satisfies
+    ``M'(V kron x) = M V`` for every logic vector ``x``.
+    """
+    new_matrix = np.kron(form.matrix, np.array([[1, 1]], dtype=_INT))
+    return STPForm(new_matrix, form.variables + (name,))
+
+
+def normalize(form: STPForm, variable_order: Sequence[str] | None = None) -> STPForm:
+    """Normalise an STP form into the canonical form over ``variable_order``.
+
+    The algebraic procedure repeatedly applies adjacent swaps (via the swap
+    matrix) and merges of repeated variables (via the power-reducing
+    matrix) until the variable list equals ``variable_order`` with each
+    variable occurring exactly once.  Variables in ``variable_order`` that
+    the expression does not mention are appended as don't-care slots.
+
+    If ``variable_order`` is omitted, the distinct variables of ``form`` in
+    sorted order are used.
+    """
+    if variable_order is None:
+        variable_order = sorted(set(form.variables))
+    order = list(variable_order)
+    if len(set(order)) != len(order):
+        raise ValueError(f"variable_order contains duplicates: {order}")
+    missing_in_order = set(form.variables) - set(order)
+    if missing_in_order:
+        raise ValueError(f"variable_order is missing expression variables: {sorted(missing_in_order)}")
+
+    current = form
+    for name in order:
+        if name not in current.variables:
+            current = _append_missing_variable(current, name)
+
+    done = 0
+    for name in order:
+        # Bring every occurrence of ``name`` to position ``done`` and merge.
+        first = True
+        while True:
+            variables = current.variables
+            try:
+                j = variables.index(name, done if first else done + 1)
+            except ValueError:
+                break
+            target = done if first else done + 1
+            while j > target:
+                current = _swap_adjacent(current, j - 1)
+                j -= 1
+            if not first:
+                current = _merge_adjacent_duplicate(current, done)
+            first = False
+        done += 1
+
+    if list(current.variables) != order:
+        raise AssertionError(f"normalisation failed: {current.variables} != {order}")
+    return current
+
+
+def canonical_form_from_truth_table(truth_bits: Sequence[int], variables: Sequence[str]) -> STPForm:
+    """Build a canonical form directly from a truth table.
+
+    ``truth_bits[i]`` is the output when the variables, with
+    ``variables[0]`` as the most significant bit, encode the integer ``i``.
+    """
+    n = len(variables)
+    if len(truth_bits) != 1 << n:
+        raise ValueError(f"truth table length {len(truth_bits)} does not match {n} variables")
+    # Structural matrices list columns for decreasing input integers.
+    reversed_bits = list(truth_bits)[::-1]
+    return STPForm(structural_matrix_from_truth_table(reversed_bits), tuple(variables))
+
+
+def truth_table_of_form(form: STPForm) -> list[int]:
+    """Truth table (increasing input integer order) of a canonical form."""
+    if not form.is_canonical():
+        raise ValueError("truth_table_of_form requires a canonical (repetition-free) form")
+    return truth_table_from_structural_matrix(form.matrix)[::-1]
+
+
+def evaluate_form(form: STPForm, assignment: Mapping[str, bool | int]) -> bool:
+    """Simulate one pattern through an STP form by matrix multiplication.
+
+    This is the STP simulation primitive: the variable vectors are
+    substituted in order and the chain is contracted by semi-tensor
+    products, yielding a single logic vector.
+    """
+    factors: list[np.ndarray] = [form.matrix]
+    for name in form.variables:
+        if name not in assignment:
+            raise KeyError(f"assignment missing variable {name!r}")
+        factors.append(bool_to_vector(bool(assignment[name])))
+    if len(factors) == 1:
+        return vector_to_bool(form.matrix)
+    return vector_to_bool(stp_chain(factors))
+
+
+def evaluate_form_batch(form: STPForm, assignments: Sequence[Mapping[str, bool | int]]) -> list[bool]:
+    """Simulate a batch of patterns; returns one Boolean per assignment."""
+    return [evaluate_form(form, assignment) for assignment in assignments]

@@ -1,0 +1,111 @@
+"""The semi-tensor product of matrices (Definition 1 of the paper).
+
+The semi-tensor product (STP) generalises the ordinary matrix product to
+matrices of arbitrary, dimension-mismatched shapes:
+
+    X (m x n)  <|  Y (p x q)   =   (X kron I_{t/n}) . (Y kron I_{t/p})
+
+where ``t = lcm(n, p)`` and ``kron`` is the Kronecker product.  When
+``n == p`` the STP coincides with the ordinary matrix product; when
+``n = k * p`` the left factor "absorbs" the right one block-wise.  The STP
+is associative, which is what allows a chain of structural matrices and
+logic vectors to be evaluated in any order.
+"""
+
+from __future__ import annotations
+
+from math import lcm
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "semi_tensor_product",
+    "stp",
+    "stp_chain",
+    "kron_chain",
+    "left_semi_tensor_power",
+]
+
+
+def _as_matrix(value: np.ndarray | Sequence) -> np.ndarray:
+    """Coerce ``value`` to a 2-D numpy array (column vector for 1-D input)."""
+    array = np.asarray(value)
+    if array.ndim == 0:
+        return array.reshape(1, 1)
+    if array.ndim == 1:
+        return array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"semi-tensor product operands must be at most 2-D, got {array.ndim}-D")
+    return array
+
+
+def semi_tensor_product(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Compute the (left) semi-tensor product ``x <| y``.
+
+    Both operands are coerced to 2-D arrays; 1-D inputs are treated as
+    column vectors, scalars as 1x1 matrices.
+
+    >>> import numpy as np
+    >>> from repro.stp.matrices import M_AND, TRUE_VECTOR, FALSE_VECTOR
+    >>> semi_tensor_product(semi_tensor_product(M_AND, TRUE_VECTOR), FALSE_VECTOR).ravel().tolist()
+    [0, 1]
+    """
+    a = _as_matrix(x)
+    b = _as_matrix(y)
+    n = a.shape[1]
+    p = b.shape[0]
+    if n == p:
+        return a @ b
+    t = lcm(n, p)
+    left = np.kron(a, np.eye(t // n, dtype=a.dtype))
+    right = np.kron(b, np.eye(t // p, dtype=b.dtype))
+    return left @ right
+
+
+#: Short alias used pervasively in the code base, mirroring the paper's habit
+#: of dropping the product symbol.
+stp = semi_tensor_product
+
+
+def stp_chain(factors: Iterable[np.ndarray]) -> np.ndarray:
+    """Left-associated STP of a sequence of factors.
+
+    ``stp_chain([A, B, C])`` computes ``(A <| B) <| C``.  The STP is
+    associative, so the association order only affects performance, not the
+    result.  Raises :class:`ValueError` on an empty sequence.
+    """
+    iterator = iter(factors)
+    try:
+        result = _as_matrix(next(iterator))
+    except StopIteration:
+        raise ValueError("stp_chain requires at least one factor") from None
+    for factor in iterator:
+        result = semi_tensor_product(result, factor)
+    return result
+
+
+def kron_chain(factors: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of factors, left-associated."""
+    iterator = iter(factors)
+    try:
+        result = np.asarray(next(iterator))
+    except StopIteration:
+        raise ValueError("kron_chain requires at least one factor") from None
+    for factor in iterator:
+        result = np.kron(result, np.asarray(factor))
+    return result
+
+
+def left_semi_tensor_power(x: np.ndarray, exponent: int) -> np.ndarray:
+    """Repeated STP of ``x`` with itself, ``x <| x <| ... <| x``.
+
+    ``exponent`` must be a positive integer.  For a logic vector ``x`` this
+    produces the one-hot Kronecker power used by exhaustive simulation.
+    """
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    result = _as_matrix(x)
+    for _ in range(exponent - 1):
+        result = semi_tensor_product(result, x)
+    return result

@@ -1,0 +1,32 @@
+"""SAT-sweeping: equivalence classes, the FRAIG baseline and the STP sweeper.
+
+The package mirrors the ecosystem of Fig. 2 in the paper: an equivalence
+class manager, a SAT-sweeping manager (the two sweeper classes), the
+STP-based circuit simulator (imported from :mod:`repro.simulation`), the
+SAT solver front-end (:mod:`repro.sat.circuit`) and a transitive-fanin
+manager, plus the combinational equivalence checker used to verify every
+sweep.
+"""
+
+from .equivalence import EquivalenceClass, EquivalenceClasses
+from .constant_prop import ConstantPropagationReport, propagate_constant_candidates
+from .tfi import TfiManager
+from .stats import SweepStatistics
+from .fraig import FraigSweeper, fraig_sweep
+from .stp_sweeper import StpSweeper, stp_sweep
+from .cec import CecResult, check_combinational_equivalence
+
+__all__ = [
+    "EquivalenceClass",
+    "EquivalenceClasses",
+    "ConstantPropagationReport",
+    "propagate_constant_candidates",
+    "TfiManager",
+    "SweepStatistics",
+    "FraigSweeper",
+    "fraig_sweep",
+    "StpSweeper",
+    "stp_sweep",
+    "CecResult",
+    "check_combinational_equivalence",
+]

@@ -1,0 +1,136 @@
+"""Baseline FRAIG-style SAT sweeper (the ``&fraig`` comparison point of Table II).
+
+The classical flow: random initial simulation groups nodes into candidate
+equivalence classes; gates are visited in topological order and each is
+checked against its class representative with a SAT query; disproofs yield
+counter-examples that are simulated incrementally over the *whole* network
+to refine all classes at once; proofs substitute the gate.  This is the
+engine the paper's STP sweeper is measured against.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..networks.aig import Aig, LIT_FALSE
+from ..networks.transforms import rebuild_strashed
+from ..sat.circuit import CircuitSolver, EquivalenceStatus
+from ..simulation.incremental import IncrementalAigSimulator
+from ..simulation.patterns import PatternSet
+from .equivalence import EquivalenceClasses
+from .stats import SweepStatistics
+from .tfi import TfiManager
+
+__all__ = ["FraigSweeper", "fraig_sweep"]
+
+
+class FraigSweeper:
+    """Classic simulation-plus-SAT sweeping on an AIG."""
+
+    def __init__(
+        self,
+        aig: Aig,
+        num_patterns: int = 256,
+        seed: int = 1,
+        conflict_limit: int | None = 10_000,
+        tfi_limit: int = 1000,
+    ) -> None:
+        self.original = aig
+        self.num_patterns = num_patterns
+        self.seed = seed
+        self.conflict_limit = conflict_limit
+        self.tfi_limit = tfi_limit
+
+    def run(self) -> tuple[Aig, SweepStatistics]:
+        """Sweep a copy of the network; returns the swept AIG and statistics."""
+        aig = self.original.clone()
+        stats = SweepStatistics(
+            name=aig.name,
+            num_pis=aig.num_pis,
+            num_pos=aig.num_pos,
+            depth=aig.depth(),
+            gates_before=aig.num_ands,
+        )
+        start = time.perf_counter()
+        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit)
+        tfi = TfiManager(aig, self.tfi_limit)
+
+        # ---- initial random simulation --------------------------------
+        sim_start = time.perf_counter()
+        patterns = PatternSet.random(aig.num_pis, self.num_patterns, self.seed)
+        simulator = IncrementalAigSimulator(aig, patterns)
+        stats.simulation_time += time.perf_counter() - sim_start
+        stats.patterns_used = patterns.num_patterns
+
+        classes = EquivalenceClasses.from_simulation(aig, simulator.result)
+        stats.initial_classes = classes.num_classes
+        stats.initial_candidate_nodes = len(classes.class_nodes())
+
+        merged: set[int] = set()
+
+        # ---- sweep in topological order --------------------------------
+        for candidate in aig.topological_order():
+            if candidate in merged or classes.is_dont_touch(candidate):
+                continue
+            cls = classes.class_of(candidate)
+            if cls is None or cls.is_singleton():
+                continue
+            while True:
+                cls = classes.class_of(candidate)
+                if cls is None or cls.is_singleton():
+                    break
+                drivers = [
+                    member
+                    for member in cls.members
+                    if member != candidate and member not in merged and member < candidate
+                ]
+                if 0 in cls.members and candidate != 0:
+                    drivers = [0] + [d for d in drivers if d != 0]
+                if not drivers:
+                    break
+                driver = drivers[0]
+                if driver != 0 and not tfi.is_legal_merge(candidate, driver):
+                    classes.remove(candidate)
+                    break
+                inverted = classes.relative_polarity(candidate, driver)
+                driver_literal = Aig.literal(driver, inverted) if driver != 0 else (LIT_FALSE ^ int(inverted))
+
+                outcome = solver.prove_equivalence(Aig.literal(candidate), driver_literal, self.conflict_limit)
+                if outcome.status is EquivalenceStatus.EQUIVALENT:
+                    aig.substitute(candidate, driver_literal)
+                    classes.remove(candidate)
+                    merged.add(candidate)
+                    tfi.invalidate()
+                    stats.merges += 1
+                    if driver == 0:
+                        stats.constant_merges += 1
+                    break
+                if outcome.status is EquivalenceStatus.UNDETERMINED:
+                    classes.mark_dont_touch(candidate)
+                    classes.remove(candidate)
+                    break
+                # Disproved: simulate the counter-example over the whole
+                # network and refine every class with the new bit.
+                assert outcome.counterexample is not None
+                sim_start = time.perf_counter()
+                simulator.add_pattern(outcome.counterexample)
+                classes.refine_with_signatures(simulator.result.signatures, simulator.num_patterns)
+                stats.simulation_time += time.perf_counter() - sim_start
+                stats.counterexamples_simulated += 1
+        stats.patterns_used = simulator.num_patterns
+
+        # ---- finalise ---------------------------------------------------
+        swept, _literal_map = rebuild_strashed(aig)
+        stats.gates_after = swept.num_ands
+        stats.total_sat_calls = solver.num_queries
+        stats.satisfiable_sat_calls = solver.num_satisfiable
+        stats.unsatisfiable_sat_calls = solver.num_unsatisfiable
+        stats.undetermined_sat_calls = solver.num_undetermined
+        stats.total_time = time.perf_counter() - start
+        stats.sat_time = max(0.0, stats.total_time - stats.simulation_time)
+        return swept, stats
+
+
+def fraig_sweep(aig: Aig, **kwargs) -> tuple[Aig, SweepStatistics]:
+    """Convenience wrapper around :class:`FraigSweeper`."""
+    return FraigSweeper(aig, **kwargs).run()

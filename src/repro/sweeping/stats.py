@@ -1,0 +1,75 @@
+"""Sweep statistics: the counters reported in Table II of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SweepStatistics"]
+
+
+@dataclass
+class SweepStatistics:
+    """Counters and timers collected by one sweeper run.
+
+    The fields map one-to-one onto the columns of Table II:
+
+    * ``gates_before`` / ``gates_after`` -- the "Gate" and "Result" columns;
+    * ``satisfiable_sat_calls`` -- the "SAT calls" column (satisfiable runs);
+    * ``total_sat_calls`` -- the "Total SAT calls" column;
+    * ``simulation_time`` -- the "Simulation" column;
+    * ``total_time`` -- the "Total runtime" column.
+    """
+
+    name: str = ""
+    num_pis: int = 0
+    num_pos: int = 0
+    depth: int = 0
+    gates_before: int = 0
+    gates_after: int = 0
+    total_sat_calls: int = 0
+    satisfiable_sat_calls: int = 0
+    unsatisfiable_sat_calls: int = 0
+    undetermined_sat_calls: int = 0
+    merges: int = 0
+    constant_merges: int = 0
+    simulation_disproofs: int = 0
+    counterexamples_simulated: int = 0
+    initial_classes: int = 0
+    initial_candidate_nodes: int = 0
+    patterns_used: int = 0
+    simulation_time: float = 0.0
+    sat_time: float = 0.0
+    total_time: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fraction of gates removed by the sweep."""
+        if self.gates_before == 0:
+            return 0.0
+        return 1.0 - self.gates_after / self.gates_before
+
+    def as_row(self) -> dict[str, object]:
+        """Table II row view of this run."""
+        return {
+            "benchmark": self.name,
+            "pi/po": f"{self.num_pis}/{self.num_pos}",
+            "lev": self.depth,
+            "gate": self.gates_before,
+            "result": self.gates_after,
+            "sat_calls": self.satisfiable_sat_calls,
+            "total_sat_calls": self.total_sat_calls,
+            "simulation_s": round(self.simulation_time, 4),
+            "total_s": round(self.total_time, 4),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or 'sweep'}: gates {self.gates_before} -> {self.gates_after} "
+            f"({100 * self.gate_reduction:.1f}% reduction), "
+            f"SAT calls {self.total_sat_calls} ({self.satisfiable_sat_calls} SAT / "
+            f"{self.unsatisfiable_sat_calls} UNSAT / {self.undetermined_sat_calls} undet), "
+            f"merges {self.merges} (+{self.constant_merges} const), "
+            f"sim disproofs {self.simulation_disproofs}, "
+            f"sim {self.simulation_time:.3f}s, total {self.total_time:.3f}s"
+        )

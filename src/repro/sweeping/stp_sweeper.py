@@ -1,0 +1,344 @@
+"""The STP-enhanced SAT sweeper (Algorithm 2 of the paper).
+
+The flow differs from the baseline FRAIG sweeper in the four ways the
+paper calls out:
+
+1. *SAT-guided initial simulation* (Section IV-A): two rounds of
+   solver-generated patterns seed the candidate classes and prove constant
+   nodes before any sweeping happens (lines 2-3 of Algorithm 2).
+2. *Reverse topological traversal*: gates are processed from the primary
+   outputs towards the inputs (line 4).
+3. *TFI-bounded driver selection*: merge drivers are taken from the
+   candidate's generalised (polarity-merged) equivalence class, ordered and
+   bounded through the transitive-fanin manager (lines 10-17).
+4. *STP-based exhaustive refinement*: before a SAT query is issued for a
+   (candidate, driver) pair, the pair's functions are computed exhaustively
+   over a common window of at most ``window_leaves`` leaves using the
+   STP-based simulator; a mismatch disproves the candidate equivalence with
+   no SAT call at all, and every SAT counter-example is likewise propagated
+   only through the nodes that still sit in equivalence classes
+   (Section IV-A, "Refinement using STP-based Simulation").
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..networks.aig import Aig, LIT_FALSE
+from ..networks.transforms import rebuild_strashed
+from ..sat.circuit import CircuitSolver, EquivalenceStatus
+from ..simulation.bitwise import simulate_aig_nodes
+from ..simulation.incremental import IncrementalAigSimulator
+from ..simulation.patterns import PatternSet
+from ..simulation.sat_guided import sat_guided_patterns
+from ..simulation.stp_simulator import (
+    compute_local_truth_tables,
+    compute_pi_supports,
+    expand_truth_table,
+)
+from ..truthtable import TruthTable
+from .constant_prop import propagate_constant_candidates
+from .equivalence import EquivalenceClasses
+from .stats import SweepStatistics
+from .tfi import TfiManager
+
+__all__ = ["StpSweeper", "stp_sweep"]
+
+
+class StpSweeper:
+    """SAT sweeping with STP-based exhaustive simulation (Algorithm 2)."""
+
+    def __init__(
+        self,
+        aig: Aig,
+        num_patterns: int = 64,
+        seed: int = 1,
+        conflict_limit: int | None = 10_000,
+        tfi_limit: int = 1000,
+        window_leaves: int = 16,
+        use_sat_guided_patterns: bool = True,
+        use_exhaustive_refinement: bool = True,
+        pattern_queries: int = 8,
+    ) -> None:
+        self.original = aig
+        self.num_patterns = num_patterns
+        self.seed = seed
+        self.conflict_limit = conflict_limit
+        self.tfi_limit = tfi_limit
+        self.window_leaves = window_leaves
+        self.use_sat_guided_patterns = use_sat_guided_patterns
+        self.use_exhaustive_refinement = use_exhaustive_refinement
+        self.pattern_queries = pattern_queries
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> tuple[Aig, SweepStatistics]:
+        """Sweep a copy of the network; returns the swept AIG and statistics."""
+        aig = self.original.clone()
+        stats = SweepStatistics(
+            name=aig.name,
+            num_pis=aig.num_pis,
+            num_pos=aig.num_pos,
+            depth=aig.depth(),
+            gates_before=aig.num_ands,
+        )
+        start = time.perf_counter()
+        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit)
+        tfi = TfiManager(aig, self.tfi_limit)
+
+        # Structural PI supports and per-node local functions, computed once
+        # up front by the STP simulator.  A node's local function stays valid
+        # across equivalence-preserving substitutions, so the cache is never
+        # invalidated during the sweep.
+        sim_start = time.perf_counter()
+        self._supports = compute_pi_supports(aig, self.window_leaves)
+        if self.use_exhaustive_refinement:
+            self._local_tables = compute_local_truth_tables(aig, self.window_leaves, self._supports)
+        else:
+            self._local_tables = {}
+        stats.simulation_time += time.perf_counter() - sim_start
+
+        # ---- lines 2-3: SAT-guided patterns, constants, initial classes ---
+        simulator, classes = self._initialise(aig, solver, stats)
+
+        # ---- one-time STP-based exhaustive refinement of every class --------
+        # (Section IV-A: only nodes inside equivalence classes are simulated,
+        # with exhaustive patterns over windows of fewer than 16 leaves.)
+        window_covered: set[int] = set()
+        if self.use_exhaustive_refinement:
+            sim_start = time.perf_counter()
+            for cls in classes.classes():
+                members = [member for member in cls.members if member != 0]
+                if len(members) < 2 or cls.representative == 0:
+                    continue
+                tables = self._window_tables(members)
+                if tables is None:
+                    continue
+                window_covered.update(members)
+                splits = classes.refine_with_truth_tables(tables)
+                stats.simulation_disproofs += splits
+            stats.simulation_time += time.perf_counter() - sim_start
+
+        merged: set[int] = set()
+
+        # ---- line 4: reverse topological order -----------------------------
+        # The traversal works from the primary outputs towards the inputs;
+        # drivers are always chosen among gates created earlier than the
+        # candidate ("merging graph vertices from input to output"), so the
+        # substituted gate's cone dangles and is removed by the final cleanup.
+        order = aig.topological_order()
+        for candidate in reversed(order):
+            # lines 7-9: skip checks.
+            if candidate in merged or classes.is_dont_touch(candidate):
+                continue
+            cls = classes.class_of(candidate)
+            if cls is None or cls.is_singleton():
+                continue
+            self._process_candidate(
+                aig, candidate, classes, solver, tfi, simulator, merged, window_covered, stats
+            )
+
+        stats.patterns_used = simulator.num_patterns
+
+        # ---- finalise --------------------------------------------------------
+        swept, _literal_map = rebuild_strashed(aig)
+        stats.gates_after = swept.num_ands
+        stats.total_sat_calls = solver.num_queries
+        stats.satisfiable_sat_calls = solver.num_satisfiable
+        stats.unsatisfiable_sat_calls = solver.num_unsatisfiable
+        stats.undetermined_sat_calls = solver.num_undetermined
+        stats.total_time = time.perf_counter() - start
+        stats.sat_time = max(0.0, stats.total_time - stats.simulation_time)
+        return swept, stats
+
+    # ------------------------------------------------------------------
+
+    def _initialise(
+        self,
+        aig: Aig,
+        solver: CircuitSolver,
+        stats: SweepStatistics,
+    ) -> tuple[IncrementalAigSimulator, EquivalenceClasses]:
+        """Lines 2-3 of Algorithm 2: patterns, constant propagation, classes."""
+        sim_start = time.perf_counter()
+        if self.use_sat_guided_patterns:
+            guided = sat_guided_patterns(
+                aig,
+                solver,
+                num_random=self.num_patterns,
+                seed=self.seed,
+                max_queries_per_round=self.pattern_queries,
+                conflict_limit=self.conflict_limit,
+            )
+            constant_patterns = guided.constant_patterns
+            equivalence_patterns = guided.equivalence_patterns
+            known_constants = guided.proven_constants
+        else:
+            constant_patterns = PatternSet.random(aig.num_pis, self.num_patterns, self.seed)
+            equivalence_patterns = constant_patterns.copy()
+            known_constants = {}
+        stats.simulation_time += time.perf_counter() - sim_start
+
+        report = propagate_constant_candidates(
+            aig,
+            constant_patterns,
+            solver,
+            known_constants=known_constants,
+            local_tables=self._local_tables or None,
+            conflict_limit=self.conflict_limit,
+        )
+        stats.constant_merges += report.substitutions
+        stats.merges += report.substitutions
+        stats.simulation_disproofs += report.exhaustive_disproofs
+        for pattern in report.counterexamples:
+            equivalence_patterns.add_pattern(pattern)
+
+        sim_start = time.perf_counter()
+        simulator = IncrementalAigSimulator(aig, equivalence_patterns)
+        stats.simulation_time += time.perf_counter() - sim_start
+
+        classes = EquivalenceClasses.from_simulation(aig, simulator.result)
+        for node in report.proved:
+            classes.remove(node)
+        stats.initial_classes = classes.num_classes
+        stats.initial_candidate_nodes = len(classes.class_nodes())
+        return simulator, classes
+
+    # ------------------------------------------------------------------
+
+    def _process_candidate(
+        self,
+        aig: Aig,
+        candidate: int,
+        classes: EquivalenceClasses,
+        solver: CircuitSolver,
+        tfi: TfiManager,
+        simulator: IncrementalAigSimulator,
+        merged: set[int],
+        window_covered: set[int],
+        stats: SweepStatistics,
+    ) -> None:
+        """Lines 10-31 of Algorithm 2 for one candidate gate."""
+        disproved_pairs: set[tuple[int, int]] = set()
+        while True:
+            cls = classes.class_of(candidate)
+            if cls is None or cls.is_singleton():
+                return
+
+            # lines 10-11: the generalised class, sorted topologically; the
+            # TFI manager then orders drivers (bounded-TFI members first).
+            drivers = [
+                member
+                for member in cls.members
+                if member != candidate
+                and member not in merged
+                and (candidate, member) not in disproved_pairs
+                and member < candidate
+            ]
+            drivers = tfi.order_drivers(candidate, drivers)
+            if 0 in cls.members and candidate != 0 and (candidate, 0) not in disproved_pairs:
+                drivers = [0] + [d for d in drivers if d != 0]
+            driver = None
+            for possible in drivers:
+                # lines 15-17: driver checks -- don't-touch and structural
+                # legality (no combinational cycle).
+                if classes.is_dont_touch(possible):
+                    continue
+                if possible != 0 and not tfi.is_legal_merge(candidate, possible):
+                    continue
+                driver = possible
+                break
+            if driver is None:
+                return
+            inverted = classes.relative_polarity(candidate, driver)
+            driver_literal = Aig.literal(driver, inverted) if driver != 0 else (LIT_FALSE ^ int(inverted))
+
+            # Constant-class candidates: an exhaustive local function that is
+            # not constant disproves the candidate without SAT.
+            if self.use_exhaustive_refinement and driver == 0:
+                local = self._local_tables.get(candidate)
+                if local is not None and not local.is_constant():
+                    stats.simulation_disproofs += 1
+                    disproved_pairs.add((candidate, 0))
+                    continue
+
+            # Pairwise exhaustive check for pairs the one-time class-level
+            # refinement could not cover (window too wide for the whole
+            # class); if both nodes were covered there, the pair is already
+            # known to agree on the window and the SAT call will be cheap.
+            pair_covered = candidate in window_covered and driver in window_covered
+            if self.use_exhaustive_refinement and driver != 0 and not pair_covered:
+                sim_start = time.perf_counter()
+                pair_tables = self._window_tables([candidate, driver])
+                stats.simulation_time += time.perf_counter() - sim_start
+                if pair_tables is not None:
+                    candidate_table = pair_tables[candidate]
+                    driver_table = ~pair_tables[driver] if inverted else pair_tables[driver]
+                    if candidate_table != driver_table:
+                        # Disproved locally -- no SAT call needed for this pair.
+                        stats.simulation_disproofs += 1
+                        disproved_pairs.add((candidate, driver))
+                        continue
+
+            # line 18: the SAT query.
+            outcome = solver.prove_equivalence(Aig.literal(candidate), driver_literal, self.conflict_limit)
+            if outcome.status is EquivalenceStatus.UNDETERMINED:
+                # lines 19-22: mark don't-touch and give up on this gate.
+                classes.mark_dont_touch(candidate)
+                classes.remove(candidate)
+                return
+            if outcome.status is EquivalenceStatus.EQUIVALENT:
+                # lines 23-24: substitute and stop processing this gate.
+                aig.substitute(candidate, driver_literal)
+                classes.remove(candidate)
+                merged.add(candidate)
+                tfi.invalidate()
+                stats.merges += 1
+                if driver == 0:
+                    stats.constant_merges += 1
+                return
+            # lines 25-28: counter-example; STP simulation restricted to the
+            # nodes that still sit in equivalence classes, then refinement.
+            assert outcome.counterexample is not None
+            sim_start = time.perf_counter()
+            ce_patterns = PatternSet.from_patterns([outcome.counterexample])
+            class_nodes = classes.class_nodes()
+            ce_signatures = simulate_aig_nodes(aig, ce_patterns, class_nodes)
+            classes.refine_with_signatures(ce_signatures, 1)
+            simulator.add_pattern(outcome.counterexample)
+            stats.simulation_time += time.perf_counter() - sim_start
+            stats.counterexamples_simulated += 1
+
+
+    # ------------------------------------------------------------------
+
+    def _window_tables(self, targets: list[int]) -> dict[int, TruthTable] | None:
+        """Exhaustive functions of ``targets`` over their combined PI support.
+
+        Uses the precomputed per-node local functions; the combined window
+        must not exceed ``window_leaves`` and every target must have a
+        cached local function, otherwise ``None`` is returned and the
+        caller falls back to SAT.
+        """
+        window: list[int] = []
+        for target in targets:
+            support = self._supports.get(target)
+            if support is None or self._local_tables.get(target) is None:
+                return None
+            for leaf in support:
+                if leaf not in window:
+                    window.append(leaf)
+                    if len(window) > self.window_leaves:
+                        return None
+        window.sort()
+        tables: dict[int, TruthTable] = {}
+        for target in targets:
+            local = self._local_tables[target]
+            assert local is not None
+            tables[target] = expand_truth_table(local, self._supports[target] or (), window)
+        return tables
+
+
+def stp_sweep(aig: Aig, **kwargs) -> tuple[Aig, SweepStatistics]:
+    """Convenience wrapper around :class:`StpSweeper`."""
+    return StpSweeper(aig, **kwargs).run()

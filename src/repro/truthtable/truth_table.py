@@ -1,0 +1,263 @@
+"""Word-packed truth tables.
+
+A :class:`TruthTable` stores the function of a small (k <= ~16 input) node
+as a single arbitrary-precision integer, bit ``i`` being the output for the
+input assignment encoded by the integer ``i`` with input 0 as the *least*
+significant bit.  This is the same convention used by mockturtle/ABC style
+truth tables and by the k-LUT networks in :mod:`repro.networks.klut`.
+
+The class is immutable and hashable so it can be used as a dictionary key
+(e.g. for structural hashing of LUTs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["TruthTable"]
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """Truth table of a ``num_vars``-input Boolean function.
+
+    Attributes
+    ----------
+    num_vars:
+        Number of inputs ``k``; the table has ``2**k`` bits.
+    bits:
+        Integer whose bit ``i`` is the function value on the assignment
+        whose binary encoding is ``i`` (input 0 = least significant bit).
+    """
+
+    num_vars: int
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        if self.num_vars > 24:
+            raise ValueError(f"truth tables limited to 24 variables, got {self.num_vars}")
+        mask = (1 << (1 << self.num_vars)) - 1
+        object.__setattr__(self, "bits", self.bits & mask)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: bool, num_vars: int = 0) -> "TruthTable":
+        """Constant-0 or constant-1 function of ``num_vars`` inputs."""
+        size = 1 << num_vars
+        return cls(num_vars, (1 << size) - 1 if value else 0)
+
+    @classmethod
+    def variable(cls, index: int, num_vars: int) -> "TruthTable":
+        """Projection onto input ``index`` among ``num_vars`` inputs."""
+        if not 0 <= index < num_vars:
+            raise ValueError(f"variable index {index} out of range for {num_vars} inputs")
+        bits = 0
+        for assignment in range(1 << num_vars):
+            if (assignment >> index) & 1:
+                bits |= 1 << assignment
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_bits(cls, output_bits: Sequence[int]) -> "TruthTable":
+        """Build from a list of outputs indexed by increasing assignment."""
+        size = len(output_bits)
+        if size == 0 or size & (size - 1):
+            raise ValueError(f"number of outputs must be a power of two, got {size}")
+        num_vars = size.bit_length() - 1
+        bits = 0
+        for index, value in enumerate(output_bits):
+            if value:
+                bits |= 1 << index
+        return cls(num_vars, bits)
+
+    @classmethod
+    def from_binary_string(cls, text: str) -> "TruthTable":
+        """Build from a binary string written most-significant assignment first.
+
+        ``"0111"`` is the 2-input NAND of the paper's Fig. 1 convention: the
+        leftmost character is the output for the all-ones assignment.
+        """
+        cleaned = text.strip()
+        if not cleaned or any(c not in "01" for c in cleaned):
+            raise ValueError(f"invalid binary truth-table string {text!r}")
+        return cls.from_bits([int(c) for c in reversed(cleaned)])
+
+    @classmethod
+    def from_hex(cls, text: str, num_vars: int) -> "TruthTable":
+        """Build from a hexadecimal string (most significant nibble first)."""
+        return cls(num_vars, int(text, 16))
+
+    @classmethod
+    def from_function(cls, function: Callable[..., bool], num_vars: int) -> "TruthTable":
+        """Build by evaluating ``function`` on every assignment.
+
+        The function receives ``num_vars`` positional Boolean arguments,
+        input 0 first.
+        """
+        bits = 0
+        for assignment in range(1 << num_vars):
+            arguments = [bool((assignment >> i) & 1) for i in range(num_vars)]
+            if function(*arguments):
+                bits |= 1 << assignment
+        return cls(num_vars, bits)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_bits(self) -> int:
+        """Number of output bits, ``2**num_vars``."""
+        return 1 << self.num_vars
+
+    def value_at(self, assignment: int) -> bool:
+        """Output for the assignment encoded by the integer ``assignment``."""
+        if not 0 <= assignment < self.num_bits:
+            raise IndexError(f"assignment {assignment} out of range for {self.num_vars} inputs")
+        return bool((self.bits >> assignment) & 1)
+
+    def evaluate(self, inputs: Sequence[bool | int]) -> bool:
+        """Output for the assignment given as a list (input 0 first)."""
+        if len(inputs) != self.num_vars:
+            raise ValueError(f"expected {self.num_vars} inputs, got {len(inputs)}")
+        assignment = 0
+        for index, value in enumerate(inputs):
+            if value:
+                assignment |= 1 << index
+        return self.value_at(assignment)
+
+    def to_bit_list(self) -> list[int]:
+        """Outputs indexed by increasing assignment."""
+        return [(self.bits >> i) & 1 for i in range(self.num_bits)]
+
+    def to_binary_string(self) -> str:
+        """Binary string, most significant assignment first (Fig. 1 style)."""
+        return "".join(str(b) for b in reversed(self.to_bit_list()))
+
+    def to_hex(self) -> str:
+        """Hexadecimal string of the packed bits (no ``0x`` prefix)."""
+        width = max(1, self.num_bits // 4)
+        return format(self.bits, f"0{width}x")
+
+    def count_ones(self) -> int:
+        """Number of satisfying assignments."""
+        return self.bits.bit_count()
+
+    def is_constant(self) -> bool:
+        """True if the function is constant 0 or constant 1."""
+        return self.bits == 0 or self.bits == (1 << self.num_bits) - 1
+
+    # -- Boolean algebra -----------------------------------------------------
+
+    def _check_same_arity(self, other: "TruthTable") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError(f"arity mismatch: {self.num_vars} vs {other.num_vars}")
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.num_vars, ~self.bits)
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_same_arity(other)
+        return TruthTable(self.num_vars, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_same_arity(other)
+        return TruthTable(self.num_vars, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_same_arity(other)
+        return TruthTable(self.num_vars, self.bits ^ other.bits)
+
+    # -- structural operations ----------------------------------------------
+
+    def cofactor(self, variable: int, value: bool) -> "TruthTable":
+        """Shannon cofactor with input ``variable`` fixed to ``value``.
+
+        The result still has ``num_vars`` inputs (the fixed input becomes a
+        don't-care), matching the usual word-level cofactor semantics.
+        """
+        if not 0 <= variable < self.num_vars:
+            raise ValueError(f"variable {variable} out of range")
+        bits = 0
+        for assignment in range(self.num_bits):
+            source = (assignment | (1 << variable)) if value else (assignment & ~(1 << variable))
+            if self.value_at(source):
+                bits |= 1 << assignment
+        return TruthTable(self.num_vars, bits)
+
+    def depends_on(self, variable: int) -> bool:
+        """True if the function actually depends on input ``variable``."""
+        return self.cofactor(variable, False) != self.cofactor(variable, True)
+
+    def support(self) -> list[int]:
+        """Indices of the inputs the function depends on."""
+        return [v for v in range(self.num_vars) if self.depends_on(v)]
+
+    def permute_inputs(self, permutation: Sequence[int]) -> "TruthTable":
+        """Reorder inputs: new input ``i`` is old input ``permutation[i]``."""
+        if sorted(permutation) != list(range(self.num_vars)):
+            raise ValueError(f"invalid permutation {list(permutation)} for {self.num_vars} inputs")
+        bits = 0
+        for assignment in range(self.num_bits):
+            source = 0
+            for new_index, old_index in enumerate(permutation):
+                if (assignment >> new_index) & 1:
+                    source |= 1 << old_index
+            if self.value_at(source):
+                bits |= 1 << assignment
+        return TruthTable(self.num_vars, bits)
+
+    def extend(self, num_vars: int) -> "TruthTable":
+        """Pad with additional (don't-care) inputs up to ``num_vars``."""
+        if num_vars < self.num_vars:
+            raise ValueError("cannot shrink a truth table with extend()")
+        result = self
+        while result.num_vars < num_vars:
+            result = TruthTable(
+                result.num_vars + 1,
+                result.bits | (result.bits << result.num_bits),
+            )
+        return result
+
+    def shrink_to_support(self) -> tuple["TruthTable", list[int]]:
+        """Project onto the true support; returns the smaller table and the kept inputs."""
+        kept = self.support()
+        bits = 0
+        for assignment in range(1 << len(kept)):
+            source = 0
+            for new_index, old_index in enumerate(kept):
+                if (assignment >> new_index) & 1:
+                    source |= 1 << old_index
+            if self.value_at(source):
+                bits |= 1 << assignment
+        return TruthTable(len(kept), bits), kept
+
+    def compose(self, inputs: Sequence["TruthTable"]) -> "TruthTable":
+        """Substitute a truth table for every input of this function.
+
+        Every element of ``inputs`` must have the same arity ``m``; the
+        result is an ``m``-input table computing
+        ``self(inputs[0](y), ..., inputs[k-1](y))``.
+        """
+        if len(inputs) != self.num_vars:
+            raise ValueError(f"expected {self.num_vars} input functions, got {len(inputs)}")
+        if self.num_vars == 0:
+            return self
+        inner_vars = inputs[0].num_vars
+        for table in inputs:
+            if table.num_vars != inner_vars:
+                raise ValueError("all composed inputs must have the same arity")
+        bits = 0
+        for assignment in range(1 << inner_vars):
+            index = 0
+            for position, table in enumerate(inputs):
+                if table.value_at(assignment):
+                    index |= 1 << position
+            if self.value_at(index):
+                bits |= 1 << assignment
+        return TruthTable(inner_vars, bits)
+
+    def __str__(self) -> str:
+        return f"TruthTable({self.num_vars} vars, 0x{self.to_hex()})"

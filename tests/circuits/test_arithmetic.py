@@ -1,0 +1,190 @@
+"""Tests for the arithmetic circuit generators (functional correctness)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.arithmetic import (
+    array_multiplier,
+    barrel_shifter,
+    carry_select_adder,
+    comparator,
+    decoder,
+    hypotenuse_unit,
+    int_to_float,
+    integer_square_root,
+    log2_unit,
+    majority_voter,
+    max_unit,
+    priority_encoder,
+    restoring_divider,
+    ripple_carry_adder,
+    sine_unit,
+    square,
+    subtractor,
+)
+
+
+def _bits(value: int, width: int) -> list[bool]:
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def _to_int(bits: list[bool]) -> int:
+    return sum(1 << i for i, bit in enumerate(bits) if bit)
+
+
+class TestAdders:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_ripple_carry_adder(self, a, b):
+        aig = ripple_carry_adder(width=8)
+        outputs = aig.evaluate(_bits(a, 8) + _bits(b, 8))
+        assert _to_int(outputs) == a + b
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_carry_select_adder(self, a, b):
+        aig = carry_select_adder(width=8, block=4)
+        outputs = aig.evaluate(_bits(a, 8) + _bits(b, 8))
+        assert _to_int(outputs) == a + b
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_subtractor(self, a, b):
+        aig = subtractor(width=6)
+        outputs = aig.evaluate(_bits(a, 6) + _bits(b, 6))
+        difference = _to_int(outputs[:6])
+        no_borrow = outputs[6]
+        assert difference == (a - b) % 64
+        assert no_borrow == (a >= b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_comparator(self, a, b):
+        aig = comparator(width=6)
+        lt, eq, gt = aig.evaluate(_bits(a, 6) + _bits(b, 6))
+        assert lt == (a < b) and eq == (a == b) and gt == (a > b)
+
+
+class TestMultiplicative:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_array_multiplier(self, a, b):
+        aig = array_multiplier(width=5)
+        outputs = aig.evaluate(_bits(a, 5) + _bits(b, 5))
+        assert _to_int(outputs) == a * b
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 31))
+    def test_square(self, a):
+        aig = square(width=5)
+        assert _to_int(aig.evaluate(_bits(a, 5))) == a * a
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 63), st.integers(1, 63))
+    def test_restoring_divider(self, n, d):
+        aig = restoring_divider(width=6)
+        outputs = aig.evaluate(_bits(n, 6) + _bits(d, 6))
+        quotient = _to_int(outputs[:6])
+        remainder = _to_int(outputs[6:])
+        assert quotient == n // d
+        assert remainder == n % d
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255))
+    def test_integer_square_root(self, x):
+        aig = integer_square_root(width=8)
+        outputs = aig.evaluate(_bits(x, 8))
+        root = _to_int(outputs[:4])
+        assert root * root <= x < (root + 1) * (root + 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_hypotenuse(self, a, b):
+        aig = hypotenuse_unit(width=4)
+        outputs = aig.evaluate(_bits(a, 4) + _bits(b, 4))
+        root = _to_int(outputs)
+        value = a * a + b * b
+        assert root * root <= value < (root + 1) * (root + 1)
+
+
+class TestShiftAndSelect:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_barrel_shifter(self, value, amount):
+        aig = barrel_shifter(width=8)
+        outputs = aig.evaluate(_bits(value, 8) + _bits(amount, 3))
+        assert _to_int(outputs) == (value << amount) & 0xFF
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    def test_max_unit(self, words):
+        aig = max_unit(width=8, operands=4)
+        inputs = []
+        for word in words:
+            inputs.extend(_bits(word, 8))
+        assert _to_int(aig.evaluate(inputs)) == max(words)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**9 - 1))
+    def test_majority_voter(self, votes):
+        aig = majority_voter(num_inputs=9)
+        bits = _bits(votes, 9)
+        assert aig.evaluate(bits) == [sum(bits) > 4]
+
+    def test_decoder_one_hot(self):
+        aig = decoder(address_width=4)
+        for address in range(16):
+            outputs = aig.evaluate(_bits(address, 4))
+            assert sum(outputs) == 1
+            assert outputs[address] is True
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**10 - 1))
+    def test_priority_encoder(self, requests):
+        aig = priority_encoder(width=10)
+        outputs = aig.evaluate(_bits(requests, 10))
+        index = _to_int(outputs[:4])
+        valid = outputs[4]
+        if requests == 0:
+            assert not valid
+        else:
+            assert valid
+            highest = max(i for i in range(10) if (requests >> i) & 1)
+            assert index == highest
+
+
+class TestApproximateUnits:
+    """The float/log/sin profiles: structural sanity plus key functional facts."""
+
+    def test_int_to_float_exponent_is_leading_one(self):
+        aig = int_to_float(width=16, mantissa=7)
+        for value in (1, 2, 3, 255, 4096, 65535):
+            outputs = aig.evaluate(_bits(value, 16))
+            exponent = _to_int(outputs[:4])
+            nonzero = outputs[-1]
+            assert nonzero is True
+            assert exponent == value.bit_length() - 1
+        assert aig.evaluate(_bits(0, 16))[-1] is False
+
+    def test_log2_integer_part(self):
+        aig = log2_unit(width=16, fraction=4)
+        for value in (1, 2, 5, 100, 30000):
+            outputs = aig.evaluate(_bits(value, 16))
+            integer_part = _to_int(outputs[:4])
+            assert integer_part == value.bit_length() - 1
+
+    def test_sine_unit_shape(self):
+        aig = sine_unit(width=8)
+        assert aig.num_pis == 8
+        assert aig.num_pos == 8
+        # sin(0) ~ 0 and the curve is symmetric around the midpoint.
+        assert _to_int(aig.evaluate(_bits(0, 8))) == 0
+        quarter = _to_int(aig.evaluate(_bits(64, 8)))
+        three_quarter = _to_int(aig.evaluate(_bits(191, 8)))
+        assert abs(quarter - three_quarter) <= 2
+
+    def test_sizes_are_nontrivial(self):
+        assert ripple_carry_adder(width=16).num_ands > 100
+        assert array_multiplier(width=6).num_ands > 200
+        assert integer_square_root(width=8).num_ands > 200

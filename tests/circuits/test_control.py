@@ -1,0 +1,113 @@
+"""Tests for the control-logic circuit generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.control import (
+    alu_decoder,
+    crc_unit,
+    gray_counter_next,
+    parity_checker,
+    round_robin_arbiter,
+    simple_controller,
+)
+
+
+def _bits(value: int, width: int) -> list[bool]:
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def _to_int(bits) -> int:
+    return sum(1 << i for i, bit in enumerate(bits) if bit)
+
+
+class TestArbiter:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_exactly_one_grant_when_requested(self, requests, pointer):
+        aig = round_robin_arbiter(num_clients=8)
+        outputs = aig.evaluate(_bits(requests, 8) + _bits(pointer, 3))
+        grants, busy = outputs[:8], outputs[8]
+        if requests == 0:
+            assert not busy and not any(grants)
+        else:
+            assert busy
+            assert sum(grants) == 1
+            granted = grants.index(True)
+            assert (requests >> granted) & 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 255), st.integers(0, 7))
+    def test_round_robin_priority(self, requests, pointer):
+        aig = round_robin_arbiter(num_clients=8)
+        outputs = aig.evaluate(_bits(requests, 8) + _bits(pointer, 3))
+        granted = outputs[:8].index(True)
+        # The granted client is the first requester at or after the pointer.
+        expected = next((pointer + offset) % 8 for offset in range(8) if (requests >> ((pointer + offset) % 8)) & 1)
+        assert granted == expected
+
+
+class TestSmallControllers:
+    def test_simple_controller_one_hot_progression(self):
+        aig = simple_controller(num_states=4, num_inputs=2)
+        # State 0 active, its trigger (input 0) high -> next state is 1.
+        state = [1, 0, 0, 0]
+        triggers = [1, 0]
+        outputs = aig.evaluate([*state, *triggers])
+        next_state = outputs[:4]
+        assert next_state[1] is True
+        # With the trigger low the machine falls back to state 0.
+        outputs = aig.evaluate([*state, 0, 0])
+        assert outputs[0] is True
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**12 - 1))
+    def test_parity_checker(self, data):
+        aig = parity_checker(width=12)
+        odd, even = aig.evaluate(_bits(data, 12))
+        expected = bin(data).count("1") % 2 == 1
+        assert odd == expected
+        assert even == (not expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 255))
+    def test_gray_counter_next(self, value):
+        aig = gray_counter_next(width=8)
+        gray = value ^ (value >> 1)
+        outputs = aig.evaluate(_bits(gray, 8))
+        next_value = (value + 1) % 256
+        expected_gray = next_value ^ (next_value >> 1)
+        assert _to_int(outputs) == expected_gray
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**8 - 1))
+    def test_crc_unit_matches_reference(self, crc_in, data):
+        width, crc_width, poly = 8, 16, 0x1021
+        aig = crc_unit(width=width, crc_width=crc_width, polynomial=poly)
+        outputs = aig.evaluate(_bits(data, width) + _bits(crc_in, crc_width))
+
+        # Bit-serial reference implementation.
+        state = crc_in
+        for position in reversed(range(width)):
+            bit = (data >> position) & 1
+            feedback = ((state >> (crc_width - 1)) & 1) ^ bit
+            state = (state << 1) & ((1 << crc_width) - 1)
+            if feedback:
+                state ^= poly
+        assert _to_int(outputs) == state
+
+    def test_alu_decoder_operations(self):
+        width = 6
+        aig = alu_decoder(opcode_width=3, width=width)
+        a, b = 0b101101 & ((1 << width) - 1), 0b011011
+        for opcode, expected in [
+            (0b000, (a + b) & ((1 << width) - 1)),
+            (0b001, a & b),
+            (0b010, a | b),
+        ]:
+            outputs = aig.evaluate(_bits(opcode, 3) + _bits(a, width) + _bits(b, width))
+            assert _to_int(outputs[:width]) == expected
+        # Zero flag.
+        outputs = aig.evaluate(_bits(0b001, 3) + _bits(0b101010, width) + _bits(0b010101, width))
+        assert outputs[-1] is True

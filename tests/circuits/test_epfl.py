@@ -1,0 +1,47 @@
+"""Tests for the EPFL benchmark registry."""
+
+import pytest
+
+from repro.circuits import EPFL_BENCHMARKS, epfl_benchmark, epfl_suite
+
+#: The twenty profiles of Table I.
+EXPECTED_NAMES = {
+    "adder", "bar", "div", "hyp", "log2", "max", "multiplier", "sin", "sqrt", "square",
+    "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority", "router", "voter",
+}
+
+
+class TestRegistry:
+    def test_all_twenty_profiles_present(self):
+        assert set(EPFL_BENCHMARKS) == EXPECTED_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            epfl_benchmark("does_not_exist")
+
+    def test_names_propagate(self):
+        aig = epfl_benchmark("adder")
+        assert aig.name == "adder"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    def test_each_benchmark_builds_and_is_nontrivial(self, name):
+        aig = epfl_benchmark(name)
+        assert aig.num_pis > 0
+        assert aig.num_pos > 0
+        assert aig.num_ands > 20
+        # Every benchmark can be simulated.
+        outputs = aig.evaluate([False] * aig.num_pis)
+        assert len(outputs) == aig.num_pos
+
+    def test_construction_is_deterministic(self):
+        first = epfl_benchmark("cavlc")
+        second = epfl_benchmark("cavlc")
+        assert first.num_ands == second.num_ands
+        assert first.evaluate([True] * first.num_pis) == second.evaluate([True] * second.num_pis)
+
+    def test_suite_selection(self):
+        subset = epfl_suite(["ctrl", "dec"])
+        assert set(subset) == {"ctrl", "dec"}
+
+    def test_arithmetic_benchmarks_larger_than_control(self):
+        assert epfl_benchmark("multiplier").num_ands > epfl_benchmark("ctrl").num_ands

@@ -1,0 +1,53 @@
+"""Tests for the seeded random AIG generators."""
+
+import pytest
+
+from repro.circuits.random_logic import layered_random_aig, random_aig
+
+
+class TestRandomAig:
+    def test_reproducible_for_seed(self):
+        a = random_aig(num_pis=8, num_gates=100, num_pos=4, seed=5)
+        b = random_aig(num_pis=8, num_gates=100, num_pos=4, seed=5)
+        c = random_aig(num_pis=8, num_gates=100, num_pos=4, seed=6)
+        assert a.num_ands == b.num_ands
+        assert a.pos == b.pos
+        for assignment in (0, 37, 255):
+            values = [bool(assignment & (1 << i)) for i in range(8)]
+            assert a.evaluate(values) == b.evaluate(values)
+        assert c.num_ands != a.num_ands or c.pos != a.pos
+
+    def test_requested_size(self):
+        aig = random_aig(num_pis=10, num_gates=250, num_pos=6, seed=1)
+        assert aig.num_pis == 10
+        assert aig.num_pos == 6
+        assert aig.num_ands >= 250
+
+    def test_minimum_inputs(self):
+        with pytest.raises(ValueError):
+            random_aig(num_pis=1, num_gates=10)
+
+    def test_outputs_are_gates(self):
+        aig = random_aig(num_pis=6, num_gates=60, num_pos=5, seed=2)
+        for po in aig.pos:
+            node = po >> 1
+            assert aig.is_and(node)
+
+
+class TestLayeredRandomAig:
+    def test_shape(self):
+        aig = layered_random_aig(num_pis=12, num_layers=6, layer_width=20, num_pos=8, seed=3)
+        assert aig.num_pis == 12
+        assert aig.num_pos == 8
+        assert aig.depth() >= 6
+
+    def test_reproducible(self):
+        a = layered_random_aig(seed=9)
+        b = layered_random_aig(seed=9)
+        assert a.num_ands == b.num_ands
+        assert a.pos == b.pos
+
+    def test_evaluable(self):
+        aig = layered_random_aig(num_pis=8, num_layers=4, layer_width=12, num_pos=4, seed=4)
+        outputs = aig.evaluate([True] * 8)
+        assert len(outputs) == 4

@@ -1,0 +1,109 @@
+"""Tests for the file-level command-line tools (repro-simulate / repro-sweep)."""
+
+import pytest
+
+from repro.circuits.arithmetic import ripple_carry_adder
+from repro.circuits.sweep_workloads import inject_redundancy
+from repro.harness.cli import read_network, simulate_main, sweep_main, write_network
+from repro.io import read_aiger_file, write_aiger_file, write_bench_file
+from repro.networks import Aig
+
+
+@pytest.fixture()
+def adder_file(tmp_path):
+    aig = ripple_carry_adder(width=4, name="adder4")
+    path = tmp_path / "adder4.aag"
+    write_aiger_file(aig, path)
+    return path
+
+
+@pytest.fixture()
+def workload_file(tmp_path):
+    base = ripple_carry_adder(width=5, name="base")
+    workload, _ = inject_redundancy(base, duplication_fraction=0.3, constant_cones=1, seed=3)
+    path = tmp_path / "workload.aag"
+    write_aiger_file(workload, path)
+    return path, workload
+
+
+class TestNetworkIo:
+    def test_read_network_formats(self, tmp_path):
+        aig = ripple_carry_adder(width=3)
+        aiger_path = tmp_path / "a.aig"
+        bench_path = tmp_path / "a.bench"
+        write_aiger_file(aig, aiger_path)
+        write_bench_file(aig, bench_path)
+        assert read_network(str(aiger_path)).num_pos == aig.num_pos
+        assert read_network(str(bench_path)).num_pos == aig.num_pos
+        with pytest.raises(ValueError):
+            read_network("circuit.xyz")
+
+    @pytest.mark.parametrize("extension", ["aag", "aig", "bench", "blif", "v"])
+    def test_write_network_formats(self, tmp_path, extension):
+        aig = ripple_carry_adder(width=3)
+        path = tmp_path / f"out.{extension}"
+        write_network(aig, str(path))
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_write_network_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_network(ripple_carry_adder(width=2), str(tmp_path / "out.xyz"))
+
+
+class TestSimulateCli:
+    @pytest.mark.parametrize("engine", ["aig", "lut", "stp"])
+    def test_engines_run(self, adder_file, capsys, engine):
+        exit_code = simulate_main([str(adder_file), "--engine", engine, "--patterns", "32"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "simulated 32 patterns" in captured.out
+        assert "s0" in captured.out
+
+    def test_csv_output(self, adder_file, tmp_path, capsys):
+        csv_path = tmp_path / "signatures.csv"
+        exit_code = simulate_main([str(adder_file), "--patterns", "16", "--csv", str(csv_path)])
+        capsys.readouterr()
+        assert exit_code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "output,ones,patterns,signature_hex"
+        assert len(lines) == 1 + 5  # 4 sum bits + carry
+
+    def test_engines_agree_on_signatures(self, adder_file, tmp_path, capsys):
+        paths = {}
+        for engine in ("aig", "lut", "stp"):
+            csv_path = tmp_path / f"{engine}.csv"
+            simulate_main([str(adder_file), "--engine", engine, "--patterns", "64", "--csv", str(csv_path)])
+            paths[engine] = csv_path.read_text()
+            capsys.readouterr()
+        assert paths["aig"] == paths["lut"] == paths["stp"]
+
+
+class TestSweepCli:
+    @pytest.mark.parametrize("engine", ["fraig", "stp"])
+    def test_sweep_and_write(self, workload_file, tmp_path, capsys, engine):
+        path, workload = workload_file
+        output = tmp_path / "swept.aag"
+        exit_code = sweep_main(
+            [str(path), "--engine", engine, "--patterns", "32", "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "equivalence check: equivalent" in captured.out
+        swept = read_aiger_file(output)
+        assert swept.num_ands < workload.num_ands
+        assert swept.num_pos == workload.num_pos
+
+    def test_sweep_without_verification(self, workload_file, capsys):
+        path, _workload = workload_file
+        exit_code = sweep_main([str(path), "--no-verify", "--patterns", "16"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "equivalence check" not in captured.out
+
+    def test_blif_output(self, workload_file, tmp_path, capsys):
+        path, _workload = workload_file
+        output = tmp_path / "swept.blif"
+        exit_code = sweep_main([str(path), "--patterns", "16", "--output", str(output)])
+        capsys.readouterr()
+        assert exit_code == 0
+        assert output.read_text().startswith(".model")

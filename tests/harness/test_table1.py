@@ -1,0 +1,52 @@
+"""Tests for the Table I harness (small pattern counts for speed)."""
+
+import pytest
+
+from repro.harness import Table1Row, format_table1, run_table1
+
+
+class TestRunTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table1(benchmarks=["ctrl", "dec", "int2float"], num_patterns=128)
+
+    def test_row_per_benchmark(self, rows):
+        assert [row.benchmark for row in rows] == ["ctrl", "dec", "int2float"]
+
+    def test_times_are_positive(self, rows):
+        for row in rows:
+            assert row.ta_baseline > 0 and row.ta_stp > 0
+            assert row.tl_baseline > 0 and row.tl_stp > 0
+
+    def test_speedups_consistent(self, rows):
+        for row in rows:
+            assert row.ta_speedup == pytest.approx(row.ta_baseline / row.ta_stp)
+            assert row.tl_speedup == pytest.approx(row.tl_baseline / row.tl_stp)
+
+    def test_stp_accelerates_lut_simulation(self, rows):
+        """The headline claim of Table I: TL speedup > 1 on (geometric) average."""
+        from repro.harness import geometric_mean
+
+        assert geometric_mean([row.tl_speedup for row in rows]) > 1.0
+
+    def test_formatting_contains_summary(self, rows):
+        text = format_table1(rows)
+        assert "Table I" in text
+        assert "Imp." in text
+        assert "ctrl" in text
+
+    def test_row_dataclass_fields(self):
+        row = Table1Row("x", 10, 5, 1.0, 0.5, 4.0, 0.5)
+        assert row.ta_speedup == 2.0
+        assert row.tl_speedup == 8.0
+
+
+class TestCli:
+    def test_main_runs_on_tiny_configuration(self, capsys):
+        from repro.harness.table1 import main
+
+        exit_code = main(["--benchmarks", "ctrl", "--patterns", "64"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ctrl" in captured.out
+        assert "Imp." in captured.out

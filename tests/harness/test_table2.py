@@ -1,0 +1,46 @@
+"""Tests for the Table II harness (one small workload for speed)."""
+
+import pytest
+
+from repro.circuits.arithmetic import ripple_carry_adder
+from repro.circuits.sweep_workloads import inject_redundancy
+from repro.harness import format_table2, run_single_comparison, run_table2
+
+
+@pytest.fixture(scope="module")
+def small_row():
+    base = ripple_carry_adder(width=6, name="tiny")
+    workload, _ = inject_redundancy(
+        base, duplication_fraction=0.25, constant_cones=1, near_miss_count=4, seed=33
+    )
+    return run_single_comparison(workload, num_patterns=32, verify=True)
+
+
+class TestSingleComparison:
+    def test_both_engines_verified(self, small_row):
+        assert small_row.baseline_verified
+        assert small_row.stp_verified
+
+    def test_same_quality_of_result(self, small_row):
+        assert small_row.stp.gates_after == small_row.baseline.gates_after
+
+    def test_statistics_populated(self, small_row):
+        assert small_row.baseline.total_sat_calls > 0
+        assert small_row.stp.total_sat_calls > 0
+        assert small_row.baseline.total_time > 0
+        assert small_row.runtime_ratio > 0
+
+    def test_formatting(self, small_row):
+        text = format_table2([small_row])
+        assert "Table II" in text
+        assert "tiny" in text
+        assert "Imp." in text
+        assert "ok" in text
+
+
+class TestRunTable2:
+    def test_named_workload_subset(self):
+        rows = run_table2(workloads=["leon2"], num_patterns=32, verify=False)
+        assert len(rows) == 1
+        assert rows[0].benchmark == "leon2"
+        assert rows[0].stp.gates_after <= rows[0].stp.gates_before

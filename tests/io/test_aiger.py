@@ -1,0 +1,95 @@
+"""Tests for the AIGER reader/writer (ASCII and binary)."""
+
+import pytest
+
+from repro.io import read_aiger, read_aiger_file, write_aiger, write_aiger_file
+from repro.networks import Aig
+
+
+def _same_function(a: Aig, b: Aig) -> bool:
+    assert a.num_pis == b.num_pis and a.num_pos == b.num_pos
+    for assignment in range(1 << a.num_pis):
+        values = [bool(assignment & (1 << i)) for i in range(a.num_pis)]
+        if a.evaluate(values) != b.evaluate(values):
+            return False
+    return True
+
+
+class TestAsciiFormat:
+    def test_roundtrip_small(self, small_aig):
+        data = write_aiger(small_aig)
+        assert data.startswith(b"aag ")
+        parsed = read_aiger(data)
+        assert _same_function(small_aig, parsed)
+        assert parsed.pi_names == small_aig.pi_names
+        assert parsed.po_names == small_aig.po_names
+
+    def test_roundtrip_adder(self, ripple_adder_4):
+        parsed = read_aiger(write_aiger(ripple_adder_4))
+        assert _same_function(ripple_adder_4, parsed)
+
+    def test_accepts_text_input(self):
+        text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+        aig = read_aiger(text)
+        assert aig.num_pis == 2 and aig.num_pos == 1 and aig.num_ands == 1
+        assert aig.evaluate([True, True]) == [True]
+        assert aig.evaluate([True, False]) == [False]
+
+    def test_complemented_output(self):
+        text = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n"
+        aig = read_aiger(text)
+        assert aig.evaluate([True, True]) == [False]
+
+    def test_constant_outputs(self):
+        text = "aag 1 1 0 2 0\n2\n0\n1\n"
+        aig = read_aiger(text)
+        assert aig.evaluate([True]) == [False, True]
+
+    def test_latches_become_extra_ios(self):
+        # One latch: output literal 4, next-state literal 2.
+        text = "aag 2 1 1 1 0\n2\n4 2\n4\n"
+        aig = read_aiger(text)
+        assert aig.num_pis == 2  # the real PI plus the latch output
+        assert aig.num_pos == 2  # the real PO plus the latch next-state
+
+    def test_invalid_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_aiger("not an aiger file")
+        with pytest.raises(ValueError):
+            read_aiger(b"xyz 0 0 0 0 0\n")
+
+    def test_undefined_literal_rejected(self):
+        with pytest.raises(ValueError):
+            read_aiger("aag 3 1 0 1 1\n2\n8\n6 2 4\n")
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, small_aig):
+        data = write_aiger(small_aig, binary=True)
+        assert data.startswith(b"aig ")
+        parsed = read_aiger(data)
+        assert _same_function(small_aig, parsed)
+
+    def test_binary_matches_ascii(self, ripple_adder_4):
+        from_ascii = read_aiger(write_aiger(ripple_adder_4, binary=False))
+        from_binary = read_aiger(write_aiger(ripple_adder_4, binary=True))
+        assert _same_function(from_ascii, from_binary)
+
+    def test_varint_encoding_roundtrip(self):
+        from repro.io.aiger import _decode_varint, _encode_varint
+
+        for value in (0, 1, 127, 128, 255, 300, 2**20, 2**28 + 5):
+            encoded = _encode_varint(value)
+            decoded, cursor = _decode_varint(encoded, 0)
+            assert decoded == value
+            assert cursor == len(encoded)
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path, small_aig):
+        ascii_path = tmp_path / "net.aag"
+        binary_path = tmp_path / "net.aig"
+        write_aiger_file(small_aig, ascii_path)
+        write_aiger_file(small_aig, binary_path)
+        assert read_aiger_file(ascii_path).num_ands == read_aiger_file(binary_path).num_ands
+        assert read_aiger_file(binary_path).name == "net"

@@ -1,0 +1,100 @@
+"""Tests for the BENCH reader/writer."""
+
+import pytest
+
+from repro.io import read_bench, read_bench_file, write_bench, write_bench_file
+from repro.networks import Aig
+
+
+class TestReader:
+    def test_basic_gates(self):
+        text = """
+# comment
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y1)
+OUTPUT(y2)
+n1 = AND(a, b)
+n2 = OR(n1, c)
+y1 = NOT(n2)
+y2 = XOR(a, c)
+"""
+        aig = read_bench(text)
+        assert aig.num_pis == 3 and aig.num_pos == 2
+        for assignment in range(8):
+            a, b, c = (bool(assignment & (1 << i)) for i in range(3))
+            outputs = aig.evaluate([a, b, c])
+            assert outputs[0] == (not ((a and b) or c))
+            assert outputs[1] == (a ^ c)
+
+    def test_wide_and_mux_gates(self):
+        text = """
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(m)
+y = NAND(a, b, c, d)
+m = MUX(a, b, c)
+"""
+        aig = read_bench(text)
+        for assignment in range(16):
+            a, b, c, d = (bool(assignment & (1 << i)) for i in range(4))
+            outputs = aig.evaluate([a, b, c, d])
+            assert outputs[0] == (not (a and b and c and d))
+            assert outputs[1] == (b if a else c)
+
+    def test_constants_gnd_vdd(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND(a, vdd)\n"
+        aig = read_bench(text)
+        assert aig.evaluate([True]) == [True]
+        assert aig.evaluate([False]) == [False]
+
+    def test_out_of_order_definitions(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(t, b)\nt = NOT(a)\n"
+        aig = read_bench(text)
+        assert aig.evaluate([False, True]) == [True]
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            read_bench("INPUT(a)\nOUTPUT(y)\ny = FOO(a)\n")
+
+    def test_cyclic_definition_rejected(self):
+        with pytest.raises(ValueError):
+            read_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = AND(a, y)\n")
+
+    def test_unrecognised_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(ValueError):
+            read_bench("INPUT(a)\nOUTPUT(y)\n")
+
+
+class TestWriter:
+    def test_roundtrip(self, small_aig):
+        parsed = read_bench(write_bench(small_aig))
+        assert parsed.num_pis == small_aig.num_pis
+        assert parsed.num_pos == small_aig.num_pos
+        for assignment in range(1 << small_aig.num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(small_aig.num_pis)]
+            assert parsed.evaluate(values) == small_aig.evaluate(values)
+
+    def test_constant_po(self):
+        aig = Aig()
+        aig.add_pi("a")
+        aig.add_po(1, "always_one")
+        parsed = read_bench(write_bench(aig))
+        assert parsed.evaluate([False]) == [True]
+
+    def test_file_roundtrip(self, tmp_path, ripple_adder_4):
+        path = tmp_path / "adder.bench"
+        write_bench_file(ripple_adder_4, path)
+        parsed = read_bench_file(path)
+        assert parsed.name == "adder"
+        for assignment in range(0, 256, 31):
+            values = [bool(assignment & (1 << i)) for i in range(8)]
+            assert parsed.evaluate(values) == ripple_adder_4.evaluate(values)

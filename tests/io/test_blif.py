@@ -1,0 +1,120 @@
+"""Tests for the BLIF reader/writer."""
+
+import pytest
+
+from repro.io import read_blif, read_blif_file, write_blif, write_blif_file
+from repro.networks import KLutNetwork, map_aig_to_klut
+from repro.truthtable import TruthTable, tt_xor
+
+
+class TestWriter:
+    def test_roundtrip_small(self, small_klut):
+        text = write_blif(small_klut)
+        parsed = read_blif(text)
+        assert parsed.num_pis == small_klut.num_pis
+        assert parsed.num_pos == small_klut.num_pos
+        for assignment in range(1 << small_klut.num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(small_klut.num_pis)]
+            assert parsed.evaluate(values) == small_klut.evaluate(values)
+
+    def test_negated_po_roundtrip(self):
+        network = KLutNetwork("neg")
+        a, b = network.add_pi("a"), network.add_pi("b")
+        lut = network.add_lut([a, b], tt_xor(2))
+        network.add_po(lut, negated=True, name="y")
+        parsed = read_blif(write_blif(network))
+        for values in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            assert parsed.evaluate(values) == network.evaluate(values)
+
+    def test_constant_nodes_written(self):
+        network = KLutNetwork("const")
+        network.add_pi("a")
+        network.add_po(network.constant_node(True), name="one")
+        network.add_po(network.constant_false, name="zero")
+        parsed = read_blif(write_blif(network))
+        assert parsed.evaluate([True]) == [True, False]
+
+    def test_file_roundtrip(self, tmp_path, small_klut):
+        path = tmp_path / "net.blif"
+        write_blif_file(small_klut, path)
+        parsed = read_blif_file(path)
+        # Output buffers become extra single-input LUTs, so only the
+        # interface and the function are preserved exactly.
+        assert parsed.num_pis == small_klut.num_pis
+        assert parsed.num_pos == small_klut.num_pos
+        for assignment in range(1 << small_klut.num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(small_klut.num_pis)]
+            assert parsed.evaluate(values) == small_klut.evaluate(values)
+
+
+class TestReader:
+    def test_simple_document(self):
+        text = """
+.model test
+.inputs a b c
+.outputs y
+.names a b ab
+11 1
+.names ab c y
+1- 1
+-1 1
+.end
+"""
+        network = read_blif(text)
+        assert network.num_pis == 3
+        assert network.num_pos == 1
+        # y = (a & b) | c
+        for assignment in range(8):
+            a, b, c = (bool(assignment & (1 << i)) for i in range(3))
+            assert network.evaluate([a, b, c]) == [(a and b) or c]
+
+    def test_inverted_cover(self):
+        text = ".model inv\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n"
+        network = read_blif(text)
+        assert network.evaluate([True]) == [False]
+        assert network.evaluate([False]) == [True]
+
+    def test_constant_names_block(self):
+        text = ".model c\n.inputs a\n.outputs y\n.names y\n1\n.end\n"
+        network = read_blif(text)
+        assert network.evaluate([False]) == [True]
+
+    def test_out_of_order_definitions(self):
+        text = """
+.model ooo
+.inputs a b
+.outputs y
+.names t1 t2 y
+11 1
+.names a b t1
+10 1
+.names a b t2
+01 1
+.end
+"""
+        network = read_blif(text)
+        assert network.evaluate([True, False]) == [False]
+
+    def test_continuation_lines(self):
+        text = ".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n"
+        network = read_blif(text)
+        assert network.num_pis == 2
+
+    def test_unsupported_constructs_rejected(self):
+        with pytest.raises(ValueError):
+            read_blif(".model x\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(ValueError):
+            read_blif(".model x\n.inputs a\n.outputs y\n.end\n")
+
+    def test_malformed_cover_rejected(self):
+        with pytest.raises(ValueError):
+            read_blif(".model x\n.inputs a\n.outputs y\n.names a y\n1 1 1\n.end\n")
+
+    def test_mapped_adder_roundtrip(self, ripple_adder_4):
+        klut, _ = map_aig_to_klut(ripple_adder_4, k=4)
+        parsed = read_blif(write_blif(klut))
+        for assignment in range(0, 256, 17):
+            values = [bool(assignment & (1 << i)) for i in range(8)]
+            assert parsed.evaluate(values) == klut.evaluate(values)

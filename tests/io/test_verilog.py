@@ -1,0 +1,72 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+import pytest
+
+from repro.io import write_verilog, write_verilog_file
+from repro.networks import Aig
+
+
+class TestAigWriter:
+    def test_module_structure(self, small_aig):
+        text = write_verilog(small_aig)
+        assert text.startswith("module small(")
+        assert text.rstrip().endswith("endmodule")
+        for name in small_aig.pi_names:
+            assert f"input {name};" in text
+        for name in small_aig.po_names:
+            assert f"output {name};" in text
+        assert text.count("assign") >= small_aig.num_ands + small_aig.num_pos
+
+    def test_every_gate_is_an_and(self, small_aig):
+        text = write_verilog(small_aig)
+        gate_lines = [l for l in text.splitlines() if re.match(r"\s*assign n\d+ =", l)]
+        assert len(gate_lines) == small_aig.num_ands
+        assert all("&" in line for line in gate_lines)
+
+    def test_constant_and_complemented_outputs(self):
+        aig = Aig("c")
+        a = aig.add_pi("a")
+        aig.add_po(1, "one")
+        aig.add_po(Aig.negate(a), "na")
+        text = write_verilog(aig)
+        assert "assign one = 1'b1;" in text
+        assert "assign na = ~a;" in text
+
+    def test_name_sanitisation(self):
+        aig = Aig("top-level.design")
+        a = aig.add_pi("in[0]")
+        aig.add_po(a, "1out")
+        text = write_verilog(aig)
+        assert "module top_level_design(" in text
+        assert "in_0_" in text
+        assert "s_1out" in text
+
+    def test_module_name_override(self, small_aig):
+        assert write_verilog(small_aig, module_name="custom").startswith("module custom(")
+
+    def test_file_output(self, tmp_path, small_aig):
+        path = tmp_path / "out.v"
+        write_verilog_file(small_aig, path)
+        assert path.read_text().startswith("module")
+
+
+class TestKlutWriter:
+    def test_lut_network(self, small_klut):
+        text = write_verilog(small_klut)
+        assert text.startswith("module")
+        assert text.count("assign") >= small_klut.num_luts
+
+    def test_negated_po(self):
+        from repro.networks import KLutNetwork
+
+        network = KLutNetwork("neg")
+        a = network.add_pi("a")
+        network.add_po(a, negated=True, name="y")
+        text = write_verilog(network)
+        assert "assign y = ~a;" in text
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            write_verilog(42)

@@ -1,0 +1,242 @@
+"""Unit and property-based tests for the AIG container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Aig, LIT_FALSE, LIT_TRUE
+
+
+class TestLiterals:
+    def test_literal_encoding(self):
+        assert Aig.literal(5) == 10
+        assert Aig.literal(5, True) == 11
+        assert Aig.node_of(11) == 5
+        assert Aig.is_complemented(11)
+        assert not Aig.is_complemented(10)
+        assert Aig.negate(10) == 11
+        assert Aig.regular(11) == 10
+
+    def test_constants(self):
+        assert LIT_FALSE == 0
+        assert LIT_TRUE == 1
+
+
+class TestConstruction:
+    def test_pi_and_po_bookkeeping(self):
+        aig = Aig("t")
+        a = aig.add_pi("a")
+        b = aig.add_pi()
+        assert aig.num_pis == 2
+        assert aig.pi_names == ["a", "pi1"]
+        aig.add_po(aig.add_and(a, b), "out")
+        assert aig.num_pos == 1
+        assert aig.po_names == ["out"]
+
+    def test_strashing_deduplicates(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        first = aig.add_and(a, b)
+        second = aig.add_and(b, a)
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_one_level_simplifications(self):
+        aig = Aig()
+        a = aig.add_pi()
+        assert aig.add_and(a, LIT_FALSE) == LIT_FALSE
+        assert aig.add_and(a, LIT_TRUE) == a
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, Aig.negate(a)) == LIT_FALSE
+        assert aig.num_ands == 0
+
+    def test_invalid_literal_rejected(self):
+        aig = Aig()
+        a = aig.add_pi()
+        with pytest.raises(ValueError):
+            aig.add_and(a, 999)
+        with pytest.raises(ValueError):
+            aig.add_po(999)
+
+    def test_derived_gates_semantics(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        aig.add_po(aig.add_or(a, b), "or")
+        aig.add_po(aig.add_xor(a, b), "xor")
+        aig.add_po(aig.add_xnor(a, b), "xnor")
+        aig.add_po(aig.add_nand(a, b), "nand")
+        aig.add_po(aig.add_nor(a, b), "nor")
+        aig.add_po(aig.add_mux(a, b, c), "mux")
+        aig.add_po(aig.add_maj(a, b, c), "maj")
+        for assignment in range(8):
+            va, vb, vc = (bool(assignment & (1 << i)) for i in range(3))
+            outputs = aig.evaluate([va, vb, vc])
+            assert outputs[0] == (va or vb)
+            assert outputs[1] == (va ^ vb)
+            assert outputs[2] == (va == vb)
+            assert outputs[3] == (not (va and vb))
+            assert outputs[4] == (not (va or vb))
+            assert outputs[5] == (vb if va else vc)
+            assert outputs[6] == (int(va) + int(vb) + int(vc) >= 2)
+
+    def test_multi_input_gates(self):
+        aig = Aig()
+        literals = [aig.add_pi() for _ in range(5)]
+        aig.add_po(aig.add_and_multi(literals), "and")
+        aig.add_po(aig.add_or_multi(literals), "or")
+        aig.add_po(aig.add_xor_multi(literals), "xor")
+        assert aig.add_and_multi([]) == LIT_TRUE
+        assert aig.add_or_multi([]) == LIT_FALSE
+        for assignment in range(32):
+            values = [bool(assignment & (1 << i)) for i in range(5)]
+            outputs = aig.evaluate(values)
+            assert outputs[0] == all(values)
+            assert outputs[1] == any(values)
+            assert outputs[2] == (sum(values) % 2 == 1)
+
+
+class TestQueries:
+    def test_node_kind_predicates(self, small_aig):
+        assert small_aig.is_constant(0)
+        assert small_aig.is_pi(1)
+        assert not small_aig.is_and(1)
+        gate = next(iter(small_aig.gates()))
+        assert small_aig.is_and(gate)
+
+    def test_topological_order_is_consistent(self, small_aig):
+        order = small_aig.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            for fanin in small_aig.fanin_nodes(node):
+                if small_aig.is_and(fanin):
+                    assert position[fanin] < position[node]
+        assert len(order) == small_aig.num_ands
+
+    def test_levels_and_depth(self, small_aig):
+        levels = small_aig.levels()
+        assert all(levels[pi] == 0 for pi in small_aig.pis)
+        assert small_aig.depth() == max(
+            levels[Aig.node_of(po)] for po in small_aig.pos
+        )
+
+    def test_fanout_counts(self, small_aig):
+        counts = small_aig.fanout_counts()
+        total_refs = sum(2 for _ in small_aig.gates()) + small_aig.num_pos
+        assert sum(counts.values()) == total_refs
+
+    def test_tfi_tfo(self, small_aig):
+        po_node = Aig.node_of(small_aig.pos[0])
+        cone = small_aig.tfi([po_node])
+        assert po_node in cone
+        assert any(small_aig.is_pi(n) for n in cone)
+        pi = small_aig.pis[0]
+        fanout_cone = small_aig.tfo([pi])
+        assert pi in fanout_cone
+        assert po_node in fanout_cone
+
+    def test_tfi_limit(self, small_aig):
+        po_node = Aig.node_of(small_aig.pos[0])
+        bounded = small_aig.tfi([po_node], limit=2)
+        assert len(bounded) == 2
+
+    def test_pi_index(self, small_aig):
+        for index, pi in enumerate(small_aig.pis):
+            assert small_aig.pi_index(pi) == index
+        with pytest.raises(ValueError):
+            small_aig.pi_index(0)
+
+    def test_evaluate_arity_check(self, small_aig):
+        with pytest.raises(ValueError):
+            small_aig.evaluate([True])
+
+
+class TestMutation:
+    def test_substitute_redirects_references(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, a)
+        aig.add_po(y)
+        # Substitute x by constant true: y should behave as AND(1, a) == a.
+        rewritten = aig.substitute(Aig.node_of(x), LIT_TRUE)
+        assert rewritten == 1
+        for va in (False, True):
+            for vb in (False, True):
+                assert aig.evaluate([va, vb]) == [va]
+
+    def test_substitute_with_complement(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        aig.add_po(Aig.negate(x))
+        aig.substitute(Aig.node_of(x), Aig.negate(a))
+        # PO was !x; with x := !a the PO becomes !!a == a.
+        assert aig.evaluate([True, False]) == [True]
+        assert aig.evaluate([False, True]) == [False]
+
+    def test_substitute_rejects_pi_and_self(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        with pytest.raises(ValueError):
+            aig.substitute(Aig.node_of(a), x)
+        with pytest.raises(ValueError):
+            aig.substitute(Aig.node_of(x), x)
+
+    def test_replace_fanin(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, c)
+        aig.add_po(y)
+        assert aig.replace_fanin(Aig.node_of(y), Aig.node_of(x), a)
+        assert aig.evaluate([True, False, True]) == [True]
+
+    def test_clone_is_independent(self, small_aig):
+        copy = small_aig.clone()
+        copy.add_pi("extra")
+        assert copy.num_pis == small_aig.num_pis + 1
+
+    def test_set_po(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        aig.add_po(a)
+        aig.set_po(0, b)
+        assert aig.pos[0] == b
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_construction_matches_python_semantics(self, seed):
+        """A randomly built AIG evaluates like the Python expressions used to build it."""
+        import random
+
+        rng = random.Random(seed)
+        aig = Aig()
+        num_pis = rng.randint(2, 5)
+        pis = [aig.add_pi() for _ in range(num_pis)]
+        expressions = {Aig.regular(pi): (lambda values, i=i: values[i]) for i, pi in enumerate(pis)}
+        expressions[0] = lambda values: False
+        literals = list(pis)
+        for _ in range(rng.randint(1, 15)):
+            a, b = rng.choice(literals), rng.choice(literals)
+            invert_a, invert_b = rng.random() < 0.5, rng.random() < 0.5
+            lit_a = Aig.negate(a) if invert_a else a
+            lit_b = Aig.negate(b) if invert_b else b
+            new_literal = aig.add_and(lit_a, lit_b)
+            fa, fb = expressions[Aig.regular(a)], expressions[Aig.regular(b)]
+
+            def fn(values, fa=fa, fb=fb, ia=invert_a ^ Aig.is_complemented(a), ib=invert_b ^ Aig.is_complemented(b)):
+                return (fa(values) ^ ia) and (fb(values) ^ ib)
+
+            if not Aig.is_complemented(new_literal) and Aig.node_of(new_literal) != 0:
+                expressions.setdefault(Aig.regular(new_literal), fn)
+            literals.append(new_literal)
+        output = rng.choice(literals)
+        aig.add_po(output)
+        for assignment in range(1 << num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(num_pis)]
+            base = expressions[Aig.regular(output)](values) if Aig.regular(output) != 0 else False
+            expected = base ^ Aig.is_complemented(output)
+            assert aig.evaluate(values) == [expected]

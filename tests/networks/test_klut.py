@@ -1,0 +1,111 @@
+"""Unit tests for the k-LUT network container."""
+
+import pytest
+
+from repro.networks import KLutNetwork
+from repro.truthtable import TruthTable, tt_and, tt_mux, tt_xor
+
+
+class TestConstruction:
+    def test_constant_nodes(self):
+        network = KLutNetwork()
+        assert network.constant_false == 0
+        assert network.is_constant(0)
+        assert network.constant_value(0) is False
+        true_node = network.constant_node(True)
+        assert network.constant_value(true_node) is True
+        # Constant true is created once.
+        assert network.constant_node(True) == true_node
+
+    def test_add_lut_validates_arity(self):
+        network = KLutNetwork()
+        a = network.add_pi("a")
+        with pytest.raises(ValueError):
+            network.add_lut([a], tt_and(2))
+        with pytest.raises(ValueError):
+            network.add_lut([a, 999], tt_and(2))
+
+    def test_add_po_validates_node(self):
+        network = KLutNetwork()
+        with pytest.raises(ValueError):
+            network.add_po(42)
+
+    def test_counts_and_names(self):
+        network = KLutNetwork("n")
+        a, b = network.add_pi("a"), network.add_pi("b")
+        lut = network.add_lut([a, b], tt_xor(2))
+        network.add_po(lut, name="y")
+        assert network.num_pis == 2
+        assert network.num_pos == 1
+        assert network.num_luts == 1
+        assert network.pi_names == ["a", "b"]
+        assert network.po_names == ["y"]
+        assert network.max_fanin_size() == 2
+
+    def test_kind_predicates(self, small_klut):
+        for pi in small_klut.pis:
+            assert small_klut.is_pi(pi)
+            assert not small_klut.is_lut(pi)
+        for lut in small_klut.luts():
+            assert small_klut.is_lut(lut)
+        with pytest.raises(ValueError):
+            small_klut.lut_function(small_klut.pis[0])
+        with pytest.raises(ValueError):
+            small_klut.lut_fanins(small_klut.pis[0])
+        with pytest.raises(ValueError):
+            small_klut.constant_value(small_klut.pis[0])
+
+
+class TestTraversalAndEvaluation:
+    def test_topological_order(self, small_klut):
+        order = small_klut.topological_order()
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            for fanin in small_klut.lut_fanins(node):
+                if small_klut.is_lut(fanin):
+                    assert position[fanin] < position[node]
+
+    def test_levels_and_depth(self, fig1_klut):
+        levels = fig1_klut.levels()
+        nodes = fig1_klut.fig1_nodes
+        assert levels[nodes[6]] == 1
+        assert levels[nodes[10]] == 2
+        assert fig1_klut.depth() == 2
+
+    def test_fanout_counts(self, fig1_klut):
+        counts = fig1_klut.fanout_counts()
+        nodes = fig1_klut.fig1_nodes
+        # PI 3 feeds nodes 6, 7 and 8.
+        assert counts[nodes["pis"][3]] == 3
+        # Node 10 only feeds po1.
+        assert counts[nodes[10]] == 1
+
+    def test_evaluation_nand_network(self, fig1_klut):
+        # All-ones input: every first-level NAND is 0, so both outputs are 1.
+        assert fig1_klut.evaluate([1, 1, 1, 1, 1]) == [True, True]
+        # All-zeros input: first-level NANDs are 1, outputs are 0.
+        assert fig1_klut.evaluate([0, 0, 0, 0, 0]) == [False, False]
+
+    def test_negated_po(self):
+        network = KLutNetwork()
+        a = network.add_pi("a")
+        network.add_po(a, negated=True)
+        assert network.evaluate([True]) == [False]
+        assert network.evaluate([False]) == [True]
+
+    def test_evaluate_arity_check(self, small_klut):
+        with pytest.raises(ValueError):
+            small_klut.evaluate([True])
+
+    def test_tfi(self, fig1_klut):
+        nodes = fig1_klut.fig1_nodes
+        cone = fig1_klut.tfi([nodes[10]])
+        assert nodes[6] in cone and nodes[7] in cone
+        assert nodes[9] not in cone
+
+
+class TestAgainstAig:
+    def test_mapped_network_matches_aig(self, small_aig, small_klut):
+        for assignment in range(1 << small_aig.num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(small_aig.num_pis)]
+            assert small_klut.evaluate(values) == small_aig.evaluate(values)

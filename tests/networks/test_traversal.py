@@ -1,0 +1,96 @@
+"""Tests for the generic traversal helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks.traversal import (
+    fanout_counts,
+    levelize,
+    topological_sort,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+def _chain_fanins(node: int):
+    """Fanins of a simple chain 0 <- 1 <- 2 <- ... (node n depends on n-1)."""
+    return [node - 1] if node > 0 else []
+
+
+def _dag_fanins(edges):
+    return lambda node: edges.get(node, [])
+
+
+class TestTopologicalSort:
+    def test_chain(self):
+        order = topological_sort([5], _chain_fanins)
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_shared_nodes_visited_once(self):
+        edges = {3: [1, 2], 1: [0], 2: [0]}
+        order = topological_sort([3], _dag_fanins(edges))
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order.index(0) < order.index(1)
+        assert order.index(1) < order.index(3)
+        assert order.index(2) < order.index(3)
+
+    def test_multiple_roots(self):
+        edges = {2: [0], 3: [1]}
+        order = topological_sort([2, 3], _dag_fanins(edges))
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_deep_chain_no_recursion_error(self):
+        order = topological_sort([5000], _chain_fanins)
+        assert len(order) == 5001
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(min_value=0, max_value=2**30))
+    def test_random_dag_order_valid(self, size, seed):
+        import random
+
+        rng = random.Random(seed)
+        edges = {}
+        for node in range(1, size):
+            count = rng.randint(0, min(3, node))
+            edges[node] = rng.sample(range(node), count)
+        fanins = _dag_fanins(edges)
+        order = topological_sort([size - 1], fanins)
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            for fanin in fanins(node):
+                assert position[fanin] < position[node]
+
+
+class TestLevelize:
+    def test_levels_on_dag(self):
+        edges = {3: [1, 2], 1: [0], 2: [0]}
+        order = topological_sort([3], _dag_fanins(edges))
+        levels = levelize(order, _dag_fanins(edges), sources=[0])
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_orphan_nodes_are_level_zero(self):
+        levels = levelize([7], lambda n: [], sources=[])
+        assert levels[7] == 0
+
+
+class TestCones:
+    def test_transitive_fanin_includes_roots(self):
+        edges = {3: [1, 2], 1: [0], 2: [0]}
+        cone = transitive_fanin([3], _dag_fanins(edges))
+        assert set(cone) == {0, 1, 2, 3}
+
+    def test_transitive_fanin_limit(self):
+        cone = transitive_fanin([10], _chain_fanins, limit=3)
+        assert len(cone) == 3
+
+    def test_transitive_fanout(self):
+        fanouts = {0: [1, 2], 1: [3], 2: [3]}
+        cone = transitive_fanout([0], lambda n: fanouts.get(n, []))
+        assert set(cone) == {0, 1, 2, 3}
+
+    def test_fanout_counts(self):
+        edges = {3: [1, 2], 1: [0], 2: [0]}
+        counts = fanout_counts([0, 1, 2, 3], _dag_fanins(edges), extra_references=[3])
+        assert counts[0] == 2
+        assert counts[1] == 1
+        assert counts[3] == 1

@@ -1,0 +1,159 @@
+"""Tests for the CDCL solver: correctness against DPLL, assumptions, limits."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CdclSolver, CnfFormula, SolverResult, dpll_solve
+
+
+def _random_formula(num_vars: int, num_clauses: int, seed: int, max_width: int = 3) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, max_width)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        formula.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    return formula
+
+
+class TestBasics:
+    def test_simple_sat(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve() is SolverResult.SATISFIABLE
+        assert solver.model()[2] is True
+
+    def test_simple_unsat(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is SolverResult.UNSATISFIABLE
+
+    def test_empty_clause(self):
+        solver = CdclSolver()
+        assert solver.add_clause([]) is False
+        assert solver.solve() is SolverResult.UNSATISFIABLE
+
+    def test_tautology_ignored(self):
+        solver = CdclSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve() is SolverResult.SATISFIABLE
+
+    def test_from_formula(self):
+        formula = CnfFormula()
+        formula.add_clauses([[1, 2, 3], [-1, -2], [-3]])
+        solver = CdclSolver(formula)
+        assert solver.solve() is SolverResult.SATISFIABLE
+        assert formula.evaluate(solver.model())
+
+    def test_value_accessor(self):
+        solver = CdclSolver()
+        solver.add_clause([4])
+        assert solver.solve() is SolverResult.SATISFIABLE
+        assert solver.value(4) is True
+
+    def test_pigeonhole_3_into_2(self):
+        """PHP(3,2): three pigeons, two holes -- classic small UNSAT instance."""
+        solver = CdclSolver()
+        # Variable p_{i,j} = pigeon i in hole j, numbered 2*i + j + 1.
+        def var(i, j):
+            return 2 * i + j + 1
+
+        for i in range(3):
+            solver.add_clause([var(i, 0), var(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        assert solver.solve() is SolverResult.UNSATISFIABLE
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_dpll_small(self, seed):
+        formula = _random_formula(num_vars=8, num_clauses=24, seed=seed)
+        expected, _ = dpll_solve(formula)
+        solver = CdclSolver(formula)
+        result = solver.solve()
+        assert (result is SolverResult.SATISFIABLE) == expected
+        if expected:
+            assert formula.evaluate(solver.model())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_model_satisfies_formula(self, seed):
+        formula = _random_formula(num_vars=12, num_clauses=40, seed=seed)
+        solver = CdclSolver(formula)
+        if solver.solve() is SolverResult.SATISFIABLE:
+            assert formula.evaluate(solver.model())
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_agrees_with_dpll_property(self, seed):
+        formula = _random_formula(num_vars=9, num_clauses=32, seed=seed)
+        expected, _ = dpll_solve(formula)
+        assert (CdclSolver(formula).solve() is SolverResult.SATISFIABLE) == expected
+
+
+class TestAssumptionsAndLimits:
+    def test_assumptions_restrict_models(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is SolverResult.SATISFIABLE
+        assert solver.model()[2] is True
+        assert solver.solve(assumptions=[-1, -2]) is SolverResult.UNSATISFIABLE
+        # Without assumptions the formula is still satisfiable.
+        assert solver.solve() is SolverResult.SATISFIABLE
+
+    def test_assumption_of_fixed_variable(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[1]) is SolverResult.SATISFIABLE
+        assert solver.solve(assumptions=[-1]) is SolverResult.UNSATISFIABLE
+        assert solver.solve() is SolverResult.SATISFIABLE
+
+    def test_incremental_clause_addition(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() is SolverResult.SATISFIABLE
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve() is SolverResult.UNSATISFIABLE
+
+    def test_conflict_limit_returns_unknown(self):
+        # A hard pigeonhole instance with a conflict budget of one.
+        solver = CdclSolver()
+
+        def var(i, j):
+            return 4 * i + j + 1
+
+        holes, pigeons = 4, 5
+        for i in range(pigeons):
+            solver.add_clause([var(i, j) for j in range(holes)])
+        for j in range(holes):
+            for i1 in range(pigeons):
+                for i2 in range(i1 + 1, pigeons):
+                    solver.add_clause([-var(i1, j), -var(i2, j)])
+        result = solver.solve(conflict_limit=1)
+        assert result in (SolverResult.UNKNOWN, SolverResult.UNSATISFIABLE)
+        # With no limit the instance is decided UNSAT.
+        assert solver.solve() is SolverResult.UNSATISFIABLE
+
+    def test_statistics_populated(self):
+        formula = _random_formula(num_vars=15, num_clauses=60, seed=3)
+        solver = CdclSolver(formula)
+        solver.solve()
+        stats = solver.statistics.as_dict()
+        assert stats["solve_calls"] == 1
+        assert stats["propagations"] > 0
+
+    def test_repeated_solves_are_consistent(self):
+        formula = _random_formula(num_vars=10, num_clauses=35, seed=11)
+        solver = CdclSolver(formula)
+        first = solver.solve()
+        for _ in range(3):
+            assert solver.solve() is first

@@ -1,0 +1,76 @@
+"""Tests for the DPLL reference solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import CnfFormula, dpll_solve
+
+
+def _random_formula(num_vars: int, num_clauses: int, seed: int) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars)
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        formula.add_clause([v if rng.random() < 0.5 else -v for v in variables])
+    return formula
+
+
+def _brute_force_sat(formula: CnfFormula) -> bool:
+    for assignment in range(1 << formula.num_vars):
+        values = {v: bool((assignment >> (v - 1)) & 1) for v in range(1, formula.num_vars + 1)}
+        if formula.evaluate(values):
+            return True
+    return False
+
+
+class TestDpll:
+    def test_trivial_sat(self):
+        formula = CnfFormula()
+        formula.add_clauses([[1], [2, -1]])
+        satisfiable, model = dpll_solve(formula)
+        assert satisfiable
+        assert formula.evaluate(model)
+
+    def test_trivial_unsat(self):
+        formula = CnfFormula()
+        formula.add_clauses([[1], [-1]])
+        satisfiable, model = dpll_solve(formula)
+        assert not satisfiable
+        assert model is None
+
+    def test_empty_clause_unsat(self):
+        formula = CnfFormula()
+        formula.add_clause([])
+        assert dpll_solve(formula) == (False, None)
+
+    def test_pure_literal_elimination(self):
+        formula = CnfFormula()
+        formula.add_clauses([[1, 2], [1, 3], [2, -3]])
+        satisfiable, model = dpll_solve(formula)
+        assert satisfiable and formula.evaluate(model)
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: x1 and x2 both placed, but not together.
+        formula = CnfFormula()
+        formula.add_clauses([[1], [2], [-1, -2]])
+        assert dpll_solve(formula)[0] is False
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        formula = _random_formula(num_vars=6, num_clauses=14, seed=seed)
+        satisfiable, model = dpll_solve(formula)
+        assert satisfiable == _brute_force_sat(formula)
+        if satisfiable:
+            assert formula.evaluate(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_model_always_satisfies(self, seed):
+        formula = _random_formula(num_vars=7, num_clauses=18, seed=seed)
+        satisfiable, model = dpll_solve(formula)
+        if satisfiable:
+            assert formula.evaluate(model)

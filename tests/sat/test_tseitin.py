@@ -1,0 +1,89 @@
+"""Tests for the Tseitin encoding of AIGs."""
+
+import pytest
+
+from repro.networks import Aig
+from repro.sat import CdclSolver, SolverResult, miter_cnf, tseitin_encode
+
+
+class TestTseitinEncoding:
+    def test_single_and_gate_clauses(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        aig.add_po(x)
+        encoding = tseitin_encode(aig)
+        # Constant node, two PIs, one gate -> four variables; three gate
+        # clauses plus the constant unit clause.
+        assert encoding.cnf.num_vars == 4
+        assert encoding.cnf.num_clauses == 4
+
+    def test_encoding_is_consistent_with_evaluation(self, small_aig):
+        encoding = tseitin_encode(small_aig)
+        solver = CdclSolver(encoding.cnf)
+        for assignment in range(1 << small_aig.num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(small_aig.num_pis)]
+            assumptions = []
+            for pi, value in zip(small_aig.pis, values):
+                variable = encoding.variable_of(pi)
+                assumptions.append(variable if value else -variable)
+            assert solver.solve(assumptions=assumptions) is SolverResult.SATISFIABLE
+            model = solver.model()
+            outputs = small_aig.evaluate(values)
+            for po, expected in zip(small_aig.pos, outputs):
+                literal = encoding.literal_of(po)
+                value = model[abs(literal)] == (literal > 0)
+                assert value == expected
+
+    def test_cone_restriction(self, small_aig):
+        po_node = Aig.node_of(small_aig.pos[0])
+        encoding = tseitin_encode(small_aig, nodes=[po_node])
+        cone = set(small_aig.tfi([po_node]))
+        assert set(encoding.node_variables) == cone
+
+    def test_incremental_encoding_reuses_variables(self, small_aig):
+        first_node = Aig.node_of(small_aig.pos[0])
+        second_node = Aig.node_of(small_aig.pos[1])
+        encoding = tseitin_encode(small_aig, nodes=[first_node])
+        count_before = encoding.cnf.num_clauses
+        extended = tseitin_encode(
+            small_aig,
+            nodes=[second_node],
+            cnf=encoding.cnf,
+            node_variables=encoding.node_variables,
+        )
+        assert extended.cnf is encoding.cnf
+        # Shared cone nodes are not re-encoded: clause count grows only by
+        # the gates exclusive to the second cone.
+        exclusive = set(small_aig.tfi([second_node])) - set(small_aig.tfi([first_node]))
+        new_gates = sum(1 for n in exclusive if small_aig.is_and(n))
+        assert extended.cnf.num_clauses == count_before + 3 * new_gates
+
+    def test_literal_of_handles_complement(self, small_aig):
+        encoding = tseitin_encode(small_aig)
+        po = small_aig.pos[0]
+        assert encoding.literal_of(po) == -encoding.literal_of(Aig.negate(po))
+
+
+class TestMiter:
+    def test_equivalent_literals_unsat(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(aig.add_and(a, b), c)
+        y = aig.add_and(a, aig.add_and(b, c))
+        cnf, _encoding, miter = miter_cnf(aig, x, y)
+        solver = CdclSolver(cnf)
+        assert solver.solve(assumptions=[miter]) is SolverResult.UNSATISFIABLE
+
+    def test_non_equivalent_literals_sat_with_witness(self, small_aig):
+        literal_a, literal_b = small_aig.pos[0], small_aig.pos[1]
+        cnf, encoding, miter = miter_cnf(small_aig, literal_a, literal_b)
+        solver = CdclSolver(cnf)
+        assert solver.solve(assumptions=[miter]) is SolverResult.SATISFIABLE
+        model = solver.model()
+        pattern = []
+        for pi in small_aig.pis:
+            variable = encoding.node_variables.get(pi)
+            pattern.append(model[variable] if variable is not None else False)
+        outputs = small_aig.evaluate(pattern)
+        assert outputs[0] != outputs[1]

@@ -1,0 +1,67 @@
+"""Tests for the incremental simulator."""
+
+import pytest
+
+from repro.simulation import IncrementalAigSimulator, PatternSet, simulate_aig
+
+
+class TestIncrementalSimulator:
+    def test_initial_state_matches_full_simulation(self, small_aig):
+        patterns = PatternSet.random(small_aig.num_pis, 32, seed=2)
+        incremental = IncrementalAigSimulator(small_aig, patterns)
+        full = simulate_aig(small_aig, patterns)
+        for node in small_aig.gates():
+            assert incremental.signature(node) == full.signature(node)
+
+    def test_add_pattern_matches_full_resimulation(self, small_aig):
+        patterns = PatternSet.random(small_aig.num_pis, 16, seed=3)
+        incremental = IncrementalAigSimulator(small_aig, patterns)
+        new_patterns = patterns.copy()
+        for extra in [(1, 1, 0, 0), (0, 0, 1, 1), (1, 0, 1, 0)]:
+            incremental.add_pattern(extra)
+            new_patterns.add_pattern(extra)
+        full = simulate_aig(small_aig, new_patterns)
+        assert incremental.num_patterns == 19
+        for node in small_aig.gates():
+            assert incremental.signature(node) == full.signature(node)
+
+    def test_add_pattern_block(self, small_aig):
+        incremental = IncrementalAigSimulator(small_aig, PatternSet.random(small_aig.num_pis, 8, seed=4))
+        block = PatternSet.random(small_aig.num_pis, 8, seed=5)
+        incremental.add_patterns(block)
+        combined = PatternSet.random(small_aig.num_pis, 8, seed=4)
+        combined.extend(block)
+        full = simulate_aig(small_aig, combined)
+        for node in small_aig.gates():
+            assert incremental.signature(node) == full.signature(node)
+
+    def test_empty_start(self, small_aig):
+        incremental = IncrementalAigSimulator(small_aig)
+        assert incremental.num_patterns == 0
+        incremental.add_pattern((1, 0, 1, 0))
+        assert incremental.num_patterns == 1
+
+    def test_signatures_of(self, small_aig):
+        incremental = IncrementalAigSimulator(small_aig, PatternSet.random(small_aig.num_pis, 8, seed=6))
+        nodes = list(small_aig.gates())[:2]
+        selected = incremental.signatures_of(nodes)
+        assert set(selected) == set(nodes)
+
+    def test_resimulate_after_network_edit(self, small_aig):
+        aig = small_aig.clone()
+        incremental = IncrementalAigSimulator(aig, PatternSet.random(aig.num_pis, 16, seed=7))
+        gate = list(aig.gates())[-1]
+        aig.substitute(gate, 1)
+        refreshed = incremental.resimulate()
+        full = simulate_aig(aig, incremental.patterns)
+        for node in aig.gates():
+            assert refreshed.signature(node) == full.signature(node)
+
+    def test_validation(self, small_aig):
+        with pytest.raises(ValueError):
+            IncrementalAigSimulator(small_aig, PatternSet.random(2, 4))
+        incremental = IncrementalAigSimulator(small_aig)
+        with pytest.raises(ValueError):
+            incremental.add_pattern((1, 0))
+        with pytest.raises(ValueError):
+            incremental.add_patterns(PatternSet.random(2, 4))

@@ -1,0 +1,96 @@
+"""Tests for signatures and simulation results."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import (
+    SimulationResult,
+    canonical_signature,
+    signature_from_bits,
+    signature_to_bits,
+    signature_to_string,
+    signature_toggle_rate,
+)
+
+
+class TestSignatureHelpers:
+    def test_bits_roundtrip(self):
+        assert signature_to_bits(0b1011, 4) == [1, 1, 0, 1]
+        assert signature_from_bits([1, 1, 0, 1]) == 0b1011
+        assert signature_to_string(0b1011, 4) == "1101"
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_roundtrip_property(self, signature):
+        assert signature_from_bits(signature_to_bits(signature, 20)) == signature
+
+    def test_canonical_signature(self):
+        # Signature with bit 0 set gets complemented.
+        canonical, inverted = canonical_signature(0b1011, 4)
+        assert inverted is True
+        assert canonical == 0b0100
+        canonical, inverted = canonical_signature(0b0100, 4)
+        assert inverted is False
+        assert canonical == 0b0100
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_canonical_signature_identifies_complements(self, signature):
+        mask = (1 << 16) - 1
+        a, _ = canonical_signature(signature, 16)
+        b, _ = canonical_signature(signature ^ mask, 16)
+        assert a == b
+
+    def test_toggle_rate(self):
+        assert signature_toggle_rate(0b0101, 4) == pytest.approx(3 / 4)
+        assert signature_toggle_rate(0b1111, 4) == 0.0
+        assert signature_toggle_rate(0b1, 1) == 0.0
+
+
+class TestSimulationResult:
+    def _result(self):
+        result = SimulationResult(4)
+        result.set_signature(1, 0b1010)
+        result.set_signature(2, 0b0101)
+        result.set_signature(3, 0b1111)
+        result.set_signature(4, 0b0000)
+        return result
+
+    def test_accessors(self):
+        result = self._result()
+        assert result.signature(1) == 0b1010
+        assert result.has_node(1) and not result.has_node(9)
+        assert result.value(1, 1) is True
+        assert result.value(1, 0) is False
+        assert result.bits(2) == [1, 0, 1, 0]
+        assert result.bit_string(2) == "1010"
+        assert len(result) == 4
+
+    def test_constant_detection(self):
+        result = self._result()
+        assert result.is_constant(3) is True
+        assert result.is_constant(4) is False
+        assert result.is_constant(1) is None
+
+    def test_canonical_grouping(self):
+        result = self._result()
+        groups = result.group_by_canonical([1, 2])
+        # 0b1010 and 0b0101 are complements: one canonical group.
+        assert len(groups) == 1
+        assert sorted(next(iter(groups.values()))) == [1, 2]
+
+    def test_signature_masking(self):
+        result = SimulationResult(2)
+        result.set_signature(1, 0b1111)
+        assert result.signature(1) == 0b11
+
+    def test_merge(self):
+        result = self._result()
+        result.merge({9: 0b0110})
+        assert result.signature(9) == 0b0110
+
+    def test_toggle_rate_accessor(self):
+        result = self._result()
+        assert result.toggle_rate(3) == 0.0
+        assert result.toggle_rate(1) == pytest.approx(3 / 4)

@@ -1,0 +1,195 @@
+"""Tests for the STP-based simulator (Algorithm 1) and its window helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.random_logic import random_aig
+from repro.networks import Aig, map_aig_to_klut
+from repro.networks.cuts import simulation_cuts
+from repro.simulation import (
+    PatternSet,
+    StpSimulator,
+    common_window_leaves,
+    compute_local_truth_tables,
+    compute_pi_supports,
+    cut_limit_for_patterns,
+    cut_truth_table_stp,
+    klut_po_signatures,
+    simulate_aig,
+    simulate_klut_per_pattern,
+    simulate_klut_stp,
+    stp_aig_truth_table,
+    stp_window_truth_tables,
+)
+from repro.simulation.stp_simulator import expand_truth_table
+from repro.truthtable import TruthTable
+
+
+class TestCutLimit:
+    def test_matches_paper_example(self):
+        # 10 patterns: 3 < log2(10) < 4, so the limit is 3.
+        assert cut_limit_for_patterns(10) == 3
+
+    def test_bounds(self):
+        assert cut_limit_for_patterns(1) == 1
+        assert cut_limit_for_patterns(2) == 1
+        assert cut_limit_for_patterns(1 << 20) == 16
+        assert cut_limit_for_patterns(1 << 20, maximum=12) == 12
+
+
+class TestAllNodeMode:
+    def test_matches_per_pattern_baseline(self, small_klut):
+        patterns = PatternSet.random(small_klut.num_pis, 64, seed=11)
+        baseline = simulate_klut_per_pattern(small_klut, patterns)
+        stp = StpSimulator(small_klut).simulate_all(patterns)
+        for node in small_klut.luts():
+            assert stp.signature(node) == baseline.signature(node)
+
+    def test_matches_aig_semantics(self, small_aig, small_klut):
+        patterns = PatternSet.exhaustive(small_aig.num_pis)
+        aig_result = simulate_aig(small_aig, patterns)
+        stp_result = simulate_klut_stp(small_klut, patterns)
+        from repro.simulation import aig_po_signatures
+
+        assert aig_po_signatures(small_aig, aig_result) == klut_po_signatures(small_klut, stp_result)
+
+    def test_input_count_checked(self, small_klut):
+        with pytest.raises(ValueError):
+            StpSimulator(small_klut).simulate_all(PatternSet.random(2, 8))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=5))
+    def test_random_networks(self, seed, k):
+        aig = random_aig(num_pis=6, num_gates=50, num_pos=4, seed=seed)
+        klut, _ = map_aig_to_klut(aig, k=k)
+        patterns = PatternSet.random(6, 48, seed=seed)
+        baseline = simulate_klut_per_pattern(klut, patterns)
+        stp = simulate_klut_stp(klut, patterns)
+        assert klut_po_signatures(klut, baseline) == klut_po_signatures(klut, stp)
+
+
+class TestSpecifiedNodeMode:
+    def test_targets_match_all_node_mode(self, small_klut):
+        patterns = PatternSet.random(small_klut.num_pis, 64, seed=13)
+        targets = list(small_klut.luts())[:3]
+        full = simulate_klut_stp(small_klut, patterns)
+        partial = simulate_klut_stp(small_klut, patterns, targets=targets)
+        for target in targets:
+            assert partial.signature(target) == full.signature(target)
+
+    def test_explicit_limit(self, fig1_klut):
+        nodes = fig1_klut.fig1_nodes
+        patterns = PatternSet.random(5, 10, seed=1)
+        result = simulate_klut_stp(fig1_klut, patterns, targets=[nodes[7], nodes[8]], limit=3)
+        baseline = simulate_klut_per_pattern(fig1_klut, patterns)
+        assert result.signature(nodes[7]) == baseline.signature(nodes[7])
+        assert result.signature(nodes[8]) == baseline.signature(nodes[8])
+
+    def test_input_count_checked(self, small_klut):
+        with pytest.raises(ValueError):
+            StpSimulator(small_klut).simulate_nodes(PatternSet.random(2, 8), [0])
+
+
+class TestCutTruthTables:
+    def test_word_level_matches_algebraic(self, small_klut):
+        cuts = simulation_cuts(small_klut, list(small_klut.luts()), limit=4)
+        for cut in cuts:
+            word_level = cut_truth_table_stp(small_klut, cut)
+            algebraic = cut_truth_table_stp(small_klut, cut, use_stp_algebra=True)
+            assert word_level == algebraic
+
+    def test_algebraic_leaf_limit(self, small_klut):
+        from repro.networks.cuts import SimulationCut
+
+        wide_cut = SimulationCut(next(iter(small_klut.luts())), tuple(range(13)), ())
+        with pytest.raises(ValueError):
+            cut_truth_table_stp(small_klut, wide_cut, use_stp_algebra=True)
+
+    def test_exhaustive_truth_tables(self, fig1_klut):
+        nodes = fig1_klut.fig1_nodes
+        simulator = StpSimulator(fig1_klut)
+        tables = simulator.exhaustive_truth_tables([nodes[7], nodes[10]])
+        # Node 7 is NAND(x2, x3): support of two PIs.
+        assert tables[nodes[7]].num_vars == 2
+        assert tables[nodes[7]].count_ones() == 3
+        # Node 10 depends on x1, x2, x3.
+        assert tables[nodes[10]].num_vars == 3
+
+    def test_exhaustive_truth_tables_support_cap(self, small_klut):
+        simulator = StpSimulator(small_klut)
+        tables = simulator.exhaustive_truth_tables(list(small_klut.luts()), max_support=1)
+        assert any(table is None for table in tables.values())
+
+
+class TestAigWindows:
+    def test_stp_aig_truth_table_matches_evaluation(self, small_aig):
+        po_literal = small_aig.pos[0]
+        leaves = small_aig.pis
+        table = stp_aig_truth_table(small_aig, po_literal, leaves)
+        for assignment in range(1 << small_aig.num_pis):
+            values = [bool(assignment & (1 << i)) for i in range(small_aig.num_pis)]
+            assert table.value_at(assignment) == small_aig.evaluate(values)[0]
+
+    def test_common_window_is_pi_support(self, small_aig):
+        po_node = Aig.node_of(small_aig.pos[0])
+        window = common_window_leaves(small_aig, [po_node], max_leaves=8)
+        assert window is not None
+        assert all(small_aig.is_pi(leaf) for leaf in window)
+
+    def test_window_respects_limit(self, small_aig):
+        po_node = Aig.node_of(small_aig.pos[0])
+        assert common_window_leaves(small_aig, [po_node], max_leaves=1) is None
+
+    def test_window_tables_disprove_non_equivalence(self, small_aig):
+        node_a = Aig.node_of(small_aig.pos[0])
+        node_b = Aig.node_of(small_aig.pos[1])
+        tables = stp_window_truth_tables(small_aig, [node_a, node_b], max_leaves=8)
+        assert tables is not None
+        assert tables[node_a] != tables[node_b]
+
+    def test_window_tables_detect_equivalence(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(aig.add_and(a, b), c)
+        y = aig.add_and(a, aig.add_and(b, c))
+        aig.add_po(x)
+        aig.add_po(y)
+        tables = stp_window_truth_tables(aig, [Aig.node_of(x), Aig.node_of(y)], max_leaves=4)
+        assert tables is not None
+        assert tables[Aig.node_of(x)] == tables[Aig.node_of(y)]
+
+
+class TestSupportAndLocalTables:
+    def test_supports_match_tfi(self, small_aig):
+        supports = compute_pi_supports(small_aig)
+        for node in small_aig.gates():
+            expected = sorted(n for n in small_aig.tfi([node]) if small_aig.is_pi(n))
+            assert list(supports[node]) == expected
+
+    def test_support_bound(self, ripple_adder_4):
+        supports = compute_pi_supports(ripple_adder_4, max_size=3)
+        assert any(value is None for value in supports.values())
+
+    def test_local_tables_match_cone_functions(self, small_aig):
+        supports = compute_pi_supports(small_aig)
+        tables = compute_local_truth_tables(small_aig, supports=supports)
+        from repro.networks.mapping import aig_node_truth_table
+
+        for node in small_aig.gates():
+            expected = aig_node_truth_table(small_aig, node, list(supports[node]))
+            assert tables[node] == expected
+
+    def test_expand_truth_table(self):
+        table = TruthTable.from_function(lambda a, b: a and not b, 2)
+        expanded = expand_truth_table(table, [10, 20], [5, 10, 20])
+        assert expanded.num_vars == 3
+        for assignment in range(8):
+            a = bool(assignment & 0b010)
+            b = bool(assignment & 0b100)
+            assert expanded.value_at(assignment) == (a and not b)
+
+    def test_expand_requires_window_superset(self):
+        table = TruthTable.from_function(lambda a: a, 1)
+        with pytest.raises(ValueError):
+            expand_truth_table(table, [3], [4, 5])

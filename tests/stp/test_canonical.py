@@ -1,0 +1,135 @@
+"""Tests for STP canonical forms (Property 3 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stp import (
+    M_AND,
+    M_NOT,
+    M_OR,
+    M_XOR,
+    STPForm,
+    apply_binary,
+    apply_operator,
+    apply_unary,
+    canonical_form_from_truth_table,
+    constant_form,
+    evaluate_form,
+    evaluate_form_batch,
+    normalize,
+    truth_table_of_form,
+    variable_form,
+)
+
+
+class TestSTPForm:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            STPForm(np.zeros((2, 4), dtype=int), ("a",))
+
+    def test_variable_form_is_canonical(self):
+        form = variable_form("a")
+        assert form.is_canonical()
+        assert form.variables == ("a",)
+
+    def test_constant_form(self):
+        assert truth_table_of_form(constant_form(True)) == [1]
+        assert truth_table_of_form(constant_form(False)) == [0]
+
+    def test_truth_table_orientation(self):
+        # f(a, b) = a AND b: table indexed with a as MSB -> [0, 0, 0, 1].
+        form = normalize(apply_binary(M_AND, variable_form("a"), variable_form("b")), ["a", "b"])
+        assert form.truth_table() == [0, 0, 0, 1]
+
+
+class TestNormalization:
+    def test_duplicate_variable_merge(self):
+        # a AND a == a
+        raw = apply_binary(M_AND, variable_form("a"), variable_form("a"))
+        form = normalize(raw)
+        assert form.variables == ("a",)
+        assert form.truth_table() == [0, 1]
+
+    def test_xor_of_same_variable_is_false(self):
+        raw = apply_binary(M_XOR, variable_form("a"), variable_form("a"))
+        form = normalize(raw)
+        assert form.truth_table() == [0, 0]
+
+    def test_variable_reordering(self):
+        # f = a AND (NOT b), then normalise over (b, a).
+        raw = apply_binary(M_AND, variable_form("a"), apply_unary(M_NOT, variable_form("b")))
+        form_ab = normalize(raw, ["a", "b"])
+        form_ba = normalize(raw, ["b", "a"])
+        # Table over (a, b): index 2 = (a=1, b=0) -> 1.
+        assert form_ab.truth_table() == [0, 0, 1, 0]
+        # Table over (b, a): index 1 = (b=0, a=1) -> 1.
+        assert form_ba.truth_table() == [0, 1, 0, 0]
+
+    def test_missing_variable_added_as_dont_care(self):
+        form = normalize(variable_form("a"), ["a", "b"])
+        assert form.variables == ("a", "b")
+        assert form.truth_table() == [0, 0, 1, 1]
+
+    def test_rejects_duplicate_order(self):
+        with pytest.raises(ValueError):
+            normalize(variable_form("a"), ["a", "a"])
+
+    def test_rejects_order_missing_expression_variable(self):
+        raw = apply_binary(M_AND, variable_form("a"), variable_form("b"))
+        with pytest.raises(ValueError):
+            normalize(raw, ["a"])
+
+
+class TestApplyOperator:
+    def test_matches_apply_binary(self):
+        left, right = variable_form("x"), variable_form("y")
+        via_binary = normalize(apply_binary(M_OR, left, right), ["x", "y"])
+        via_operator = normalize(apply_operator(M_OR, [left, right]), ["x", "y"])
+        assert np.array_equal(via_binary.matrix, via_operator.matrix)
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            apply_operator(M_AND, [variable_form("a")])
+
+    def test_ternary_operator(self):
+        # Majority of three variables via its structural matrix.
+        from repro.truthtable import tt_majority, truth_table_to_structural_matrix
+
+        matrix = truth_table_to_structural_matrix(tt_majority(3))
+        # Operand order: last truth-table input is the first STP factor.
+        operands = [variable_form("c"), variable_form("b"), variable_form("a")]
+        form = normalize(apply_operator(matrix, operands), ["a", "b", "c"])
+        for index, expected in enumerate(tt_majority(3).to_bit_list()):
+            a = bool(index & 1)
+            b = bool(index & 2)
+            c = bool(index & 4)
+            assert evaluate_form(form, {"a": a, "b": b, "c": c}) == bool(expected)
+
+
+class TestEvaluation:
+    def test_evaluate_requires_all_variables(self):
+        form = normalize(apply_binary(M_AND, variable_form("a"), variable_form("b")))
+        with pytest.raises(KeyError):
+            evaluate_form(form, {"a": True})
+
+    def test_batch_evaluation(self):
+        form = normalize(apply_binary(M_OR, variable_form("a"), variable_form("b")))
+        assignments = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)]
+        assert evaluate_form_batch(form, assignments) == [False, True, True, True]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=3))
+    def test_canonical_form_from_truth_table_roundtrip(self, bits, num_vars):
+        size = 1 << num_vars
+        table = [(bits >> i) & 1 for i in range(size)]
+        variables = [f"v{i}" for i in range(num_vars)]
+        form = canonical_form_from_truth_table(table, variables)
+        assert form.truth_table() == table
+        for index, expected in enumerate(table):
+            assignment = {
+                name: bool((index >> (num_vars - 1 - position)) & 1)
+                for position, name in enumerate(variables)
+            }
+            assert evaluate_form(form, assignment) == bool(expected)

@@ -1,0 +1,60 @@
+"""The worked examples of Section II of the paper, as executable tests."""
+
+import numpy as np
+
+from repro.stp import (
+    M_IMPLIES,
+    M_NOT,
+    M_OR,
+    bool_to_vector,
+    expression_to_stp,
+    parse_expression,
+    satisfying_assignments,
+    semi_tensor_product,
+    stp_chain,
+    vector_to_bool,
+)
+
+
+class TestExample1:
+    """Example 1: prove a -> b == !a | b via structural matrices."""
+
+    def test_structural_matrix_identity(self):
+        assert np.array_equal(semi_tensor_product(M_OR, M_NOT), M_IMPLIES)
+
+    def test_identity_on_canonical_forms(self):
+        left = expression_to_stp("a -> b", ["a", "b"])
+        right = expression_to_stp("!a | b", ["a", "b"])
+        assert np.array_equal(left.matrix, right.matrix)
+
+
+class TestExample2:
+    """Example 2: the three-liars puzzle."""
+
+    EXPRESSION = "(a <-> !b) & (b <-> !c) & (c <-> (!a & !b))"
+
+    def test_canonical_form_matches_paper(self):
+        form = expression_to_stp(self.EXPRESSION, ["a", "b", "c"])
+        # The paper's M_Phi (columns for decreasing assignments abc = 111 .. 000):
+        expected = np.array(
+            [
+                [0, 0, 0, 0, 0, 1, 0, 0],
+                [1, 1, 1, 1, 1, 0, 1, 1],
+            ]
+        )
+        assert np.array_equal(form.matrix, expected)
+
+    def test_simulation_of_pattern_010(self):
+        """Simulating pattern a=0, b=1, c=0 yields True, as in the paper."""
+        form = expression_to_stp(self.EXPRESSION, ["a", "b", "c"])
+        vectors = [bool_to_vector(False), bool_to_vector(True), bool_to_vector(False)]
+        result = stp_chain([form.matrix] + vectors)
+        assert vector_to_bool(result) is True
+
+    def test_unique_satisfying_assignment(self):
+        """Only 'b is honest, a and c are liars' satisfies the puzzle."""
+        solutions = satisfying_assignments(self.EXPRESSION)
+        assert solutions == [{"a": False, "b": True, "c": False}]
+
+    def test_expression_parses_to_three_variables(self):
+        assert parse_expression(self.EXPRESSION).variables() == ["a", "b", "c"]

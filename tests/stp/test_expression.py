@@ -1,0 +1,131 @@
+"""Tests for the Boolean expression AST, parser and STP conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stp import (
+    BinaryOp,
+    Constant,
+    NotOp,
+    Variable,
+    expression_to_stp,
+    parse_expression,
+    satisfying_assignments,
+    truth_table_of_expression,
+)
+from repro.stp.canonical import truth_table_of_form
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text, variables",
+        [
+            ("a & b", ["a", "b"]),
+            ("x1 | !x2 ^ x3", ["x1", "x2", "x3"]),
+            ("(a -> b) <-> (!a | b)", ["a", "b"]),
+            ("a * b + c", ["a", "b", "c"]),
+            ("true & a", ["a"]),
+        ],
+    )
+    def test_parses_and_collects_variables(self, text, variables):
+        assert parse_expression(text).variables() == variables
+
+    def test_operator_precedence(self):
+        # AND binds tighter than OR: a | b & c == a | (b & c)
+        expression = parse_expression("a | b & c")
+        assert isinstance(expression, BinaryOp)
+        assert expression.operator == "or"
+
+    def test_implication_right_associative(self):
+        expression = parse_expression("a -> b -> c")
+        assert isinstance(expression, BinaryOp)
+        assert expression.operator == "implies"
+        assert isinstance(expression.right, BinaryOp)
+        assert expression.right.operator == "implies"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_expression("a &")
+        with pytest.raises(ValueError):
+            parse_expression("a @ b")
+        with pytest.raises(ValueError):
+            parse_expression("(a & b")
+        with pytest.raises(ValueError):
+            parse_expression("2abc")
+
+    def test_constants(self):
+        assert parse_expression("1").evaluate({}) is True
+        assert parse_expression("false").evaluate({}) is False
+
+
+class TestEvaluation:
+    def test_operator_overloads(self):
+        a, b = Variable("a"), Variable("b")
+        expression = (a & b) | ~a
+        assert expression.evaluate({"a": False, "b": False}) is True
+        assert expression.evaluate({"a": True, "b": False}) is False
+
+    def test_iff_and_implies_helpers(self):
+        a, b = Variable("a"), Variable("b")
+        assert a.implies(b).evaluate({"a": True, "b": False}) is False
+        assert a.iff(b).evaluate({"a": False, "b": False}) is True
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Variable("a").evaluate({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("majority", Variable("a"), Variable("b"))
+
+    def test_str_roundtrip_parseable(self):
+        expression = parse_expression("(a & !b) | (c ^ d)")
+        reparsed = parse_expression(str(expression))
+        order = expression.variables()
+        assert truth_table_of_expression(expression, order) == truth_table_of_expression(reparsed, order)
+
+
+class TestStpConversion:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a & b",
+            "a | b | c",
+            "a ^ b ^ c",
+            "!(a & b) | (c -> a)",
+            "(a <-> b) & (b <-> !c)",
+            "a & !a",
+            "(a | !a) & b",
+        ],
+    )
+    def test_canonical_form_matches_direct_evaluation(self, text):
+        expression = parse_expression(text)
+        order = expression.variables()
+        form = expression_to_stp(expression, order)
+        assert truth_table_of_form(form) == truth_table_of_expression(expression, order)
+        assert form.truth_table() == truth_table_of_expression(expression, order)
+
+    def test_satisfying_assignments(self):
+        results = satisfying_assignments("a & !b")
+        assert results == [{"a": True, "b": False}]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**8 - 1))
+    def test_random_three_variable_functions(self, bits):
+        """Any 3-input function assembled as a sum of minterms converts correctly."""
+        variables = ["a", "b", "c"]
+        minterms = []
+        for index in range(8):
+            if not (bits >> index) & 1:
+                continue
+            factors = []
+            for position, name in enumerate(variables):
+                value = (index >> (2 - position)) & 1
+                factors.append(name if value else f"!{name}")
+            minterms.append("(" + " & ".join(factors) + ")")
+        text = " | ".join(minterms) if minterms else "0"
+        expression = parse_expression(text)
+        form = expression_to_stp(expression, variables)
+        expected = [(bits >> i) & 1 for i in range(8)]
+        assert form.truth_table() == expected

@@ -1,0 +1,150 @@
+"""Unit tests for logic vectors and structural matrices."""
+
+import numpy as np
+import pytest
+
+from repro.stp import (
+    FALSE_VECTOR,
+    M_AND,
+    M_EQUIV,
+    M_IMPLIES,
+    M_NAND,
+    M_NOR,
+    M_NOT,
+    M_OR,
+    M_XNOR,
+    M_XOR,
+    OPERATOR_MATRICES,
+    TRUE_VECTOR,
+    bool_to_vector,
+    is_logic_matrix,
+    is_logic_vector,
+    structural_matrix,
+    structural_matrix_from_truth_table,
+    swap_matrix,
+    power_reducing_matrix,
+    truth_table_from_structural_matrix,
+    vector_to_bool,
+)
+from repro.stp.matrices import front_maintaining_operator, rear_maintaining_operator
+from repro.stp.product import semi_tensor_product, stp_chain
+
+
+class TestLogicVectors:
+    def test_true_false_encoding(self):
+        assert TRUE_VECTOR.ravel().tolist() == [1, 0]
+        assert FALSE_VECTOR.ravel().tolist() == [0, 1]
+
+    def test_bool_roundtrip(self):
+        assert vector_to_bool(bool_to_vector(True)) is True
+        assert vector_to_bool(bool_to_vector(False)) is False
+
+    def test_vector_to_bool_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            vector_to_bool(np.array([1, 1]))
+        with pytest.raises(ValueError):
+            vector_to_bool(np.array([1, 0, 0]))
+
+    def test_is_logic_vector(self):
+        assert is_logic_vector(TRUE_VECTOR)
+        assert is_logic_vector(FALSE_VECTOR)
+        assert not is_logic_vector(np.array([2, -1]))
+        assert not is_logic_vector(np.array([1, 0, 0]))
+
+
+class TestStructuralMatrices:
+    def test_known_matrices_are_logic_matrices(self):
+        for name, matrix in OPERATOR_MATRICES.items():
+            assert is_logic_matrix(matrix), name
+
+    def test_and_matrix_columns(self):
+        # Columns ordered (T,T), (T,F), (F,T), (F,F).
+        assert M_AND.tolist() == [[1, 0, 0, 0], [0, 1, 1, 1]]
+
+    def test_not_matrix(self):
+        assert M_NOT.tolist() == [[0, 1], [1, 0]]
+
+    def test_lookup_by_name_matches_constants(self):
+        assert np.array_equal(structural_matrix("xor"), M_XOR)
+        assert np.array_equal(structural_matrix("NAND"), M_NAND)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            structural_matrix("majority3")
+
+    def test_truth_table_roundtrip(self):
+        for matrix in (M_AND, M_OR, M_XOR, M_XNOR, M_NOR, M_IMPLIES, M_EQUIV):
+            bits = truth_table_from_structural_matrix(matrix)
+            assert np.array_equal(structural_matrix_from_truth_table(bits), matrix)
+
+    def test_truth_table_length_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            structural_matrix_from_truth_table([1, 0, 1])
+
+    @pytest.mark.parametrize(
+        "matrix, function",
+        [
+            (M_AND, lambda a, b: a and b),
+            (M_OR, lambda a, b: a or b),
+            (M_XOR, lambda a, b: a != b),
+            (M_XNOR, lambda a, b: a == b),
+            (M_NAND, lambda a, b: not (a and b)),
+            (M_NOR, lambda a, b: not (a or b)),
+            (M_IMPLIES, lambda a, b: (not a) or b),
+        ],
+    )
+    def test_binary_operator_semantics_via_stp(self, matrix, function):
+        for a in (False, True):
+            for b in (False, True):
+                result = stp_chain([matrix, bool_to_vector(a), bool_to_vector(b)])
+                assert vector_to_bool(result) == function(a, b)
+
+    def test_not_semantics_via_stp(self):
+        for a in (False, True):
+            result = semi_tensor_product(M_NOT, bool_to_vector(a))
+            assert vector_to_bool(result) == (not a)
+
+
+class TestAuxiliaryMatrices:
+    def test_swap_matrix_swaps_kronecker_factors(self):
+        w = swap_matrix(2, 2)
+        for a in (True, False):
+            for b in (True, False):
+                x, y = bool_to_vector(a), bool_to_vector(b)
+                swapped = w @ np.kron(x, y)
+                assert np.array_equal(swapped, np.kron(y, x))
+
+    def test_swap_matrix_rectangular(self):
+        w = swap_matrix(2, 4)
+        x = np.array([[1], [0]])
+        y = np.array([[0], [0], [1], [0]])
+        assert np.array_equal(w @ np.kron(x, y), np.kron(y, x))
+
+    def test_power_reducing_matrix(self):
+        reducer = power_reducing_matrix()
+        for a in (True, False):
+            x = bool_to_vector(a)
+            assert np.array_equal(np.kron(x, x), reducer @ x)
+
+    def test_front_and_rear_maintaining_operators(self):
+        front = front_maintaining_operator()
+        rear = rear_maintaining_operator()
+        for a in (True, False):
+            for b in (True, False):
+                x, y = bool_to_vector(a), bool_to_vector(b)
+                assert vector_to_bool(stp_chain([front, x, y])) == a
+                assert vector_to_bool(stp_chain([rear, x, y])) == b
+
+    def test_identity_positive_dimension_required(self):
+        from repro.stp import identity
+
+        with pytest.raises(ValueError):
+            identity(0)
+
+
+class TestPaperProperty2:
+    """Property 2 / Example 1 of the paper: M_or . M_not == M_implies."""
+
+    def test_implication_identity(self):
+        product = semi_tensor_product(M_OR, M_NOT)
+        assert np.array_equal(product, M_IMPLIES)

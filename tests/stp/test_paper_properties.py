@@ -1,0 +1,105 @@
+"""Property-based tests of the STP laws stated in Section II-B of the paper."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stp import (
+    bool_to_vector,
+    expression_to_stp,
+    semi_tensor_product,
+    stp_chain,
+    truth_table_of_expression,
+    vector_to_bool,
+)
+from repro.stp.expression import parse_expression
+
+
+@st.composite
+def small_int_matrices(draw, max_dim=4):
+    rows = draw(st.integers(min_value=1, max_value=max_dim))
+    cols = draw(st.integers(min_value=1, max_value=max_dim))
+    values = draw(
+        st.lists(st.integers(min_value=-2, max_value=2), min_size=rows * cols, max_size=rows * cols)
+    )
+    return np.array(values).reshape(rows, cols)
+
+
+class TestProperty1:
+    """Property 1: the STP supports matrix swapping with (co)vectors."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_int_matrices(), st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=100))
+    def test_row_vector_swap(self, matrix, t, seed):
+        """A |x Z_r == Z_r |x (I_t kron A) for a 1 x t row vector Z_r."""
+        rng = np.random.RandomState(seed)
+        row = rng.randint(-2, 3, size=(1, t))
+        left = semi_tensor_product(matrix, row)
+        right = semi_tensor_product(row, np.kron(np.eye(t, dtype=int), matrix))
+        assert np.array_equal(left, right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_int_matrices(), st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=100))
+    def test_column_vector_swap(self, matrix, t, seed):
+        """Z_c |x A == (I_t kron A) |x Z_c for a t x 1 column vector Z_c."""
+        rng = np.random.RandomState(seed)
+        column = rng.randint(-2, 3, size=(t, 1))
+        left = semi_tensor_product(column, matrix)
+        right = semi_tensor_product(np.kron(np.eye(t, dtype=int), matrix), column)
+        assert np.array_equal(left, right)
+
+
+class TestProperty2:
+    """Property 2: operator application is structural-matrix multiplication."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sampled_from(["and", "or", "xor", "nand", "nor", "implies", "equiv"]), st.booleans(), st.booleans())
+    def test_binary_operator_via_matrices(self, operator, a, b):
+        from repro.stp import OPERATOR_MATRICES
+
+        matrix = OPERATOR_MATRICES[operator]
+        value = vector_to_bool(stp_chain([matrix, bool_to_vector(a), bool_to_vector(b)]))
+        symbol = {"and": "&", "or": "|", "xor": "^", "nand": "&", "nor": "|", "implies": "->", "equiv": "<->"}[operator]
+        text = f"a {symbol} b" if operator not in ("nand", "nor") else f"!(a {symbol} b)"
+        expected = parse_expression(text).evaluate({"a": a, "b": b})
+        assert value == expected
+
+
+class TestProperty3:
+    """Property 3: every expression has a canonical form M_Phi x1 ... xn."""
+
+    #: A pool of structurally varied formulas over up to four variables.
+    FORMULAS = [
+        "a & (b | c)",
+        "(a ^ b) -> (c & d)",
+        "!(a & b) <-> (!a | !b)",
+        "(a | b) & (!a | c) & (!b | !c)",
+        "(a -> b) -> (b -> a)",
+        "a ^ b ^ c ^ d",
+        "(a & !a) | b",
+        "1 & (a | 0)",
+    ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(FORMULAS), st.integers(min_value=0, max_value=15))
+    def test_canonical_form_simulates_like_the_expression(self, text, assignment_bits):
+        expression = parse_expression(text)
+        order = expression.variables()
+        form = expression_to_stp(expression, order)
+        assignment = {
+            name: bool((assignment_bits >> position) & 1) for position, name in enumerate(order)
+        }
+        vectors = [bool_to_vector(assignment[name]) for name in order]
+        factors = [form.matrix] + vectors
+        simulated = vector_to_bool(stp_chain(factors)) if vectors else bool(form.matrix[0, 0])
+        assert simulated == expression.evaluate(assignment)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(FORMULAS))
+    def test_canonical_form_is_a_logic_matrix(self, text):
+        from repro.stp import is_logic_matrix
+
+        expression = parse_expression(text)
+        form = expression_to_stp(expression)
+        assert is_logic_matrix(form.matrix)
+        assert form.truth_table() == truth_table_of_expression(expression, expression.variables())

@@ -1,0 +1,59 @@
+"""Tests for the transitive-fanin manager."""
+
+import pytest
+
+from repro.networks import Aig
+from repro.sweeping import TfiManager
+
+
+class TestTfiManager:
+    def test_bounded_tfi_respects_limit(self, ripple_adder_4):
+        manager = TfiManager(ripple_adder_4, limit=5)
+        po_node = Aig.node_of(ripple_adder_4.pos[-1])
+        cone = manager.bounded_tfi(po_node)
+        assert len(cone) <= 5
+        assert po_node in cone
+
+    def test_cache_returns_same_object(self, small_aig):
+        manager = TfiManager(small_aig, limit=100)
+        node = Aig.node_of(small_aig.pos[0])
+        assert manager.bounded_tfi(node) is manager.bounded_tfi(node)
+        manager.invalidate()
+        assert manager.bounded_tfi(node) == manager.bounded_tfi(node)
+
+    def test_in_bounded_tfi(self, small_aig):
+        manager = TfiManager(small_aig, limit=1000)
+        po_node = Aig.node_of(small_aig.pos[0])
+        fanin0, _ = small_aig.fanins(po_node)
+        assert manager.in_bounded_tfi(Aig.node_of(fanin0), po_node)
+        assert not manager.in_bounded_tfi(po_node, Aig.node_of(fanin0)) or Aig.node_of(fanin0) == po_node
+
+    def test_is_legal_merge_rejects_cycles(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, c)
+        aig.add_po(y)
+        manager = TfiManager(aig)
+        # Substituting x by y would create a cycle (x is in y's fanin).
+        assert not manager.is_legal_merge(Aig.node_of(x), Aig.node_of(y))
+        # The other direction is fine.
+        assert manager.is_legal_merge(Aig.node_of(y), Aig.node_of(x))
+        # Self-merge is never legal.
+        assert not manager.is_legal_merge(Aig.node_of(x), Aig.node_of(x))
+
+    def test_order_drivers_prefers_tfi_members(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, c)
+        z = aig.add_and(a, c)  # not in y's TFI
+        aig.add_po(y)
+        aig.add_po(z)
+        manager = TfiManager(aig)
+        ordered = manager.order_drivers(Aig.node_of(y), [Aig.node_of(z), Aig.node_of(x)])
+        assert ordered[0] == Aig.node_of(x)
+
+    def test_limit_validation(self, small_aig):
+        with pytest.raises(ValueError):
+            TfiManager(small_aig, limit=0)
