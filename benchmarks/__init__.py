@@ -1,0 +1,7 @@
+"""Benchmark suite regenerating the paper's tables at reduced scale.
+
+The package marker makes ``benchmarks`` a proper package so the test
+modules' ``from .conftest import ...`` imports resolve under
+``python -m pytest`` from the repository root (without it, collection
+fails with "attempted relative import with no known parent package").
+"""

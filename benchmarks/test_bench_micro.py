@@ -83,6 +83,108 @@ def test_micro_bit_parallel_aig_simulation(benchmark):
     benchmark(simulate_aig, aig, patterns)
 
 
+def test_micro_substitute_fanout_rewrite(benchmark):
+    """Chained substitutions on the EPFL 'sin' profile.
+
+    Exercises the incremental `Aig.substitute`: each call must only visit
+    the fanouts of the replaced node (the seed implementation scanned all
+    gates and rebuilt the whole strash table per call, so this kernel was
+    O(merges x gates))."""
+    aig = epfl_benchmark("sin")
+    gates = list(aig.gates())
+    substitutions = []
+    for gate in gates[len(gates) // 2 :: 7]:
+        substitutions.append(gate)
+
+    def setup():
+        return (aig.clone(),), {}
+
+    def kernel(work):
+        for gate in substitutions:
+            fanin0, _ = work.fanins(gate)
+            if Aig.node_of(fanin0) != gate:
+                work.substitute(gate, fanin0)
+        return work
+
+    work = benchmark.pedantic(kernel, setup=setup, rounds=5, iterations=1)
+    assert work.num_ands == aig.num_ands  # substitution never deletes nodes
+
+
+def test_micro_repeated_cone_encoding(benchmark):
+    """Many equivalence queries on one incremental solver ('sin' profile).
+
+    Exercises the cone-local `_encode_cone`: across the run every gate is
+    Tseitin-encoded at most once, so the total encoding work is O(network)
+    rather than O(queries x network) as in the seed."""
+    aig = epfl_benchmark("sin")
+    gates = list(aig.gates())
+    pairs = [(gates[i], gates[i + 1]) for i in range(0, min(len(gates) - 1, 120), 3)]
+
+    def kernel():
+        solver = CircuitSolver(aig, conflict_limit=500)
+        for a, b in pairs:
+            solver.prove_equivalence(Aig.literal(a), Aig.literal(b), 500)
+        return solver
+
+    solver = benchmark(kernel)
+    assert solver.num_queries == len(pairs)
+
+
+def test_micro_topological_order_cached(benchmark):
+    """Repeated topological_order queries with interleaved substitutions.
+
+    The cached order answers in O(N) list copies (recomputed at most once
+    per mutation epoch) instead of a fresh DFS per call."""
+    base = epfl_benchmark("sin")
+
+    def kernel():
+        aig = base.clone()
+        total = 0
+        for _ in range(50):
+            total += len(aig.topological_order())
+        gate = max(aig.gates())
+        aig.substitute(gate, aig.fanins(gate)[0])
+        for _ in range(50):
+            total += len(aig.topological_order())
+        return total
+
+    benchmark(kernel)
+
+
+def test_micro_counterexample_refinement(benchmark):
+    """Buffered counter-example absorption into the incremental simulator."""
+    from repro.simulation import IncrementalAigSimulator
+
+    aig = epfl_benchmark("priority")
+    patterns = PatternSet.random(aig.num_pis, 64, seed=1)
+    counterexamples = [
+        tuple((seed >> position) & 1 for position in range(aig.num_pis))
+        for seed in range(48)
+    ]
+
+    def kernel():
+        simulator = IncrementalAigSimulator(aig, patterns)
+        for pattern in counterexamples:
+            simulator.add_pattern(pattern)
+        return simulator.signature(max(aig.gates()))
+
+    benchmark(kernel)
+
+
+def test_micro_fraig_sweep_sin(benchmark):
+    """The acceptance workload: full FRAIG sweep of 'sin' with 64 patterns."""
+    from repro.sweeping import FraigSweeper
+
+    aig = epfl_benchmark("sin")
+
+    def kernel():
+        return FraigSweeper(aig, num_patterns=64).run()
+
+    swept, stats = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert swept.num_ands < aig.num_ands
+    assert stats.sat_time <= stats.total_time
+
+
 def test_micro_sat_equivalence_query(benchmark):
     """One UNSAT equivalence proof on associative AND trees (the common merge query)."""
     aig = Aig()

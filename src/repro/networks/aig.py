@@ -16,6 +16,37 @@ constructors for derived gates (OR, XOR, MUX, adders' carry, ...), node
 substitution used by SAT-sweeping, and the traversal queries (topological
 order, levels, fanouts, TFI/TFO cones) required by the simulator and the
 sweeper.
+
+Incremental-engine design
+-------------------------
+
+The container is built for SAT sweeping, where a network of ``N`` gates
+undergoes thousands of small mutations interleaved with traversal
+queries.  All bookkeeping is therefore maintained *incrementally* so that
+per-event work is proportional to the event's cone, not to ``N``:
+
+* **Fanout lists** (``_fanouts``) hold, for every node, the indices of
+  the gates referencing it (one entry per referencing fanin) and are
+  updated in O(1) by :meth:`add_and` and in O(fanout) by
+  :meth:`substitute` / :meth:`replace_fanin`.  ``fanout_counts`` and
+  ``tfo`` answer directly from the maintained lists.  Previously
+  ``substitute`` scanned every gate of the network (O(N) per merge, so
+  O(merges x N) per sweep); it now visits only ``fanouts(old_node)``.
+* **Cached topological order** (``_topo_cache`` / ``_topo_pos``): the
+  order is computed at most once per mutation epoch and returned in O(N)
+  (a list copy) afterwards.  ``add_and`` appends to the cache (creation
+  order extends any valid order); ``substitute`` keeps the cache *valid*
+  whenever the replacement node precedes the replaced node in the cached
+  order -- the common case in sweeping, where merge drivers are always
+  topologically earlier -- and only then is a recomputation avoided.
+  ``topological_position`` exposes the cached position for O(1)
+  ancestor-pruning in reachability checks (see
+  :class:`repro.sweeping.tfi.TfiManager`).
+* **Structural hashing** is patched per rewritten gate instead of being
+  rebuilt: ``substitute`` deletes only the strash keys of the gates it
+  rewrites (O(fanout) dictionary operations) and re-registers their new
+  keys, where the previous implementation rebuilt the whole dictionary
+  on every merge (O(N) per merge).
 """
 
 from __future__ import annotations
@@ -57,6 +88,14 @@ class Aig:
         self._pos: list[int] = []
         self._po_names: list[str] = []
         self._strash: dict[tuple[int, int], int] = {}
+        # Incrementally maintained fanout lists: _fanouts[n] holds the gate
+        # indices referencing node n, one entry per referencing fanin.
+        self._fanouts: list[list[int]] = [[]]
+        # PO references per node: _po_refs[n] lists the PO indices driven by n.
+        self._po_refs: dict[int, list[int]] = {}
+        # Cached topological gate order and node->position map; None = dirty.
+        self._topo_cache: list[int] | None = None
+        self._topo_pos: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Literal helpers
@@ -95,6 +134,7 @@ class Aig:
         """Create a primary input; returns its (positive) literal."""
         node = len(self._nodes)
         self._nodes.append(AigNode(-1, -1))
+        self._fanouts.append([])
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
         return self.literal(node)
@@ -104,7 +144,9 @@ class Aig:
         self._check_literal(literal)
         self._pos.append(literal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
-        return len(self._pos) - 1
+        index = len(self._pos) - 1
+        self._po_refs.setdefault(literal >> 1, []).append(index)
+        return index
 
     def add_and(self, a: int, b: int) -> int:
         """AND of two literals, with one-level simplification and strashing."""
@@ -130,7 +172,15 @@ class Aig:
             return self.literal(existing)
         node = len(self._nodes)
         self._nodes.append(AigNode(a, b))
+        self._fanouts.append([])
+        self._fanouts[a >> 1].append(node)
+        self._fanouts[b >> 1].append(node)
         self._strash[key] = node
+        # Appending a freshly created gate keeps any cached order valid:
+        # both fanins already exist, hence precede it.
+        if self._topo_cache is not None:
+            self._topo_pos[node] = len(self._topo_cache)  # type: ignore[index]
+            self._topo_cache.append(node)
         return self.literal(node)
 
     # Derived gates -----------------------------------------------------
@@ -235,10 +285,26 @@ class Aig:
         """Names of the primary outputs (parallel to :attr:`pos`)."""
         return list(self._po_names)
 
+    @property
+    def node_entries(self) -> list[AigNode]:
+        """The raw node array (fast read-only view for simulators).
+
+        Word-parallel simulators index this list directly in their hot
+        loop; callers must not mutate it.
+        """
+        return self._nodes
+
     def set_po(self, index: int, literal: int) -> None:
         """Redirect primary output ``index`` to a new literal."""
         self._check_literal(literal)
+        old_node = self._pos[index] >> 1
+        refs = self._po_refs.get(old_node)
+        if refs is not None and index in refs:
+            refs.remove(index)
+            if not refs:
+                del self._po_refs[old_node]
         self._pos[index] = literal
+        self._po_refs.setdefault(literal >> 1, []).append(index)
 
     def is_constant(self, node: int) -> bool:
         """True for the constant-false node 0."""
@@ -291,22 +357,49 @@ class Aig:
             return [self.node_of(f) for f in self.fanins(node)]
         return []
 
+    def gate_fanin_nodes(self, node: int) -> list[int]:
+        """Fanin node indices of ``node`` (empty for PIs and the constant)."""
+        return self._gate_fanin_nodes(node)
+
     def topological_order(self, include_pis: bool = False) -> list[int]:
         """AND-node indices in topological (fanin-before-fanout) order.
 
         With ``include_pis`` the constant node and the PIs are prepended.
-        Creation order is already topological for this container, but the
-        method recomputes the order from fanin edges so that it remains
-        valid after node substitution (which can make a gate point at a
-        higher-index node).  Dangling gates are included as well, also in a
-        fanin-consistent position, so simulators can evaluate every gate.
+        Dangling gates are included as well, also in a fanin-consistent
+        position, so simulators can evaluate every gate.
+
+        The order is cached: it is recomputed at most once per mutation
+        epoch (O(N)) and answered with a list copy afterwards.  Creating
+        gates extends the cache in place; :meth:`substitute` and
+        :meth:`replace_fanin` preserve the cache whenever the replacement
+        node precedes the replaced node in the cached order (always true
+        for sweeping merges, whose drivers are topologically earlier) and
+        invalidate it otherwise.
         """
-        roots = [self.node_of(po) for po in self._pos] + list(self.gates())
-        order = topological_sort(roots, self._gate_fanin_nodes)
-        gate_order = [n for n in order if self.is_and(n)]
+        cache = self._topo_cache
+        if cache is None:
+            roots = [self.node_of(po) for po in self._pos] + list(self.gates())
+            order = topological_sort(roots, self._gate_fanin_nodes)
+            cache = [n for n in order if self.is_and(n)]
+            self._topo_cache = cache
+            self._topo_pos = {node: i for i, node in enumerate(cache)}
         if include_pis:
-            return [0] + list(self._pis) + gate_order
-        return gate_order
+            return [0] + list(self._pis) + list(cache)
+        return list(cache)
+
+    def topological_position(self, node: int) -> int:
+        """Position of a gate in the cached topological order.
+
+        PIs and the constant node report ``-1`` (they precede every
+        gate).  Positions are consistent with fanin edges: for any AND
+        gate, every fanin has a strictly smaller position.  Computing the
+        order on a clean cache is O(1); a dirty cache triggers one O(N)
+        recomputation.
+        """
+        if self._topo_pos is None:
+            self.topological_order()
+        assert self._topo_pos is not None
+        return self._topo_pos.get(node, -1)
 
     def levels(self) -> dict[int, int]:
         """Logic level of every node (PIs and constant are level 0)."""
@@ -320,9 +413,23 @@ class Aig:
             return 0
         return max(node_levels[self.node_of(po)] for po in self._pos)
 
+    def fanouts(self, node: int) -> list[int]:
+        """Gate indices referencing ``node`` (one entry per referencing fanin).
+
+        Answered in O(fanout) from the incrementally maintained lists; a
+        gate referencing the node through both fanins appears twice.
+        """
+        return list(self._fanouts[node])
+
     def fanout_counts(self) -> dict[int, int]:
-        """Number of gate/PO references of every node."""
-        counts = fanout_counts_impl(self)
+        """Number of gate/PO references of every node.
+
+        Answered in O(N) straight from the maintained fanout lists and PO
+        reference map (no edge scan).
+        """
+        counts = {node: len(self._fanouts[node]) for node in self.nodes()}
+        for node, refs in self._po_refs.items():
+            counts[node] += len(refs)
         return counts
 
     def tfi(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
@@ -330,16 +437,13 @@ class Aig:
         return transitive_fanin(list(nodes), self._gate_fanin_nodes, limit)
 
     def tfo(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
-        """Transitive fanout cone of ``nodes`` (the nodes themselves included)."""
-        fanouts = self._fanout_lists()
-        return transitive_fanout(list(nodes), lambda n: fanouts.get(n, []), limit)
+        """Transitive fanout cone of ``nodes`` (the nodes themselves included).
 
-    def _fanout_lists(self) -> dict[int, list[int]]:
-        fanouts: dict[int, list[int]] = {}
-        for node in self.gates():
-            for fanin in self.fanins(node):
-                fanouts.setdefault(self.node_of(fanin), []).append(node)
-        return fanouts
+        Served from the maintained fanout lists in O(cone), without
+        rebuilding a network-wide fanout map.
+        """
+        fanouts = self._fanouts
+        return transitive_fanout(list(nodes), lambda n: fanouts[n], limit)
 
     # ------------------------------------------------------------------
     # Evaluation (reference semantics, used by tests and CEC)
@@ -367,45 +471,92 @@ class Aig:
     # Mutation used by SAT-sweeping
     # ------------------------------------------------------------------
 
+    def _strash_key(self, gate: int) -> tuple[int, int]:
+        entry = self._nodes[gate]
+        a, b = entry.fanin0, entry.fanin1
+        return (a, b) if a <= b else (b, a)
+
+    def _unstrash_gate(self, gate: int) -> None:
+        key = self._strash_key(gate)
+        if self._strash.get(key) == gate:
+            del self._strash[key]
+
+    def _restrash_gate(self, gate: int) -> None:
+        """Re-register a rewritten gate in the strash table.
+
+        Degenerate gates (constant or duplicated fanin node after a
+        rewrite) are not registered: :meth:`add_and` simplifies those
+        shapes before lookup, so their keys would never be queried.
+        """
+        entry = self._nodes[gate]
+        node0, node1 = entry.fanin0 >> 1, entry.fanin1 >> 1
+        if node0 == 0 or node1 == 0 or node0 == node1:
+            return
+        key = self._strash_key(gate)
+        if key not in self._strash:
+            self._strash[key] = gate
+
+    def _note_rewire(self, old_node: int, new_node: int) -> None:
+        """Update topological-cache validity after redirecting references.
+
+        If the cached order exists and the replacement node appears
+        strictly before the replaced node, every redirected edge still
+        points backwards and the cached order remains valid; otherwise
+        the cache is dropped and recomputed lazily.
+        """
+        if self._topo_cache is None:
+            return
+        pos = self._topo_pos
+        assert pos is not None
+        if pos.get(new_node, -1) >= pos.get(old_node, -1):
+            self._topo_cache = None
+            self._topo_pos = None
+
     def substitute(self, old_node: int, new_literal: int) -> int:
         """Replace every reference to ``old_node`` by ``new_literal``.
 
-        Fanins of all AND gates and all PO literals that mention
-        ``old_node`` are redirected; the complement bit of each reference is
-        xor-ed into the replacement literal.  Returns the number of
-        references rewritten.  The replaced node becomes dangling and can be
-        removed later with :func:`repro.networks.transforms.cleanup_dangling`.
+        Fanins of the gates in ``fanouts(old_node)`` and the PO literals
+        referencing ``old_node`` are redirected; the complement bit of
+        each reference is xor-ed into the replacement literal.  Returns
+        the number of references rewritten.  The replaced node becomes
+        dangling and can be removed later with
+        :func:`repro.networks.transforms.cleanup_dangling`.
+
+        Complexity: O(fanout(old_node)) -- only the referencing gates are
+        visited and only their strash entries are patched.  (The previous
+        implementation scanned all gates and rebuilt the entire strash
+        dictionary, i.e. O(N) per call.)
         """
         self._check_literal(new_literal)
-        if self.node_of(new_literal) == old_node:
+        new_node = new_literal >> 1
+        if new_node == old_node:
             raise ValueError("cannot substitute a node by itself")
         if self.is_pi(old_node) or self.is_constant(old_node):
             raise ValueError(f"cannot substitute PI/constant node {old_node}")
         rewritten = 0
-        for node in self.gates():
-            entry = self._nodes[node]
-            changed = False
-            fanin0, fanin1 = entry.fanin0, entry.fanin1
-            if self.node_of(fanin0) == old_node:
-                fanin0 = new_literal ^ (fanin0 & 1)
-                changed = True
-            if self.node_of(fanin1) == old_node:
-                fanin1 = new_literal ^ (fanin1 & 1)
-                changed = True
-            if changed:
-                entry.fanin0, entry.fanin1 = fanin0, fanin1
+        fanouts = self._fanouts
+        old_refs = fanouts[old_node]
+        fanouts[old_node] = []
+        new_refs: list[int] = []
+        for gate in dict.fromkeys(old_refs):
+            self._unstrash_gate(gate)
+            entry = self._nodes[gate]
+            if entry.fanin0 >> 1 == old_node:
+                entry.fanin0 = new_literal ^ (entry.fanin0 & 1)
+                new_refs.append(gate)
+            if entry.fanin1 >> 1 == old_node:
+                entry.fanin1 = new_literal ^ (entry.fanin1 & 1)
+                new_refs.append(gate)
+            self._restrash_gate(gate)
+            rewritten += 1
+        fanouts[new_node].extend(new_refs)
+        po_refs = self._po_refs.pop(old_node, None)
+        if po_refs:
+            for index in po_refs:
+                self._pos[index] = new_literal ^ (self._pos[index] & 1)
                 rewritten += 1
-        for index, po in enumerate(self._pos):
-            if self.node_of(po) == old_node:
-                self._pos[index] = new_literal ^ (po & 1)
-                rewritten += 1
-        # The structural-hash table is no longer authoritative after an
-        # in-place rewrite; drop stale entries referencing the old node.
-        self._strash = {
-            key: node
-            for key, node in self._strash.items()
-            if self.node_of(key[0]) != old_node and self.node_of(key[1]) != old_node
-        }
+            self._po_refs.setdefault(new_node, []).extend(po_refs)
+        self._note_rewire(old_node, new_node)
         return rewritten
 
     def replace_fanin(self, gate: int, old_node: int, new_literal: int) -> bool:
@@ -414,23 +565,30 @@ class Aig:
         The complement bit of the existing reference is xor-ed into the new
         literal, so the rewiring is function-preserving whenever
         ``new_literal`` is equivalent to ``old_node``.  Returns ``True`` if
-        at least one fanin was rewritten.
+        at least one fanin was rewritten.  O(fanout(old_node)) for the
+        fanout-list update, O(1) strash patching.
         """
         self._check_literal(new_literal)
         if not self.is_and(gate):
             raise ValueError(f"node {gate} is not an AND gate")
+        new_node = new_literal >> 1
         entry = self._nodes[gate]
         changed = False
-        if self.node_of(entry.fanin0) == old_node:
+        self._unstrash_gate(gate)
+        old_fanouts = self._fanouts[old_node]
+        if entry.fanin0 >> 1 == old_node:
             entry.fanin0 = new_literal ^ (entry.fanin0 & 1)
+            old_fanouts.remove(gate)
+            self._fanouts[new_node].append(gate)
             changed = True
-        if self.node_of(entry.fanin1) == old_node:
+        if entry.fanin1 >> 1 == old_node:
             entry.fanin1 = new_literal ^ (entry.fanin1 & 1)
+            old_fanouts.remove(gate)
+            self._fanouts[new_node].append(gate)
             changed = True
+        self._restrash_gate(gate)
         if changed:
-            self._strash = {
-                key: node for key, node in self._strash.items() if node != gate
-            }
+            self._note_rewire(old_node, new_node)
         return changed
 
     def clone(self) -> "Aig":
@@ -442,6 +600,10 @@ class Aig:
         other._pos = list(self._pos)
         other._po_names = list(self._po_names)
         other._strash = dict(self._strash)
+        other._fanouts = [list(refs) for refs in self._fanouts]
+        other._po_refs = {node: list(refs) for node, refs in self._po_refs.items()}
+        other._topo_cache = list(self._topo_cache) if self._topo_cache is not None else None
+        other._topo_pos = dict(self._topo_pos) if self._topo_pos is not None else None
         return other
 
     def __repr__(self) -> str:
@@ -452,7 +614,11 @@ class Aig:
 
 
 def fanout_counts_impl(aig: Aig) -> dict[int, int]:
-    """Reference counts of every node (gate fanins plus PO references)."""
+    """Reference counts of every node, recomputed from scratch.
+
+    Kept as the from-scratch oracle for the incrementally maintained
+    :meth:`Aig.fanout_counts`; tests cross-check the two.
+    """
     counts = {node: 0 for node in aig.nodes()}
     for node in aig.gates():
         for fanin in aig.fanins(node):

@@ -12,9 +12,27 @@ mirrors the "circuit-based SAT solver with direct access to the network"
 of the paper [14]: the CNF only ever contains the logic relevant to the
 queries asked so far.  A conflict limit turns an expensive query into the
 ``UNDETERMINED`` outcome ("unDET" in Algorithm 2).
+
+Incremental-engine design
+-------------------------
+
+``_encode_cone`` performs a depth-first traversal from the query roots
+that stops at already-encoded nodes, so each ``prove_equivalence`` /
+``prove_constant`` call pays O(newly encoded cone) -- and every AND gate
+of the network is Tseitin-encoded at most once over the solver's
+lifetime.  (The previous implementation intersected a freshly computed
+full TFI set with a full topological order on *every* query, i.e.
+O(N) per query and O(queries x N) per sweep.)  Clause order does not
+matter to the CDCL solver, so no topological sorting is needed.
+
+The time spent inside the underlying CDCL solver is accumulated in
+:attr:`CircuitSolver.sat_time`, giving sweepers a directly measured
+"SAT time" statistic instead of the old ``total - simulation`` estimate.
 """
 
 from __future__ import annotations
+
+import time
 
 from dataclasses import dataclass
 from enum import Enum
@@ -61,6 +79,9 @@ class CircuitSolver:
         self.num_satisfiable = 0
         self.num_unsatisfiable = 0
         self.num_undetermined = 0
+        #: Wall-clock seconds spent inside the CDCL solver (directly
+        #: measured around every ``solve`` call).
+        self.sat_time = 0.0
 
     # ------------------------------------------------------------------
     # Lazy cone encoding
@@ -78,20 +99,34 @@ class CircuitSolver:
         return -variable if Aig.is_complemented(aig_literal) else variable
 
     def _encode_cone(self, roots: Sequence[int]) -> None:
-        """Add gate clauses for every not-yet-encoded AND node in the cones."""
-        cone = self.aig.tfi(list(roots))
-        cone_set = set(cone)
-        for node in self.aig.topological_order():
-            if node not in cone_set or node in self._encoded or not self.aig.is_and(node):
+        """Add gate clauses for every not-yet-encoded AND node in the cones.
+
+        Iterative DFS from the roots, pruned at nodes already encoded (and
+        at PIs/the constant): O(newly encoded cone) per call instead of a
+        full-network TFI-and-topological-order scan.
+        """
+        aig = self.aig
+        encoded = self._encoded
+        add_clause = self.solver.add_clause
+        stack = [root for root in roots if root not in encoded]
+        while stack:
+            node = stack.pop()
+            if node in encoded or not aig.is_and(node):
                 continue
+            encoded.add(node)
             variable = self._variable_of(node)
-            fanin0, fanin1 = self.aig.fanins(node)
+            fanin0, fanin1 = aig.fanins(node)
             literal0 = self._cnf_literal(fanin0)
             literal1 = self._cnf_literal(fanin1)
-            self.solver.add_clause([-variable, literal0])
-            self.solver.add_clause([-variable, literal1])
-            self.solver.add_clause([variable, -literal0, -literal1])
-            self._encoded.add(node)
+            add_clause([-variable, literal0])
+            add_clause([-variable, literal1])
+            add_clause([variable, -literal0, -literal1])
+            node0 = fanin0 >> 1
+            node1 = fanin1 >> 1
+            if node0 not in encoded:
+                stack.append(node0)
+            if node1 not in encoded:
+                stack.append(node1)
 
     # ------------------------------------------------------------------
     # Queries
@@ -117,6 +152,11 @@ class CircuitSolver:
         if literal_a == Aig.negate(literal_b):
             self.num_satisfiable += 1
             return EquivalenceOutcome(EquivalenceStatus.NOT_EQUIVALENT, self._arbitrary_pattern())
+        if self._structurally_identical(literal_a, literal_b):
+            # Earlier merges made the two gates share the same fanin
+            # literals: they are equivalent by structure, no SAT needed.
+            self.num_unsatisfiable += 1
+            return EquivalenceOutcome(EquivalenceStatus.EQUIVALENT)
         self._encode_cone([Aig.node_of(literal_a), Aig.node_of(literal_b)])
         cnf_a = self._cnf_literal(literal_a)
         cnf_b = self._cnf_literal(literal_b)
@@ -125,7 +165,9 @@ class CircuitSolver:
         self.solver.add_clause([-activator, cnf_a, cnf_b])
         self.solver.add_clause([-activator, -cnf_a, -cnf_b])
         limit = conflict_limit if conflict_limit is not None else self.conflict_limit
+        solve_start = time.perf_counter()
         result = self.solver.solve(assumptions=[activator], conflict_limit=limit)
+        self.sat_time += time.perf_counter() - solve_start
         if result is SolverResult.UNSATISFIABLE:
             self.num_unsatisfiable += 1
             # Deactivate the miter clauses and record the proven equality,
@@ -156,7 +198,9 @@ class CircuitSolver:
         # Ask for a pattern where the literal takes the *other* value.
         assumption = -cnf_literal if value else cnf_literal
         limit = conflict_limit if conflict_limit is not None else self.conflict_limit
+        solve_start = time.perf_counter()
         result = self.solver.solve(assumptions=[assumption], conflict_limit=limit)
+        self.sat_time += time.perf_counter() - solve_start
         if result is SolverResult.UNSATISFIABLE:
             self.num_unsatisfiable += 1
             self.solver.add_clause([cnf_literal if value else -cnf_literal])
@@ -166,6 +210,28 @@ class CircuitSolver:
             return EquivalenceOutcome(EquivalenceStatus.NOT_EQUIVALENT, self._counterexample_from_model())
         self.num_undetermined += 1
         return EquivalenceOutcome(EquivalenceStatus.UNDETERMINED)
+
+    def _structurally_identical(self, literal_a: int, literal_b: int) -> bool:
+        """True when both literals denote AND gates with identical fanins.
+
+        During a sweep, merging the fanins of two functionally equivalent
+        gates often leaves the gates themselves with the very same fanin
+        literals; this O(1) check proves such pairs without a SAT call.
+        """
+        if (literal_a ^ literal_b) & 1:
+            return False
+        aig = self.aig
+        node_a = literal_a >> 1
+        node_b = literal_b >> 1
+        if not aig.is_and(node_a) or not aig.is_and(node_b):
+            return False
+        fanin_a0, fanin_a1 = aig.fanins(node_a)
+        fanin_b0, fanin_b1 = aig.fanins(node_b)
+        if fanin_a0 > fanin_a1:
+            fanin_a0, fanin_a1 = fanin_a1, fanin_a0
+        if fanin_b0 > fanin_b1:
+            fanin_b0, fanin_b1 = fanin_b1, fanin_b0
+        return fanin_a0 == fanin_b0 and fanin_a1 == fanin_b1
 
     # ------------------------------------------------------------------
     # Counter-example extraction

@@ -19,6 +19,7 @@ from .signatures import (
 )
 from .bitwise import (
     simulate_aig,
+    simulate_aig_words,
     simulate_aig_nodes,
     simulate_klut_per_pattern,
     simulate_klut_minterm,
@@ -50,6 +51,7 @@ __all__ = [
     "canonical_signature",
     "signature_toggle_rate",
     "simulate_aig",
+    "simulate_aig_words",
     "simulate_aig_nodes",
     "simulate_klut_per_pattern",
     "simulate_klut_minterm",

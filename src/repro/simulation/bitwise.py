@@ -28,6 +28,7 @@ from .signatures import SimulationResult
 
 __all__ = [
     "simulate_aig",
+    "simulate_aig_words",
     "simulate_aig_nodes",
     "simulate_klut_per_pattern",
     "simulate_klut_minterm",
@@ -37,47 +38,95 @@ __all__ = [
 ]
 
 
-def simulate_aig(aig: Aig, patterns: PatternSet) -> SimulationResult:
-    """Word-parallel simulation of every node of an AIG."""
+def simulate_aig_words(aig: Aig, patterns: PatternSet) -> list[int]:
+    """Word-parallel simulation into a flat signature array.
+
+    Returns one packed signature word per node, indexed by node number --
+    the array-backed hot path behind :func:`simulate_aig` and the
+    incremental simulator.  The flat list avoids per-node dictionary
+    hashing in the inner loop.
+    """
     if patterns.num_inputs != aig.num_pis:
         raise ValueError(f"pattern set has {patterns.num_inputs} inputs, AIG has {aig.num_pis}")
     mask = patterns.mask
-    result = SimulationResult(patterns.num_patterns)
-    signatures = result.signatures
-    signatures[0] = 0
+    words = [0] * aig.num_nodes
     for position, pi in enumerate(aig.pis):
-        signatures[pi] = patterns.input_word(position) & mask
+        words[pi] = patterns.input_word(position) & mask
+    entries = aig.node_entries
     for node in aig.topological_order():
-        fanin0, fanin1 = aig.fanins(node)
-        word0 = signatures[Aig.node_of(fanin0)]
-        word1 = signatures[Aig.node_of(fanin1)]
-        if Aig.is_complemented(fanin0):
+        entry = entries[node]
+        fanin0 = entry.fanin0
+        fanin1 = entry.fanin1
+        word0 = words[fanin0 >> 1]
+        if fanin0 & 1:
             word0 ^= mask
-        if Aig.is_complemented(fanin1):
+        word1 = words[fanin1 >> 1]
+        if fanin1 & 1:
             word1 ^= mask
-        signatures[node] = word0 & word1
+        words[node] = word0 & word1
+    return words
+
+
+def simulate_aig(aig: Aig, patterns: PatternSet) -> SimulationResult:
+    """Word-parallel simulation of every node of an AIG."""
+    words = simulate_aig_words(aig, patterns)
+    result = SimulationResult(patterns.num_patterns)
+    result.signatures = dict(enumerate(words))
     return result
 
 
 def simulate_aig_nodes(aig: Aig, patterns: PatternSet, nodes: Iterable[int]) -> dict[int, int]:
-    """Signatures of selected nodes only (still simulates their TFI cone)."""
-    cone = set(aig.tfi(list(nodes)))
+    """Signatures of selected nodes only (simulates just their TFI cone).
+
+    The cone is traversed with a cone-local topological sort, so the cost
+    is O(|TFI(nodes)|) -- independent of the network size.  This is the
+    counter-example refinement path of the sweepers, which only needs the
+    nodes still sitting in equivalence classes.
+    """
+    targets = list(nodes)
+    if patterns.num_inputs != aig.num_pis:
+        raise ValueError(f"pattern set has {patterns.num_inputs} inputs, AIG has {aig.num_pis}")
     mask = patterns.mask
     signatures: dict[int, int] = {0: 0}
-    for position, pi in enumerate(aig.pis):
-        signatures[pi] = patterns.input_word(position) & mask
-    for node in aig.topological_order():
-        if node not in cone:
+    entries = aig.node_entries
+    pi_positions = {pi: position for position, pi in enumerate(aig.pis)}
+    # Inline iterative post-order DFS over the cone: leaves (PIs and the
+    # constant) are evaluated on sight, AND gates after their fanins.
+    # Sources are recognised by their sentinel fanins (-1), not by index.
+    visited: set[int] = {0}
+    stack: list[int] = [target for target in targets if target not in visited]
+    order: list[int] = []
+    while stack:
+        node = stack.pop()
+        if node < 0:
+            order.append(-node)
             continue
-        fanin0, fanin1 = aig.fanins(node)
-        word0 = signatures[Aig.node_of(fanin0)]
-        word1 = signatures[Aig.node_of(fanin1)]
-        if Aig.is_complemented(fanin0):
+        if node in visited:
+            continue
+        visited.add(node)
+        entry = entries[node]
+        if entry.fanin0 >= 0:
+            stack.append(-node)
+            fanin0 = entry.fanin0 >> 1
+            fanin1 = entry.fanin1 >> 1
+            if fanin0 not in visited:
+                stack.append(fanin0)
+            if fanin1 not in visited:
+                stack.append(fanin1)
+        else:
+            signatures[node] = patterns.input_word(pi_positions[node]) & mask
+    for node in order:
+        entry = entries[node]
+        fanin0 = entry.fanin0
+        fanin1 = entry.fanin1
+        word0 = signatures[fanin0 >> 1]
+        if fanin0 & 1:
             word0 ^= mask
-        if Aig.is_complemented(fanin1):
+        word1 = signatures[fanin1 >> 1]
+        if fanin1 & 1:
             word1 ^= mask
         signatures[node] = word0 & word1
-    return {node: signatures[node] for node in nodes}
+    return {node: signatures[node] for node in targets}
 
 
 def aig_po_signatures(aig: Aig, result: SimulationResult) -> list[int]:

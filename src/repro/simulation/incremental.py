@@ -4,8 +4,21 @@ Mockturtle-style simulators avoid recomputing whole signatures when new
 patterns (typically SAT counter-examples) arrive: only the newly appended
 block of values is computed, and only nodes whose support changed need a
 visit.  The :class:`IncrementalAigSimulator` mirrors this behaviour for
-AIGs and is the counter-example simulation engine of the baseline FRAIG
-sweeper.
+AIGs and is the counter-example simulation engine of both sweepers.
+
+Incremental-engine design
+-------------------------
+
+Signatures live in a flat list indexed by node (no per-node dictionary
+hashing), and appended patterns are *buffered*: :meth:`add_pattern`
+records the pattern in O(num_pis) and the buffered block is flushed
+word-parallel -- one bitwise network pass for the whole block -- only
+when a signature is actually read.  The previous implementation walked
+the entire network once per counter-example, bit by bit, which made the
+sweep's refinement loop O(counter-examples x N); sweepers now refine
+classes from a cone-local simulation
+(:func:`repro.simulation.bitwise.simulate_aig_nodes`) and the buffered
+full-network update amortises to one word-parallel pass per block.
 """
 
 from __future__ import annotations
@@ -15,7 +28,7 @@ from typing import Iterable, Sequence
 from ..networks.aig import Aig
 from .patterns import PatternSet
 from .signatures import SimulationResult
-from .bitwise import simulate_aig
+from .bitwise import simulate_aig_words
 
 __all__ = ["IncrementalAigSimulator"]
 
@@ -25,9 +38,9 @@ class IncrementalAigSimulator:
 
     The full pattern set is simulated once up front; afterwards
     :meth:`add_pattern` appends a single pattern (e.g. a SAT
-    counter-example) and updates every node signature by computing only the
-    new bit, and :meth:`add_patterns` appends a block of patterns and
-    recomputes only that block.
+    counter-example) into a buffer, and the buffered block is simulated
+    word-parallel on the first signature read.  :meth:`add_patterns`
+    appends a block of patterns and computes only that block.
     """
 
     def __init__(self, aig: Aig, patterns: PatternSet | None = None) -> None:
@@ -35,53 +48,76 @@ class IncrementalAigSimulator:
         self.patterns = patterns.copy() if patterns is not None else PatternSet(aig.num_pis)
         if self.patterns.num_inputs != aig.num_pis:
             raise ValueError("pattern set input count does not match the AIG")
-        self.result = simulate_aig(aig, self.patterns)
+        self._words: list[int] = simulate_aig_words(aig, self.patterns)
+        self._pending: list[tuple[int, ...]] = []
+        self._result_cache: SimulationResult | None = None
 
     @property
     def num_patterns(self) -> int:
-        """Number of patterns simulated so far."""
-        return self.patterns.num_patterns
+        """Number of patterns simulated so far (buffered patterns included)."""
+        return self.patterns.num_patterns + len(self._pending)
+
+    @property
+    def result(self) -> SimulationResult:
+        """Current signatures as a :class:`SimulationResult` (flushes the buffer)."""
+        self._flush()
+        if self._result_cache is None:
+            result = SimulationResult(self.patterns.num_patterns)
+            result.signatures = dict(enumerate(self._words))
+            self._result_cache = result
+        return self._result_cache
 
     def signature(self, node: int) -> int:
         """Current signature of ``node``."""
-        return self.result.signature(node)
+        self._flush()
+        return self._words[node]
 
     def add_pattern(self, values: Sequence[int | bool]) -> None:
-        """Append one pattern and update all signatures with its single bit."""
+        """Append one pattern; simulation is deferred to the next read."""
         if len(values) != self.aig.num_pis:
             raise ValueError(f"expected {self.aig.num_pis} values, got {len(values)}")
-        position = self.patterns.num_patterns
-        self.patterns.add_pattern(values)
-        self.result.num_patterns = self.patterns.num_patterns
-
-        bit_values: dict[int, bool] = {0: False}
-        for index, pi in enumerate(self.aig.pis):
-            bit_values[pi] = bool(values[index])
-        for node in self.aig.topological_order():
-            fanin0, fanin1 = self.aig.fanins(node)
-            value0 = bit_values[Aig.node_of(fanin0)] ^ Aig.is_complemented(fanin0)
-            value1 = bit_values[Aig.node_of(fanin1)] ^ Aig.is_complemented(fanin1)
-            bit_values[node] = value0 and value1
-        for node, value in bit_values.items():
-            if value:
-                self.result.signatures[node] |= 1 << position
+        self._pending.append(tuple(int(bool(v)) for v in values))
 
     def add_patterns(self, block: PatternSet) -> None:
         """Append a block of patterns; only the new block of bits is computed."""
         if block.num_inputs != self.aig.num_pis:
             raise ValueError("pattern block input count does not match the AIG")
-        shift = self.patterns.num_patterns
-        self.patterns.extend(block)
-        block_result = simulate_aig(self.aig, block)
-        self.result.num_patterns = self.patterns.num_patterns
-        for node, signature in block_result.signatures.items():
-            self.result.signatures[node] = self.result.signatures.get(node, 0) | (signature << shift)
+        self._flush()
+        self._absorb_block(block)
 
     def resimulate(self) -> SimulationResult:
         """Recompute every signature from scratch (used after network edits)."""
-        self.result = simulate_aig(self.aig, self.patterns)
+        if self._pending:
+            self.patterns.extend(PatternSet.from_patterns(self._pending))
+            self._pending = []
+        self._words = simulate_aig_words(self.aig, self.patterns)
+        self._result_cache = None
         return self.result
 
     def signatures_of(self, nodes: Iterable[int]) -> dict[int, int]:
         """Current signatures of selected nodes."""
-        return {node: self.result.signature(node) for node in nodes}
+        self._flush()
+        words = self._words
+        return {node: words[node] for node in nodes}
+
+    # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Simulate all buffered patterns with one word-parallel block pass."""
+        if not self._pending:
+            return
+        block = PatternSet.from_patterns(self._pending)
+        self._pending = []
+        self._absorb_block(block)
+
+    def _absorb_block(self, block: PatternSet) -> None:
+        shift = self.patterns.num_patterns
+        self.patterns.extend(block)
+        block_words = simulate_aig_words(self.aig, block)
+        words = self._words
+        if len(block_words) > len(words):
+            words.extend([0] * (len(block_words) - len(words)))
+        for node, word in enumerate(block_words):
+            if word:
+                words[node] |= word << shift
+        self._result_cache = None

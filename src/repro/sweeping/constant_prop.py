@@ -73,8 +73,16 @@ def propagate_constant_candidates(
         if node in already_proved:
             report.proved[node] = already_proved[node]
             continue
-        constant = simulator.result.is_constant(node)
-        if constant is None:
+        # Read the packed signature straight from the array-backed
+        # simulator (counter-example patterns flush in word-parallel
+        # blocks behind this call).
+        signature = simulator.signature(node)
+        mask = (1 << simulator.num_patterns) - 1
+        if signature == 0:
+            constant = False
+        elif signature == mask:
+            constant = True
+        else:
             continue
         # Exhaustive local simulation settles the candidate without SAT.
         local = local_tables.get(node) if local_tables is not None else None

@@ -18,6 +18,11 @@ class SweepStatistics:
     * ``total_sat_calls`` -- the "Total SAT calls" column;
     * ``simulation_time`` -- the "Simulation" column;
     * ``total_time`` -- the "Total runtime" column.
+
+    ``sat_time`` is measured directly around the solver's ``solve`` calls
+    (accumulated by :class:`repro.sat.circuit.CircuitSolver`); it is *not*
+    derived as ``total - simulation``, so substitution and refinement
+    overhead is no longer silently billed to SAT.
     """
 
     name: str = ""

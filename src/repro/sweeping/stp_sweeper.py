@@ -27,7 +27,6 @@ import time
 from ..networks.aig import Aig, LIT_FALSE
 from ..networks.transforms import rebuild_strashed
 from ..sat.circuit import CircuitSolver, EquivalenceStatus
-from ..simulation.bitwise import simulate_aig_nodes
 from ..simulation.incremental import IncrementalAigSimulator
 from ..simulation.patterns import PatternSet
 from ..simulation.sat_guided import sat_guided_patterns
@@ -38,7 +37,7 @@ from ..simulation.stp_simulator import (
 )
 from ..truthtable import TruthTable
 from .constant_prop import propagate_constant_candidates
-from .equivalence import EquivalenceClasses
+from .equivalence import EquivalenceClasses, refine_with_counterexample
 from .stats import SweepStatistics
 from .tfi import TfiManager
 
@@ -148,7 +147,10 @@ class StpSweeper:
         stats.unsatisfiable_sat_calls = solver.num_unsatisfiable
         stats.undetermined_sat_calls = solver.num_undetermined
         stats.total_time = time.perf_counter() - start
-        stats.sat_time = max(0.0, stats.total_time - stats.simulation_time)
+        # Directly measured solver time (accumulated around every solve
+        # call), not the old total-minus-simulation estimate that silently
+        # billed substitution/refinement overhead to SAT.
+        stats.sat_time = solver.sat_time
         return swept, stats
 
     # ------------------------------------------------------------------
@@ -292,20 +294,16 @@ class StpSweeper:
                 aig.substitute(candidate, driver_literal)
                 classes.remove(candidate)
                 merged.add(candidate)
-                tfi.invalidate()
+                tfi.invalidate_node(candidate)
                 stats.merges += 1
                 if driver == 0:
                     stats.constant_merges += 1
                 return
-            # lines 25-28: counter-example; STP simulation restricted to the
+            # lines 25-28: counter-example; simulation restricted to the
             # nodes that still sit in equivalence classes, then refinement.
             assert outcome.counterexample is not None
             sim_start = time.perf_counter()
-            ce_patterns = PatternSet.from_patterns([outcome.counterexample])
-            class_nodes = classes.class_nodes()
-            ce_signatures = simulate_aig_nodes(aig, ce_patterns, class_nodes)
-            classes.refine_with_signatures(ce_signatures, 1)
-            simulator.add_pattern(outcome.counterexample)
+            refine_with_counterexample(aig, classes, simulator, outcome.counterexample)
             stats.simulation_time += time.perf_counter() - sim_start
             stats.counterexamples_simulated += 1
 

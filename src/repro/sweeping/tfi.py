@@ -6,6 +6,23 @@ paper, line 1).  The manager caches bounded TFI cones and answers the two
 questions the sweeper asks: "which drivers are reachable within the
 budget?" and "is this merge structurally legal?" (a driver inside the
 candidate's transitive fanout would create a combinational cycle).
+
+Incremental-engine design
+-------------------------
+
+* :meth:`TfiManager.is_legal_merge` no longer materialises the driver's
+  full unbounded TFI (O(N) per candidate/driver pair).  It relies on the
+  AIG's cached topological positions: a driver positioned *before* the
+  candidate cannot contain it in its fanin cone, which settles the common
+  sweeping case in O(1).  Otherwise a DFS from the driver runs with
+  ancestor pruning -- any node positioned at or before the candidate is
+  never expanded, because its entire TFI sits at strictly smaller
+  positions -- so only the nodes strictly between the candidate and the
+  driver in topological position are ever visited.
+* :meth:`TfiManager.invalidate_node` drops only the cached bounded cones
+  that contain the merged node (its TFO roots), instead of clearing the
+  whole cache after every merge; cones built for unrelated regions of the
+  network survive across merges.
 """
 
 from __future__ import annotations
@@ -43,10 +60,34 @@ class TfiManager:
         The substitution redirects the fanouts of ``candidate`` to
         ``driver``; it is structurally safe exactly when ``candidate`` is
         not in the (full) transitive fanin of ``driver``.
+
+        Decided via cached topological positions: fanin edges strictly
+        decrease position, so a driver positioned before the candidate is
+        legal in O(1), and the fallback DFS from the driver prunes every
+        node positioned at or before the candidate -- it visits only the
+        position interval between the two nodes, never the whole cone.
         """
         if candidate == driver:
             return False
-        return candidate not in self.aig.tfi([driver])
+        aig = self.aig
+        candidate_position = aig.topological_position(candidate)
+        if aig.topological_position(driver) < candidate_position:
+            return True
+        stack = [driver]
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == candidate:
+                return False
+            if node in seen:
+                continue
+            seen.add(node)
+            if aig.topological_position(node) <= candidate_position:
+                # Everything in this node's TFI sits at strictly smaller
+                # positions than the candidate; no path can reach it.
+                continue
+            stack.extend(aig.gate_fanin_nodes(node))
+        return True
 
     def order_drivers(self, candidate: int, drivers: Sequence[int]) -> list[int]:
         """Order merge drivers: bounded-TFI members first, then by node index.
@@ -58,6 +99,19 @@ class TfiManager:
         tfi = self.bounded_tfi(candidate)
         return sorted(drivers, key=lambda d: (d not in tfi, d))
 
+    def invalidate_node(self, node: int) -> None:
+        """Drop only the cached cones invalidated by merging ``node``.
+
+        A substitution of ``node`` changes exactly the fanin cones that
+        contained it (the cones rooted in its transitive fanout); cones of
+        unrelated nodes stay valid and survive the merge.  O(cached
+        entries) set-membership tests, instead of a full cache drop.
+        """
+        cache = self._tfi_cache
+        stale = [root for root, cone in cache.items() if node in cone]
+        for root in stale:
+            del cache[root]
+
     def invalidate(self) -> None:
-        """Drop all cached cones (after the network was modified)."""
+        """Drop all cached cones (after an arbitrary network modification)."""
         self._tfi_cache.clear()

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.networks import Aig, LIT_FALSE, LIT_TRUE
+from repro.networks.aig import fanout_counts_impl
 
 
 class TestLiterals:
@@ -203,6 +204,135 @@ class TestMutation:
         aig.add_po(a)
         aig.set_po(0, b)
         assert aig.pos[0] == b
+
+
+def _build_chain(num_pis: int = 4, depth: int = 12) -> Aig:
+    aig = Aig("chain")
+    pis = [aig.add_pi() for _ in range(num_pis)]
+    literal = pis[0]
+    literals = list(pis)
+    for i in range(depth):
+        literal = aig.add_and(literal, literals[i % len(literals)] ^ (i & 1))
+        literals.append(literal)
+    aig.add_po(literal)
+    return aig
+
+
+class TestIncrementalInvariants:
+    """The maintained fanouts / strash / topo cache must match a rebuild."""
+
+    def test_fanout_counts_match_reference_after_substitute(self):
+        aig = _build_chain()
+        gate = max(aig.gates())
+        fanin0, _ = aig.fanins(gate)
+        victim = next(g for g in aig.gates() if g != gate and g != Aig.node_of(fanin0))
+        replacement = aig.fanins(victim)[0]
+        aig.substitute(victim, replacement)
+        assert aig.fanout_counts() == fanout_counts_impl(aig)
+
+    def test_fanout_lists_follow_substitution(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, c)
+        z = aig.add_and(x, Aig.negate(c))
+        aig.add_po(y)
+        aig.add_po(z)
+        node_x = Aig.node_of(x)
+        assert sorted(aig.fanouts(node_x)) == sorted([Aig.node_of(y), Aig.node_of(z)])
+        aig.substitute(node_x, a)
+        assert aig.fanouts(node_x) == []
+        assert sorted(aig.fanouts(Aig.node_of(a))).count(Aig.node_of(y)) == 1
+        assert Aig.node_of(z) in aig.fanouts(Aig.node_of(a))
+
+    def test_po_references_follow_substitution(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        aig.add_po(x)
+        aig.add_po(Aig.negate(x))
+        rewritten = aig.substitute(Aig.node_of(x), a)
+        assert rewritten == 2
+        assert aig.pos == [a, Aig.negate(a)]
+        counts = aig.fanout_counts()
+        # Two PO references plus one fanin of the (now dangling) gate x.
+        assert counts[Aig.node_of(a)] == 3
+        assert counts == fanout_counts_impl(aig)
+
+    def test_topological_order_cache_matches_recompute(self):
+        aig = _build_chain()
+        first = aig.topological_order()
+        # Clean cache: repeated calls return equal, independent lists.
+        second = aig.topological_order()
+        assert first == second
+        second.append(-1)
+        assert aig.topological_order() == first
+
+    def test_topological_order_valid_after_substitutions(self):
+        aig = _build_chain()
+        gates = list(aig.gates())
+        aig.topological_order()  # populate the cache
+        victim = gates[len(gates) // 2]
+        replacement = aig.fanins(victim)[0]
+        aig.substitute(victim, replacement)
+        order = aig.topological_order()
+        assert sorted(order) == sorted(aig.gates())
+        position = {node: i for i, node in enumerate(order)}
+        for node in order:
+            for fanin in aig.fanin_nodes(node):
+                if aig.is_and(fanin):
+                    assert position[fanin] < position[node]
+
+    def test_topological_position_consistent_with_order(self):
+        aig = _build_chain()
+        order = aig.topological_order()
+        for index, node in enumerate(order):
+            assert aig.topological_position(node) == index
+        assert aig.topological_position(0) == -1
+        for pi in aig.pis:
+            assert aig.topological_position(pi) == -1
+
+    def test_cache_appended_by_add_and(self):
+        aig = _build_chain()
+        order_before = aig.topological_order()
+        # AND with a fresh PI is guaranteed not to hit the strash table.
+        fresh = aig.add_pi("fresh")
+        new_literal = aig.add_and(fresh, Aig.literal(aig.pis[0]))
+        order_after = aig.topological_order()
+        assert order_after[: len(order_before)] == order_before
+        assert order_after[-1] == Aig.node_of(new_literal)
+
+    def test_strash_patched_after_substitute(self):
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        y = aig.add_and(x, c)
+        aig.add_po(y)
+        aig.substitute(Aig.node_of(x), a)
+        # The strash table must only hold canonical keys matching current fanins.
+        for key, gate in aig._strash.items():
+            fanin0, fanin1 = aig.fanins(gate)
+            assert key == ((fanin0, fanin1) if fanin0 <= fanin1 else (fanin1, fanin0))
+        # Re-creating the rewritten gate's shape reuses it.
+        assert aig.add_and(a, c) == y
+
+    def test_tfo_served_from_fanout_lists(self):
+        aig = _build_chain()
+        pi = aig.pis[0]
+        cone = set(aig.tfo([pi]))
+        for node in aig.gates():
+            if any(Aig.node_of(f) == pi for f in aig.fanins(node)):
+                assert node in cone
+
+    def test_clone_copies_incremental_state(self):
+        aig = _build_chain()
+        aig.topological_order()
+        copy = aig.clone()
+        gate = max(copy.gates())
+        copy.substitute(gate, copy.fanins(gate)[0])
+        # The original is untouched and still consistent.
+        assert aig.fanout_counts() == fanout_counts_impl(aig)
+        assert copy.fanout_counts() == fanout_counts_impl(copy)
 
 
 class TestPropertyBased:
