@@ -1,0 +1,137 @@
+"""Benchmarks for the DAG-aware rewriting subsystem.
+
+Two groups:
+
+* micro-kernels of the subsystem itself -- library construction, NPN
+  canonicalization throughput, one rewrite / balance / refactor pass on
+  EPFL arithmetic profiles;
+* the flow-level acceptance measurement -- ``rw; fraig`` versus plain
+  ``fraig`` on the bundled EPFL/arithmetic workloads, asserting that the
+  interleaved flow ends on fewer AND gates (the quantity recorded in
+  ``BENCH_rewriting.json``), with every optimized network CEC-verified
+  against the original.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import epfl_benchmark
+from repro.rewriting import (
+    PassManager,
+    RewriteLibrary,
+    balance,
+    npn_canonicalize,
+    refactor,
+    rewrite,
+)
+from repro.sweeping import check_combinational_equivalence, fraig_sweep
+from repro.truthtable import TruthTable
+
+#: EPFL arithmetic profiles used by the flow benchmarks, smallest first.
+FLOW_BENCHMARKS = ["adder", "sin", "max"]
+
+
+@pytest.fixture(scope="module")
+def flow_networks():
+    return {name: epfl_benchmark(name) for name in FLOW_BENCHMARKS}
+
+
+# ---------------------------------------------------------------------------
+# micro-kernels
+# ---------------------------------------------------------------------------
+
+
+def test_bench_library_construction(benchmark):
+    """Cold build of the NPN structure library (exhaustive enumeration)."""
+    benchmark.group = "rewriting-micro"
+
+    def build():
+        library = RewriteLibrary()
+        library.structure(TruthTable.from_function(lambda a, b, c, d: (a and b) or (c and d), 4))
+        return library
+
+    library = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert library.num_cached_classes >= 1
+
+
+def test_bench_npn_canonicalization(benchmark):
+    """Cold canonicalization throughput over 512 random 4-input functions."""
+    benchmark.group = "rewriting-micro"
+    rng = random.Random(3)
+    tables = [TruthTable(4, rng.getrandbits(16)) for _ in range(512)]
+
+    def canonicalize_all():
+        # Drop the memo so every round measures the 768-transform search,
+        # not dictionary hits.
+        from repro.rewriting import npn as npn_module
+
+        npn_module._canonical_cache.clear()
+        return [npn_canonicalize(table)[0].bits for table in tables]
+
+    representatives = benchmark(canonicalize_all)
+    assert len(set(representatives)) > 1
+
+
+@pytest.mark.parametrize("name", ["adder", "sin"])
+def test_bench_rewrite_pass(benchmark, flow_networks, name):
+    """One rewrite pass on an EPFL arithmetic profile."""
+    benchmark.group = "rewriting-pass"
+    aig = flow_networks[name]
+
+    result, report = benchmark.pedantic(lambda: rewrite(aig), rounds=1, iterations=1)
+    assert result.num_ands < aig.num_ands
+    assert report.rewrites_applied > 0
+
+
+def test_bench_balance_pass(benchmark, flow_networks):
+    benchmark.group = "rewriting-pass"
+    aig = flow_networks["sin"]
+    result, _report = benchmark.pedantic(lambda: balance(aig), rounds=1, iterations=1)
+    assert result.num_ands <= aig.num_ands
+
+
+def test_bench_refactor_pass(benchmark, flow_networks):
+    benchmark.group = "rewriting-pass"
+    aig = flow_networks["sin"]
+    result, _report = benchmark.pedantic(lambda: refactor(aig), rounds=1, iterations=1)
+    assert result.num_ands <= aig.num_ands
+
+
+# ---------------------------------------------------------------------------
+# flows: rw;fraig versus fraig alone (the acceptance measurement)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", FLOW_BENCHMARKS)
+def test_bench_rw_fraig_flow_beats_fraig_only(benchmark, flow_networks, name):
+    """``rw; fraig`` ends on fewer gates than ``fraig`` alone, CEC-verified."""
+    benchmark.group = "rewriting-flow"
+    aig = flow_networks[name]
+    fraig_only, _stats = fraig_sweep(aig, num_patterns=32)
+
+    def run_flow():
+        manager = PassManager("rw; fraig", num_patterns=32)
+        return manager.run(aig)
+
+    flowed, flow = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    assert flowed.num_ands < fraig_only.num_ands, (
+        f"{name}: rw;fraig ended on {flowed.num_ands} gates, "
+        f"fraig alone on {fraig_only.num_ands}"
+    )
+    assert check_combinational_equivalence(aig, flowed, num_random_patterns=256)
+
+
+@pytest.mark.parametrize("name", ["adder"])
+def test_bench_resyn2_flow(benchmark, flow_networks, name):
+    """The full resyn2 recipe on an arithmetic profile."""
+    benchmark.group = "rewriting-flow"
+    aig = flow_networks[name]
+
+    def run_flow():
+        return PassManager("resyn2").run(aig)
+
+    result, _flow = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    assert result.num_ands < aig.num_ands

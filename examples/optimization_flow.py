@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Optimization-flow demo: DAG-aware rewriting composed with SAT sweeping.
+
+The script takes an EPFL benchmark profile (default: ``adder``), runs
+three flows on it --
+
+* ``fraig``                (sweeping only, the pre-PR baseline),
+* ``rw; fraig; rw; fraig`` (rewriting interleaved with sweeping),
+* ``resyn2``               (ABC's classical recipe),
+
+-- prints the per-pass statistics of the interleaved flow, compares the
+final gate counts, and verifies every result against the original
+network with the combinational equivalence checker.
+
+Run with:  python examples/optimization_flow.py [benchmark-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.circuits import EPFL_BENCHMARKS, epfl_benchmark
+from repro.rewriting import PassManager
+from repro.sweeping import check_combinational_equivalence
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "adder"
+    if name not in EPFL_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; choose one of {sorted(EPFL_BENCHMARKS)}")
+
+    aig = epfl_benchmark(name)
+    print(
+        f"benchmark {name}: {aig.num_pis} PIs, {aig.num_pos} POs, "
+        f"{aig.num_ands} AND gates, depth {aig.depth()}\n"
+    )
+
+    flows = ["fraig", "rw; fraig; rw; fraig", "resyn2"]
+    results = {}
+    for script in flows:
+        print(f"running {script!r} ...")
+        manager = PassManager(script, num_patterns=32)
+        optimized, flow = manager.run(aig)
+        verdict = check_combinational_equivalence(aig, optimized, num_random_patterns=256)
+        results[script] = (optimized, flow, verdict)
+        if script == "rw; fraig; rw; fraig":
+            print(flow)
+        print()
+
+    width = max(len(script) for script in flows)
+    print(f"{'flow':{width}}   {'gates':>6} {'depth':>6} {'time [s]':>9}  verified")
+    print(f"{'(input)':{width}}   {aig.num_ands:>6} {aig.depth():>6} {'-':>9}  -")
+    for script in flows:
+        optimized, flow, verdict = results[script]
+        print(
+            f"{script:{width}}   {optimized.num_ands:>6} {optimized.depth():>6} "
+            f"{flow.total_time:>9.3f}  {verdict.status}"
+        )
+
+    baseline = results["fraig"][0].num_ands
+    interleaved = results["rw; fraig; rw; fraig"][0].num_ands
+    if baseline:
+        print(
+            f"\nrewriting before sweeping removes "
+            f"{100 * (1 - interleaved / baseline):.1f}% of the gates the sweeper alone keeps"
+        )
+
+
+if __name__ == "__main__":
+    main()

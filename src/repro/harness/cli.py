@@ -8,10 +8,16 @@ Besides the table-regeneration entry points (``repro-table1`` and
   writing them to a CSV file;
 * ``repro-sweep`` -- read an AIGER/BENCH file, run one of the two SAT
   sweepers on it, verify the result and write it back out in any of the
-  supported formats.
+  supported formats;
+* ``repro-optimize`` -- read a circuit file, run an optimization script
+  (``"rw; fraig; rw; fraig"``, ``"resyn2"``, ...) through the
+  :class:`repro.rewriting.PassManager`, print per-pass statistics,
+  verify the result and write it out.
 
-Both tools work purely on files, so they can be dropped into existing
-shell-based synthesis flows the way ``abc`` commands are.
+All tools work purely on files, so they can be dropped into existing
+shell-based synthesis flows the way ``abc`` commands are; :func:`main`
+additionally exposes them as subcommands of one ``repro`` entry point
+(``repro optimize circuit.aag --script resyn2``).
 """
 
 from __future__ import annotations
@@ -38,9 +44,10 @@ from ..simulation import (
     simulate_klut_per_pattern,
     simulate_klut_stp,
 )
+from ..rewriting import NAMED_SCRIPTS, PassManager
 from ..sweeping import FraigSweeper, StpSweeper, check_combinational_equivalence
 
-__all__ = ["simulate_main", "sweep_main", "read_network", "write_network"]
+__all__ = ["simulate_main", "sweep_main", "optimize_main", "main", "read_network", "write_network"]
 
 
 def read_network(path: str) -> Aig:
@@ -183,5 +190,98 @@ def sweep_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# repro-optimize
+# ---------------------------------------------------------------------------
+
+
+def optimize_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-optimize``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize",
+        description="Optimize an AIGER/BENCH circuit with a rewriting/sweeping script",
+        epilog=(
+            "Scripts are semicolon-separated pass names (rw, rwz, rf, rfz, b, fraig, "
+            "stp, cp, cleanup) or named flows: " + ", ".join(sorted(NAMED_SCRIPTS))
+        ),
+    )
+    parser.add_argument("input", help="input circuit (.aag, .aig or .bench)")
+    parser.add_argument("--output", "-o", default=None, help="write the optimized circuit here (.aag/.aig/.bench/.blif/.v)")
+    parser.add_argument("--script", default="resyn2", help="optimization script (default: resyn2)")
+    parser.add_argument("--patterns", type=int, default=64, help="pattern count for the SAT-based passes")
+    parser.add_argument("--conflict-limit", type=int, default=10_000, help="SAT conflict limit per query")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument("--verify-each", action="store_true", help="CEC-check after every pass (slow)")
+    parser.add_argument("--no-verify", action="store_true", help="skip the final CEC verification")
+    arguments = parser.parse_args(argv)
+
+    aig = read_network(arguments.input)
+    print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
+
+    try:
+        manager = PassManager(
+            arguments.script,
+            seed=arguments.seed,
+            num_patterns=arguments.patterns,
+            conflict_limit=arguments.conflict_limit,
+            verify_each=arguments.verify_each,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    optimized, flow = manager.run(aig, verify=not arguments.no_verify)
+    print(flow)
+
+    if flow.verified is False:
+        print("refusing to write a non-equivalent result", file=sys.stderr)
+        return 1
+    if arguments.output:
+        write_network(optimized, arguments.output)
+        print(f"wrote {arguments.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# the combined `repro` entry point
+# ---------------------------------------------------------------------------
+
+#: Subcommand table of the combined entry point.  Table harnesses are
+#: imported lazily to keep plain file-tool invocations fast.
+_SUBCOMMANDS = {
+    "simulate": "repro-simulate: simulate a circuit file",
+    "sweep": "repro-sweep: SAT-sweep a circuit file",
+    "optimize": "repro-optimize: run an optimization script on a circuit file",
+    "table1": "regenerate Table I (simulation comparison)",
+    "table2": "regenerate Table II (sweeper comparison)",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Combined ``repro <subcommand>`` entry point."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments or arguments[0] in ("-h", "--help"):
+        print("usage: repro <subcommand> [options]\n\nsubcommands:")
+        for name, description in _SUBCOMMANDS.items():
+            print(f"  {name:<10} {description}")
+        return 0 if arguments else 2
+    command, rest = arguments[0], arguments[1:]
+    if command == "simulate":
+        return simulate_main(rest)
+    if command == "sweep":
+        return sweep_main(rest)
+    if command == "optimize":
+        return optimize_main(rest)
+    if command == "table1":
+        from .table1 import main as table1_main
+
+        return table1_main(rest)
+    if command == "table2":
+        from .table2 import main as table2_main
+
+        return table2_main(rest)
+    print(f"unknown subcommand {command!r}; known: {', '.join(_SUBCOMMANDS)}", file=sys.stderr)
+    return 2
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    raise SystemExit(sweep_main())
+    raise SystemExit(main())

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..circuits.sweep_workloads import SWEEP_WORKLOADS, sweep_workload
 from ..networks.aig import Aig
+from ..rewriting.passes import PassManager
 from ..sweeping.cec import check_combinational_equivalence
 from ..sweeping.fraig import FraigSweeper
 from ..sweeping.stats import SweepStatistics
@@ -50,8 +51,16 @@ def run_table2(
     window_leaves: int = 16,
     verify: bool = True,
     seed: int = 1,
+    pre_script: str | None = None,
 ) -> list[Table2Row]:
-    """Run both sweepers on every requested workload."""
+    """Run both sweepers on every requested workload.
+
+    ``pre_script`` optionally pre-optimizes every workload with a
+    rewriting script (e.g. ``"rw"`` or ``"resyn2"``) before the two
+    sweepers run on it -- the way real flows feed ``resyn2``-optimized
+    networks into fraiging.  Both engines then sweep the *same*
+    pre-optimized network, so the comparison stays apples-to-apples.
+    """
     names = workloads if workloads is not None else list(SWEEP_WORKLOADS)
     rows: list[Table2Row] = []
     for name in names:
@@ -65,6 +74,7 @@ def run_table2(
                 window_leaves=window_leaves,
                 verify=verify,
                 seed=seed,
+                pre_script=pre_script,
             )
         )
     return rows
@@ -78,8 +88,28 @@ def run_single_comparison(
     window_leaves: int = 16,
     verify: bool = True,
     seed: int = 1,
+    pre_script: str | None = None,
 ) -> Table2Row:
-    """Run the baseline and the STP sweeper on one network."""
+    """Run the baseline and the STP sweeper on one network.
+
+    With ``pre_script`` the network is first optimized by the rewriting
+    pipeline (and, when ``verify`` is set, the pre-pass output is
+    CEC-checked against the original before any sweeping happens).
+    """
+    if pre_script:
+        original = network
+        manager = PassManager(
+            pre_script,
+            seed=seed,
+            num_patterns=num_patterns,
+            conflict_limit=conflict_limit,
+        )
+        network, _flow = manager.run(network, verify=False)
+        network.name = original.name
+        if verify and not check_combinational_equivalence(original, network):
+            raise RuntimeError(
+                f"pre-pass script {pre_script!r} broke equivalence on {original.name}"
+            )
     baseline_engine = FraigSweeper(
         network,
         num_patterns=num_patterns,
@@ -201,6 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--window-leaves", type=int, default=16, help="exhaustive window leaf bound")
     parser.add_argument("--no-verify", action="store_true", help="skip the CEC verification")
     parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument(
+        "--pre-script",
+        default=None,
+        help="optimization script run on every workload before sweeping (e.g. 'rw', 'resyn2')",
+    )
     arguments = parser.parse_args(argv)
     rows = run_table2(
         workloads=arguments.workloads,
@@ -210,6 +245,7 @@ def main(argv: list[str] | None = None) -> int:
         window_leaves=arguments.window_leaves,
         verify=not arguments.no_verify,
         seed=arguments.seed,
+        pre_script=arguments.pre_script,
     )
     print(format_table2(rows))
     return 0

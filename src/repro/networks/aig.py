@@ -183,6 +183,34 @@ class Aig:
             self._topo_cache.append(node)
         return self.literal(node)
 
+    def find_and(self, a: int, b: int) -> int | None:
+        """Literal :meth:`add_and` would return, or ``None`` if it would create a gate.
+
+        Applies the same one-level simplifications and strash lookup as
+        :meth:`add_and` but never mutates the graph.  DAG-aware rewriting
+        uses this to price candidate replacement structures (counting the
+        gates a structure would actually add, given sharing with the
+        existing network) before committing to any of them.
+        """
+        self._check_literal(a)
+        self._check_literal(b)
+        if a == LIT_FALSE or b == LIT_FALSE:
+            return LIT_FALSE
+        if a == LIT_TRUE:
+            return b
+        if b == LIT_TRUE:
+            return a
+        if a == b:
+            return a
+        if a == self.negate(b):
+            return LIT_FALSE
+        if a > b:
+            a, b = b, a
+        existing = self._strash.get((a, b))
+        if existing is None:
+            return None
+        return self.literal(existing)
+
     # Derived gates -----------------------------------------------------
 
     def add_or(self, a: int, b: int) -> int:
@@ -420,6 +448,17 @@ class Aig:
         gate referencing the node through both fanins appears twice.
         """
         return list(self._fanouts[node])
+
+    def fanout_count(self, node: int) -> int:
+        """Number of references of one node (gate fanins plus PO drivers).
+
+        Answered in O(1) from the maintained fanout list and PO reference
+        map; the MFFC computation of the rewriting passes queries this for
+        every cone node, so it must not scan the network.
+        """
+        count = len(self._fanouts[node])
+        refs = self._po_refs.get(node)
+        return count + len(refs) if refs else count
 
     def fanout_counts(self) -> dict[int, int]:
         """Number of gate/PO references of every node.

@@ -1,0 +1,63 @@
+"""DAG-aware rewriting: NPN classes, structure library, passes, pipelines.
+
+The subsystem restructures AIGs *before* (or between) SAT sweeps, the
+way real flows interleave ABC's ``resyn2``-style rewriting with
+fraiging: smaller networks mean fewer SAT queries and faster sweeps.
+
+Layering:
+
+* :mod:`~repro.rewriting.npn` -- exact NPN canonicalization of <=4-input
+  functions (768 transforms, memoised);
+* :mod:`~repro.rewriting.library` -- one precomputed AIG structure per
+  NPN class (bounded exhaustive enumeration plus decomposition
+  synthesis);
+* :mod:`~repro.rewriting.mffc` -- maximum fanout-free cones, the gain
+  budget of every replacement;
+* :mod:`~repro.rewriting.rewrite` / :mod:`~repro.rewriting.balance` /
+  :mod:`~repro.rewriting.refactor` -- the three restructuring passes;
+* :mod:`~repro.rewriting.passes` -- the :class:`PassManager` running
+  ABC-style scripts (``"rw; fraig; rw; fraig"``, ``"resyn2"``, ...)
+  with per-pass statistics and optional CEC verification.
+"""
+
+from .npn import NpnTransform, npn_canonicalize, apply_npn_transform, npn_classes
+from .library import AigStructure, RewriteLibrary, default_library, synthesize_structure
+from .mffc import collect_mffc, mffc_size
+from .rewrite import RewriteReport, rewrite
+from .balance import BalanceReport, balance
+from .refactor import RefactorReport, refactor
+from .passes import (
+    PassManager,
+    PassStatistics,
+    FlowStatistics,
+    optimize,
+    parse_script,
+    PASS_NAMES,
+    NAMED_SCRIPTS,
+)
+
+__all__ = [
+    "NpnTransform",
+    "npn_canonicalize",
+    "apply_npn_transform",
+    "npn_classes",
+    "AigStructure",
+    "RewriteLibrary",
+    "default_library",
+    "synthesize_structure",
+    "collect_mffc",
+    "mffc_size",
+    "RewriteReport",
+    "rewrite",
+    "BalanceReport",
+    "balance",
+    "RefactorReport",
+    "refactor",
+    "PassManager",
+    "PassStatistics",
+    "FlowStatistics",
+    "optimize",
+    "parse_script",
+    "PASS_NAMES",
+    "NAMED_SCRIPTS",
+]

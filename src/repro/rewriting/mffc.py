@@ -1,0 +1,69 @@
+"""Maximum fanout-free cones (MFFCs).
+
+The MFFC of a node is the part of its fanin cone that is referenced
+*only* through the node: exactly the gates that become dangling when the
+node is substituted away.  DAG-aware rewriting prices a candidate
+replacement as ``gain = |MFFC| - gates_added``, so the MFFC is the
+"budget" a rewrite is allowed to spend.
+
+The computation is the classical virtual-dereference walk: starting from
+the root, each fanin's reference count is decremented as if its parent
+were deleted; a count hitting zero recursively frees the fanin.  Counts
+come from :meth:`repro.networks.aig.Aig.fanout_count` (O(1) per node,
+including primary-output references), so collecting one MFFC costs
+O(cone), never O(network).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..networks.aig import Aig
+
+__all__ = ["collect_mffc", "mffc_size"]
+
+
+def collect_mffc(
+    aig: Aig,
+    root: int,
+    leaves: Iterable[int] = (),
+    max_size: int | None = None,
+) -> set[int] | None:
+    """Gates freed when ``root`` is substituted away.
+
+    The walk never crosses ``leaves`` (the cut boundary), primary inputs
+    or the constant node; the root itself is always part of the cone (a
+    substitution always frees it).  Reference counts include primary
+    outputs, so a cone gate that also drives a PO is correctly kept.
+    With ``max_size`` the walk aborts and returns ``None`` as soon as the
+    cone exceeds the bound (used by refactoring to skip huge cones).
+    """
+    if not aig.is_and(root):
+        raise ValueError(f"node {root} is not an AND gate")
+    stop = set(leaves)
+    mffc: set[int] = {root}
+    remaining: dict[int, int] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for fanin in aig.fanin_nodes(node):
+            if fanin in stop or not aig.is_and(fanin) or fanin in mffc:
+                continue
+            count = remaining.get(fanin)
+            if count is None:
+                count = aig.fanout_count(fanin)
+            count -= 1
+            remaining[fanin] = count
+            if count == 0:
+                mffc.add(fanin)
+                if max_size is not None and len(mffc) > max_size:
+                    return None
+                stack.append(fanin)
+    return mffc
+
+
+def mffc_size(aig: Aig, root: int, leaves: Iterable[int] = ()) -> int:
+    """Number of gates in the MFFC of ``root`` (bounded by ``leaves``)."""
+    cone = collect_mffc(aig, root, leaves)
+    assert cone is not None
+    return len(cone)

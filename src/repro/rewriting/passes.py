@@ -1,0 +1,338 @@
+"""Optimization pass pipeline: named passes, scripts and the PassManager.
+
+This is the flow layer on top of the individual transforms, in the
+spirit of ABC scripts (``resyn2``: ``b; rw; rf; b; rw; rwz; b; rfz;
+rwz; b``) and mockturtle flows: a *script* is a semicolon-separated
+sequence of pass names, the :class:`PassManager` parses it, runs every
+pass in order on a network, collects per-pass statistics (gate count,
+depth, runtime, pass-specific counters) and can verify each step -- or
+the whole flow -- with the combinational equivalence checker.
+
+Registered passes
+-----------------
+
+===========  ==============================================================
+``rw``       DAG-aware 4-cut rewriting (:func:`repro.rewriting.rewrite`)
+``rwz``      rewriting, zero-gain replacements allowed
+``rf``       MFFC refactoring (:func:`repro.rewriting.refactor`)
+``rfz``      refactoring, zero-gain replacements allowed
+``b``        AND-tree balancing (:func:`repro.rewriting.balance`)
+``fraig``    baseline SAT sweeping (:class:`repro.sweeping.FraigSweeper`)
+``stp``      STP-enhanced SAT sweeping (:class:`repro.sweeping.StpSweeper`)
+``cp``       SAT-backed constant propagation
+             (:func:`repro.sweeping.constant_prop.propagate_constant_candidates`)
+``cleanup``  dangling-node removal
+             (:func:`repro.networks.transforms.cleanup_dangling`)
+===========  ==============================================================
+
+plus the named scripts ``resyn`` / ``resyn2`` (ABC's classical recipes
+built from the passes above) and ``rwsweep`` (``rw; fraig; rw; fraig``,
+the interleaved rewriting/sweeping flow the paper-style harness uses as
+a pre-pass).  Long names (``rewrite``, ``balance``, ``refactor``,
+``constprop``) are accepted as aliases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..networks.aig import Aig
+from ..networks.transforms import cleanup_dangling
+from ..sat.circuit import CircuitSolver
+from ..simulation.patterns import PatternSet
+from ..sweeping.cec import check_combinational_equivalence
+from ..sweeping.constant_prop import propagate_constant_candidates
+from ..sweeping.fraig import FraigSweeper
+from ..sweeping.stp_sweeper import StpSweeper
+from .balance import balance
+from .library import RewriteLibrary
+from .refactor import refactor
+from .rewrite import rewrite
+
+__all__ = [
+    "PassStatistics",
+    "FlowStatistics",
+    "PassManager",
+    "optimize",
+    "parse_script",
+    "PASS_NAMES",
+    "NAMED_SCRIPTS",
+]
+
+#: Expansions of the named multi-pass scripts (applied recursively).
+NAMED_SCRIPTS: dict[str, str] = {
+    "resyn": "b; rw; rwz; b; rwz; b",
+    "resyn2": "b; rw; rf; b; rw; rwz; b; rfz; rwz; b",
+    "rwsweep": "rw; fraig; rw; fraig",
+}
+
+#: Long-name aliases for the single passes.
+_ALIASES: dict[str, str] = {
+    "rewrite": "rw",
+    "balance": "b",
+    "refactor": "rf",
+    "constprop": "cp",
+    "trim": "cleanup",
+}
+
+#: The canonical single-pass names.
+PASS_NAMES: tuple[str, ...] = ("rw", "rwz", "rf", "rfz", "b", "fraig", "stp", "cp", "cleanup")
+
+
+def parse_script(script: str | Sequence[str]) -> list[str]:
+    """Expand a script into the flat list of canonical pass names.
+
+    Accepts a semicolon/comma/newline-separated string (``"rw; fraig"``)
+    or an already-split sequence; named scripts and aliases expand
+    recursively.  Unknown names raise ``ValueError``.
+    """
+    if isinstance(script, str):
+        tokens = [t.strip().lower() for t in script.replace(",", ";").replace("\n", ";").split(";")]
+        tokens = [t for t in tokens if t]
+    else:
+        tokens = [str(t).strip().lower() for t in script if str(t).strip()]
+    result: list[str] = []
+    for token in tokens:
+        token = _ALIASES.get(token, token)
+        if token in NAMED_SCRIPTS:
+            result.extend(parse_script(NAMED_SCRIPTS[token]))
+        elif token in PASS_NAMES:
+            result.append(token)
+        else:
+            known = sorted(set(PASS_NAMES) | set(NAMED_SCRIPTS) | set(_ALIASES))
+            raise ValueError(f"unknown pass {token!r}; known passes/scripts: {', '.join(known)}")
+    if not result:
+        raise ValueError("empty optimization script")
+    return result
+
+
+@dataclass
+class PassStatistics:
+    """Statistics of one executed pass."""
+
+    name: str
+    gates_before: int = 0
+    gates_after: int = 0
+    depth_before: int = 0
+    depth_after: int = 0
+    total_time: float = 0.0
+    verified: bool | None = None
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fraction of gates removed by this pass."""
+        if self.gates_before == 0:
+            return 0.0
+        return 1.0 - self.gates_after / self.gates_before
+
+    def __str__(self) -> str:
+        verified = "" if self.verified is None else f"  cec={'ok' if self.verified else 'FAIL'}"
+        return (
+            f"{self.name:<8} gates {self.gates_before:>6} -> {self.gates_after:<6} "
+            f"depth {self.depth_before:>3} -> {self.depth_after:<3} "
+            f"{self.total_time:7.3f}s{verified}"
+        )
+
+
+@dataclass
+class FlowStatistics:
+    """Statistics of one full script run."""
+
+    script: str
+    passes: list[PassStatistics] = field(default_factory=list)
+    gates_before: int = 0
+    gates_after: int = 0
+    depth_before: int = 0
+    depth_after: int = 0
+    total_time: float = 0.0
+    verified: bool | None = None
+
+    @property
+    def gate_reduction(self) -> float:
+        """Fraction of gates removed by the whole flow."""
+        if self.gates_before == 0:
+            return 0.0
+        return 1.0 - self.gates_after / self.gates_before
+
+    def __str__(self) -> str:
+        lines = [
+            f"script {self.script!r}: gates {self.gates_before} -> {self.gates_after} "
+            f"({100 * self.gate_reduction:.1f}% reduction), depth {self.depth_before} -> "
+            f"{self.depth_after}, total {self.total_time:.3f}s"
+        ]
+        lines.extend(f"  {stats}" for stats in self.passes)
+        if self.verified is not None:
+            lines.append(f"  equivalence vs input: {'ok' if self.verified else 'FAIL'}")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Parse an optimization script and run it pass by pass.
+
+    Parameters
+    ----------
+    script:
+        Pass names separated by ``;`` (or a sequence), e.g.
+        ``"rw; fraig; rw; fraig"``, ``"resyn2"``.
+    seed, num_patterns, conflict_limit:
+        Forwarded to the SAT-based passes (``fraig``, ``stp``, ``cp``).
+    verify_each:
+        Run the combinational equivalence checker after every pass and
+        record the verdict in that pass's statistics (slow; meant for
+        debugging and the fuzz tests).
+    library:
+        Shared :class:`~repro.rewriting.library.RewriteLibrary`; defaults
+        to the process-wide library.
+    """
+
+    def __init__(
+        self,
+        script: str | Sequence[str] = "resyn2",
+        seed: int = 1,
+        num_patterns: int = 64,
+        conflict_limit: int | None = 10_000,
+        verify_each: bool = False,
+        library: RewriteLibrary | None = None,
+    ) -> None:
+        self.script = script if isinstance(script, str) else "; ".join(script)
+        self.passes = parse_script(script)
+        self.seed = seed
+        self.num_patterns = num_patterns
+        self.conflict_limit = conflict_limit
+        self.verify_each = verify_each
+        self.library = library
+
+    # ------------------------------------------------------------------
+
+    def run(self, aig: Aig, verify: bool = False) -> tuple[Aig, FlowStatistics]:
+        """Run every pass of the script on (a copy of) ``aig``.
+
+        With ``verify`` the final result is checked against the input
+        network with the CEC miter and the verdict recorded in
+        ``FlowStatistics.verified``.
+        """
+        flow = FlowStatistics(
+            script=self.script,
+            gates_before=aig.num_ands,
+            depth_before=aig.depth(),
+        )
+        start = time.perf_counter()
+        current = aig
+        for name in self.passes:
+            stats = self._run_pass(name, current)
+            result = stats.pop("result")
+            pass_stats = stats.pop("stats")
+            if self.verify_each:
+                pass_stats.verified = bool(check_combinational_equivalence(current, result))
+            flow.passes.append(pass_stats)
+            current = result
+        flow.gates_after = current.num_ands
+        flow.depth_after = current.depth()
+        flow.total_time = time.perf_counter() - start
+        if verify:
+            flow.verified = bool(check_combinational_equivalence(aig, current))
+        return current, flow
+
+    # ------------------------------------------------------------------
+
+    def _run_pass(self, name: str, aig: Aig) -> dict:
+        runner = self._runners()[name]
+        started = time.perf_counter()
+        result, details = runner(aig)
+        elapsed = time.perf_counter() - started
+        stats = PassStatistics(
+            name=name,
+            gates_before=aig.num_ands,
+            gates_after=result.num_ands,
+            depth_before=aig.depth(),
+            depth_after=result.depth(),
+            total_time=elapsed,
+            details=details,
+        )
+        return {"result": result, "stats": stats}
+
+    def _runners(self) -> dict[str, Callable[[Aig], tuple[Aig, dict[str, float]]]]:
+        return {
+            "rw": lambda aig: self._rewrite(aig, zero_gain=False),
+            "rwz": lambda aig: self._rewrite(aig, zero_gain=True),
+            "rf": lambda aig: self._refactor(aig, zero_gain=False),
+            "rfz": lambda aig: self._refactor(aig, zero_gain=True),
+            "b": self._balance,
+            "fraig": self._fraig,
+            "stp": self._stp,
+            "cp": self._constant_prop,
+            "cleanup": self._cleanup,
+        }
+
+    def _rewrite(self, aig: Aig, zero_gain: bool) -> tuple[Aig, dict[str, float]]:
+        result, report = rewrite(aig, zero_gain=zero_gain, library=self.library)
+        return result, report.as_details()
+
+    def _refactor(self, aig: Aig, zero_gain: bool) -> tuple[Aig, dict[str, float]]:
+        result, report = refactor(aig, zero_gain=zero_gain)
+        return result, report.as_details()
+
+    def _balance(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+        result, report = balance(aig)
+        return result, report.as_details()
+
+    def _fraig(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+        swept, stats = FraigSweeper(
+            aig,
+            num_patterns=self.num_patterns,
+            seed=self.seed,
+            conflict_limit=self.conflict_limit,
+        ).run()
+        return swept, {
+            "merges": float(stats.merges),
+            "sat_calls": float(stats.total_sat_calls),
+            "sat_time": stats.sat_time,
+        }
+
+    def _stp(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+        swept, stats = StpSweeper(
+            aig,
+            num_patterns=self.num_patterns,
+            seed=self.seed,
+            conflict_limit=self.conflict_limit,
+        ).run()
+        return swept, {
+            "merges": float(stats.merges),
+            "sat_calls": float(stats.total_sat_calls),
+            "sat_time": stats.sat_time,
+        }
+
+    def _constant_prop(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+        work = aig.clone()
+        solver = CircuitSolver(work, conflict_limit=self.conflict_limit)
+        patterns = PatternSet.random(work.num_pis, self.num_patterns, self.seed)
+        report = propagate_constant_candidates(
+            work, patterns, solver, conflict_limit=self.conflict_limit
+        )
+        cleaned, _literal_map = cleanup_dangling(work)
+        return cleaned, {
+            "proved_constant": float(report.num_proved),
+            "substitutions": float(report.substitutions),
+            "sat_calls": float(report.sat_calls),
+        }
+
+    def _cleanup(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+        cleaned, _literal_map = cleanup_dangling(aig)
+        return cleaned, {"removed": float(aig.num_ands - cleaned.num_ands)}
+
+
+def optimize(
+    aig: Aig,
+    script: str | Sequence[str] = "resyn2",
+    verify: bool = False,
+    **manager_options,
+) -> tuple[Aig, FlowStatistics]:
+    """Convenience wrapper: run one script on a network.
+
+    ``manager_options`` are forwarded to :class:`PassManager`.
+    """
+    manager = PassManager(script, **manager_options)
+    return manager.run(aig, verify=verify)

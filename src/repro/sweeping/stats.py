@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+from ..networks.aig import Aig
+from ..networks.transforms import cleanup_dangling
 
 __all__ = ["SweepStatistics"]
 
@@ -23,6 +27,12 @@ class SweepStatistics:
     (accumulated by :class:`repro.sat.circuit.CircuitSolver`); it is *not*
     derived as ``total - simulation``, so substitution and refinement
     overhead is no longer silently billed to SAT.
+
+    ``gates_after`` is measured *after*
+    :func:`repro.networks.transforms.cleanup_dangling` runs on the swept
+    network, so it counts live gates only; the number of dangling gates
+    the merges left behind is recorded in
+    ``extra["dangling_gates_removed"]``.
     """
 
     name: str = ""
@@ -53,6 +63,25 @@ class SweepStatistics:
         if self.gates_before == 0:
             return 0.0
         return 1.0 - self.gates_after / self.gates_before
+
+    def finalize(self, aig: Aig, solver, start_time: float) -> Aig:
+        """Shared tail of both sweepers' ``run``: cleanup, counters, timers.
+
+        Removes the dangling cones the merges left behind (recording how
+        many gates that dropped), copies the solver's query counters and
+        directly-measured solve time, and stamps the total runtime.
+        Returns the cleaned network.
+        """
+        swept, _literal_map = cleanup_dangling(aig)
+        self.gates_after = swept.num_ands
+        self.extra["dangling_gates_removed"] = float(aig.num_ands - swept.num_ands)
+        self.total_sat_calls = solver.num_queries
+        self.satisfiable_sat_calls = solver.num_satisfiable
+        self.unsatisfiable_sat_calls = solver.num_unsatisfiable
+        self.undetermined_sat_calls = solver.num_undetermined
+        self.total_time = time.perf_counter() - start_time
+        self.sat_time = solver.sat_time
+        return swept
 
     def as_row(self) -> dict[str, object]:
         """Table II row view of this run."""

@@ -25,7 +25,6 @@ from __future__ import annotations
 import time
 
 from ..networks.aig import Aig, LIT_FALSE
-from ..networks.transforms import rebuild_strashed
 from ..sat.circuit import CircuitSolver, EquivalenceStatus
 from ..simulation.incremental import IncrementalAigSimulator
 from ..simulation.patterns import PatternSet
@@ -139,19 +138,8 @@ class StpSweeper:
 
         stats.patterns_used = simulator.num_patterns
 
-        # ---- finalise --------------------------------------------------------
-        swept, _literal_map = rebuild_strashed(aig)
-        stats.gates_after = swept.num_ands
-        stats.total_sat_calls = solver.num_queries
-        stats.satisfiable_sat_calls = solver.num_satisfiable
-        stats.unsatisfiable_sat_calls = solver.num_unsatisfiable
-        stats.undetermined_sat_calls = solver.num_undetermined
-        stats.total_time = time.perf_counter() - start
-        # Directly measured solver time (accumulated around every solve
-        # call), not the old total-minus-simulation estimate that silently
-        # billed substitution/refinement overhead to SAT.
-        stats.sat_time = solver.sat_time
-        return swept, stats
+        # ---- finalise (shared tail: cleanup, counters, timers) ---------------
+        return stats.finalize(aig, solver, start), stats
 
     # ------------------------------------------------------------------
 

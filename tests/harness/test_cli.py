@@ -1,10 +1,10 @@
-"""Tests for the file-level command-line tools (repro-simulate / repro-sweep)."""
+"""Tests for the file-level command-line tools (repro-simulate / repro-sweep / repro-optimize)."""
 
 import pytest
 
 from repro.circuits.arithmetic import ripple_carry_adder
 from repro.circuits.sweep_workloads import inject_redundancy
-from repro.harness.cli import read_network, simulate_main, sweep_main, write_network
+from repro.harness.cli import main, optimize_main, read_network, simulate_main, sweep_main, write_network
 from repro.io import read_aiger_file, write_aiger_file, write_bench_file
 from repro.networks import Aig
 
@@ -107,3 +107,71 @@ class TestSweepCli:
         capsys.readouterr()
         assert exit_code == 0
         assert output.read_text().startswith(".model")
+
+
+class TestOptimizeCli:
+    def test_optimize_and_write(self, adder_file, tmp_path, capsys):
+        output = tmp_path / "optimized.aag"
+        exit_code = optimize_main(
+            [str(adder_file), "--script", "rw; b", "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "equivalence vs input: ok" in captured.out
+        original = read_network(str(adder_file))
+        optimized = read_aiger_file(output)
+        assert optimized.num_ands < original.num_ands
+        assert optimized.num_pos == original.num_pos
+
+    def test_rw_fraig_script(self, workload_file, capsys):
+        path, workload = workload_file
+        exit_code = optimize_main([str(path), "--script", "rw; fraig", "--patterns", "16"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "script 'rw; fraig'" in captured.out
+        assert "fraig" in captured.out
+
+    def test_verify_each(self, adder_file, capsys):
+        exit_code = optimize_main([str(adder_file), "--script", "rw", "--verify-each"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cec=ok" in captured.out
+
+    def test_unknown_script_rejected(self, adder_file, capsys):
+        exit_code = optimize_main([str(adder_file), "--script", "frobnicate"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown pass" in captured.err
+
+    def test_no_verify_skips_cec(self, adder_file, capsys):
+        exit_code = optimize_main([str(adder_file), "--script", "b", "--no-verify"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "equivalence vs input" not in captured.out
+
+
+class TestCombinedEntryPoint:
+    def test_dispatches_optimize(self, adder_file, capsys):
+        exit_code = main(["optimize", str(adder_file), "--script", "b"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "script 'b'" in captured.out
+
+    def test_dispatches_simulate(self, adder_file, capsys):
+        exit_code = main(["simulate", str(adder_file), "--patterns", "8"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "simulated 8 patterns" in captured.out
+
+    def test_help_lists_subcommands(self, capsys):
+        exit_code = main(["--help"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("simulate", "sweep", "optimize", "table1", "table2"):
+            assert name in captured.out
+
+    def test_unknown_subcommand(self, capsys):
+        exit_code = main(["frobnicate"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown subcommand" in captured.err

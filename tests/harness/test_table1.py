@@ -50,3 +50,14 @@ class TestCli:
         assert exit_code == 0
         assert "ctrl" in captured.out
         assert "Imp." in captured.out
+
+
+class TestPrePass:
+    def test_pre_script_optimizes_before_mapping(self):
+        from repro.harness import run_table1
+
+        plain = run_table1(["ctrl"], num_patterns=32)
+        optimized = run_table1(["ctrl"], num_patterns=32, pre_script="rw")
+        assert optimized[0].num_gates <= plain[0].num_gates
+        assert optimized[0].benchmark == "ctrl"
+        assert optimized[0].num_luts > 0

@@ -44,3 +44,20 @@ class TestRunTable2:
         assert len(rows) == 1
         assert rows[0].benchmark == "leon2"
         assert rows[0].stp.gates_after <= rows[0].stp.gates_before
+
+
+class TestPrePass:
+    def test_pre_script_shrinks_input_and_verifies(self):
+        base = ripple_carry_adder(width=6, name="prepass")
+        workload, _ = inject_redundancy(
+            base, duplication_fraction=0.25, constant_cones=1, seed=44
+        )
+        plain = run_single_comparison(workload, num_patterns=32, verify=False)
+        optimized = run_single_comparison(
+            workload, num_patterns=32, verify=True, pre_script="rw"
+        )
+        # The pre-pass hands both sweepers a smaller network, and the
+        # sweeper outputs still verify against it.
+        assert optimized.baseline.gates_before < plain.baseline.gates_before
+        assert optimized.baseline_verified and optimized.stp_verified
+        assert optimized.benchmark == "prepass"

@@ -1,0 +1,99 @@
+"""Tests for the exact NPN canonicalization."""
+
+import random
+
+import pytest
+
+from repro.rewriting.npn import (
+    NpnTransform,
+    apply_npn_transform,
+    npn_canonicalize,
+    npn_classes,
+)
+from repro.truthtable import TruthTable
+
+
+class TestTransform:
+    def test_identity_transform(self):
+        table = TruthTable.from_function(lambda a, b, c: a and (b or c), 3)
+        identity = NpnTransform((0, 1, 2), 0, False)
+        assert apply_npn_transform(table, identity) == table
+
+    def test_output_negation(self):
+        table = TruthTable.from_function(lambda a, b: a and b, 2)
+        negated = apply_npn_transform(table, NpnTransform((0, 1), 0, True))
+        assert negated == ~table
+
+    def test_input_negation(self):
+        table = TruthTable.from_function(lambda a, b: a and not b, 2)
+        # Negating input 1 turns a & !b into a & b.
+        transformed = apply_npn_transform(table, NpnTransform((0, 1), 0b10, False))
+        assert transformed == TruthTable.from_function(lambda a, b: a and b, 2)
+
+    def test_permutation(self):
+        table = TruthTable.from_function(lambda a, b, c: a and not c, 3)
+        # Input 0 of f reads variable 2 of g and vice versa.
+        transformed = apply_npn_transform(table, NpnTransform((2, 1, 0), 0, False))
+        assert transformed == TruthTable.from_function(lambda a, b, c: c and not a, 3)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            apply_npn_transform(TruthTable(2, 0b1000), NpnTransform((0, 1, 2), 0, False))
+
+
+class TestCanonicalize:
+    def test_transform_reproduces_representative(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            table = TruthTable(4, rng.getrandbits(16))
+            representative, transform = npn_canonicalize(table)
+            assert apply_npn_transform(table, transform) == representative
+
+    def test_equivalent_functions_share_representative(self):
+        rng = random.Random(8)
+        for _ in range(100):
+            table = TruthTable(4, rng.getrandbits(16))
+            representative, _ = npn_canonicalize(table)
+            permutation = tuple(rng.sample(range(4), 4))
+            scrambled = apply_npn_transform(
+                table,
+                NpnTransform(permutation, rng.getrandbits(4), bool(rng.getrandbits(1))),
+            )
+            assert npn_canonicalize(scrambled)[0] == representative
+
+    def test_known_class_counts(self):
+        # The number of NPN classes of n-input functions is a classical
+        # result: 4 classes at n = 2, 14 at n = 3.
+        assert len(npn_classes(2)) == 4
+        assert len(npn_classes(3)) == 14
+
+    def test_and_class_members(self):
+        and2 = TruthTable.from_function(lambda a, b: a and b, 2)
+        for function in (
+            lambda a, b: a and b,
+            lambda a, b: a or b,
+            lambda a, b: not (a and b),
+            lambda a, b: a and not b,
+            lambda a, b: not a or b,
+        ):
+            table = TruthTable.from_function(function, 2)
+            assert npn_canonicalize(table)[0] == npn_canonicalize(and2)[0]
+
+    def test_xor_not_in_and_class(self):
+        and2 = TruthTable.from_function(lambda a, b: a and b, 2)
+        xor2 = TruthTable.from_function(lambda a, b: a != b, 2)
+        assert npn_canonicalize(and2)[0] != npn_canonicalize(xor2)[0]
+
+    def test_constant_is_its_own_class(self):
+        representative, _ = npn_canonicalize(TruthTable.constant(True, 4))
+        assert representative.bits == 0  # const-1 canonicalises onto const-0
+
+    def test_large_arity_rejected(self):
+        with pytest.raises(ValueError):
+            npn_canonicalize(TruthTable(5, 0))
+
+    def test_memoisation_returns_same_object(self):
+        table = TruthTable(4, 0xCAFE)
+        first = npn_canonicalize(table)
+        second = npn_canonicalize(TruthTable(4, 0xCAFE))
+        assert first is second
