@@ -8,8 +8,6 @@ simulation, and the SAT query path.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.circuits import epfl_benchmark
 from repro.networks import Aig, map_aig_to_klut
 from repro.networks.cuts import simulation_cuts

@@ -147,7 +147,7 @@ def inject_redundancy(
         leaves = _small_cut(work, node, cut_size)
         if not leaves or len(leaves) > cut_size:
             continue
-        table = aig_node_truth_table(work, node, leaves)
+        table = aig_node_truth_table(work, node, leaves, allow_unused_leaves=True)
         style = "shannon" if rng.random() < 0.5 else "sop"
         duplicate = _rebuild_from_truth_table(work, table, leaves, style)
         if Aig.node_of(duplicate) == node or Aig.node_of(duplicate) == 0:
@@ -175,7 +175,7 @@ def inject_redundancy(
         leaves = _small_cut(work, node, cut_size)
         if not leaves or len(leaves) > cut_size:
             continue
-        table = aig_node_truth_table(work, node, leaves)
+        table = aig_node_truth_table(work, node, leaves, allow_unused_leaves=True)
         if table.is_constant():
             continue
         # Build a structurally different complement and AND it with the node:

@@ -1,0 +1,113 @@
+"""The cut datatype and the single merge/dominance implementation.
+
+A :class:`Cut` is a set of leaf nodes bounding a cone, optionally
+carrying the cone's function over those leaves as a word-packed
+:class:`~repro.truthtable.TruthTable` (leaf ``i`` = table input ``i``).
+The table is *fused* into cut merging: when two fanin cuts combine, the
+merged cut's table is built directly from the fanin tables (expand each
+to the merged leaf set, apply the fanin complements, AND) -- no cone is
+ever re-walked.  Equality and hashing ignore the table, so cuts compare
+by their leaf sets exactly as before the tables existed.
+
+:func:`merge_cut_sets` is the one merge/dominance implementation in the
+tree; the static enumeration, the incremental rewriting database and the
+mapper all go through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..truthtable import TruthTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .cache import CutFunctionCache
+
+__all__ = ["Cut", "trivial_cut", "merge_cut_sets"]
+
+#: Table of a trivial cut ``{node}``: the identity function of one input.
+_IDENTITY = TruthTable.variable(0, 1)
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A k-feasible cut: the leaf set, plus (optionally) its fused function.
+
+    ``table`` is the function of the cut's root over ``leaves`` (leaf
+    ``i`` = input ``i``); it does not participate in equality or hashing,
+    so cut sets compare by leaf sets alone.
+    """
+
+    leaves: tuple[int, ...]
+    table: TruthTable | None = field(default=None, compare=False)
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self.leaves)
+
+    def merge(self, other: "Cut") -> "Cut":
+        """Union of two cuts (leaves stay sorted and deduplicated)."""
+        return Cut(tuple(sorted(set(self.leaves) | set(other.leaves))))
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+def trivial_cut(node: int, with_table: bool = True) -> Cut:
+    """The trivial cut ``{node}`` (function: identity of one input)."""
+    return Cut((node,), _IDENTITY if with_table else None)
+
+
+def _merge_leaves(leaves0: Sequence[int], leaves1: Sequence[int]) -> tuple[int, ...]:
+    """Sorted union of two sorted leaf tuples."""
+    if leaves0 == leaves1:
+        return tuple(leaves0)
+    return tuple(sorted(set(leaves0) | set(leaves1)))
+
+
+def merge_cut_sets(
+    node: int,
+    fanin0: int,
+    fanin1: int,
+    cuts0: Sequence[Cut],
+    cuts1: Sequence[Cut],
+    k: int,
+    cut_limit: int,
+    cache: "CutFunctionCache | None" = None,
+) -> list[Cut]:
+    """Cut set of ``node`` from its two fanin cut sets.
+
+    ``fanin0`` and ``fanin1`` are the fanin *literals* (complement bits
+    are folded into the fused tables).  Candidates larger than ``k`` or
+    dominated by an already-kept candidate are discarded; kept candidates
+    are sorted by size, truncated to ``cut_limit - 1`` and the trivial
+    cut ``{node}`` is appended (downstream nodes use it to treat this
+    node as a leaf).
+
+    With a :class:`~repro.cuts.cache.CutFunctionCache` the merged cut's
+    truth table is computed from the fanin cut tables (never by a cone
+    walk) and attached to the cut; without one, tables are skipped and
+    the resulting cuts carry ``table=None``.
+    """
+    comp0, comp1 = fanin0 & 1, fanin1 & 1
+    merged: list[Cut] = []
+    for cut0 in cuts0:
+        for cut1 in cuts1:
+            leaves = _merge_leaves(cut0.leaves, cut1.leaves)
+            if len(leaves) > k:
+                continue
+            candidate = Cut(leaves)
+            if any(existing.dominates(candidate) for existing in merged):
+                continue
+            merged = [cut for cut in merged if not candidate.dominates(cut)]
+            if cache is not None and cut0.table is not None and cut1.table is not None:
+                table = cache.merge_table(cut0.table, cut0.leaves, comp0, cut1.table, cut1.leaves, comp1, leaves)
+                candidate = Cut(leaves, table)
+            merged.append(candidate)
+    merged.sort(key=lambda cut: cut.size)
+    merged = merged[: cut_limit - 1]
+    merged.append(trivial_cut(node, with_table=cache is not None))
+    return merged

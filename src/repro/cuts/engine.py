@@ -1,0 +1,267 @@
+"""The shared priority-cut engine.
+
+One :class:`CutEngine` instance serves every cut consumer in the tree:
+
+* the LUT mapper enumerates cuts over a static network
+  (:meth:`CutEngine.enumerate_all`);
+* DAG-aware rewriting keeps the engine *attached* to a mutating
+  :class:`~repro.networks.aig.Aig`: :meth:`~repro.networks.aig.Aig.substitute`
+  events invalidate exactly the rewired gates' cut sets (O(fanout) per
+  event), freshly created gates register at creation, and the
+  dead-cone/revival bookkeeping that used to live privately in
+  ``rewriting/rewrite.py`` is part of the engine;
+* every cut carries its function, fused bottom-up from the fanin cut
+  tables through the shared :class:`~repro.cuts.cache.CutFunctionCache`
+  -- no consumer ever re-walks a cone to learn a cut's function.
+
+Soundness of the fused tables under rewriting: the pass only commits
+function-preserving substitutions, so the composition identity a stored
+table expresses (``f_root = table(f_leaf_0, ..., f_leaf_{k-1})`` as
+functions of the primary inputs) survives every mutation even when the
+*structural* cone has been rewired around a stale leaf.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..truthtable import TruthTable
+from .cache import CutFunctionCache
+from .cut import Cut, merge_cut_sets, trivial_cut
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..networks.aig import Aig
+
+__all__ = ["CutEngine", "enumerate_cuts"]
+
+
+class CutEngine:
+    """Priority-cut database over an AIG, static or incrementally maintained.
+
+    Parameters
+    ----------
+    aig:
+        The network.  With ``attach=True`` the engine registers a
+        mutation listener so :meth:`Aig.substitute` /
+        :meth:`Aig.replace_fanin` events invalidate the rewired gates'
+        cut sets automatically; call :meth:`detach` when done.
+    k / cut_limit:
+        Cut size bound and priority limit (the trivial cut is always
+        kept on top of ``cut_limit - 1`` merged cuts).
+    compute_tables:
+        Fuse truth-table computation into the merges (on by default).
+    cache:
+        A shared :class:`CutFunctionCache`; a private one is created
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        aig: Aig,
+        k: int = 6,
+        cut_limit: int = 8,
+        compute_tables: bool = True,
+        cache: CutFunctionCache | None = None,
+        attach: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError("cut size k must be at least 1")
+        if cut_limit < 1:
+            raise ValueError("cut limit must be at least 1")
+        self.aig = aig
+        self.k = k
+        self.cut_limit = cut_limit
+        self.cache = cache if cache is not None else CutFunctionCache()
+        self._with_tables = compute_tables
+        # The constant node's cut has no leaves; its zero-input constant
+        # table expands into "constant false over the merged leaves".
+        constant_table = TruthTable.constant(False, 0) if compute_tables else None
+        self._db: dict[int, list[Cut]] = {0: [Cut((), constant_table)]}
+        for pi in aig.pis:
+            self._db[pi] = [trivial_cut(pi, with_table=compute_tables)]
+        self._dead: set[int] = set()
+        self._attached = False
+        self.merges = 0
+        self.invalidations = 0
+        if attach:
+            aig.add_mutation_listener(self._on_mutation)
+            self._attached = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unregister the mutation listener (idempotent)."""
+        if self._attached:
+            self.aig.remove_mutation_listener(self._on_mutation)
+            self._attached = False
+
+    def _on_mutation(self, old_node: int, new_literal: int, rewired_gates: Sequence[int]) -> None:
+        """Mutation event: drop the cut sets of exactly the rewired gates.
+
+        The replaced node's own entry is dropped too (it is dangling
+        now); rewired gates recompute lazily from their live fanins on
+        the next access.  Work per event is O(len(rewired_gates)).
+        """
+        self._db.pop(old_node, None)
+        for gate in rewired_gates:
+            if self._db.pop(gate, None) is not None:
+                self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Cut access
+    # ------------------------------------------------------------------
+
+    def cuts(self, node: int) -> list[Cut]:
+        """Cut set of ``node``, computing (and storing) it on demand.
+
+        Missing fanin cut sets are computed first, iteratively, so a
+        chain of invalidated gates never recurses deeply.  A node with
+        no computable fanins (a PI or the constant) answers its trivial
+        set directly.
+        """
+        cached = self._db.get(node)
+        if cached is not None:
+            return cached
+        if not self.aig.is_and(node):
+            result = [trivial_cut(node, with_table=self._with_tables)]
+            self._db[node] = result
+            return result
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in self._db:
+                stack.pop()
+                continue
+            missing = [
+                fanin
+                for fanin in self.aig.fanin_nodes(current)
+                if fanin not in self._db and self.aig.is_and(fanin)
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            self._db[current] = self._merge(current)
+        return self._db[node]
+
+    def compute(self, node: int) -> list[Cut]:
+        """(Re)compute the cut set of ``node`` from its live fanins and store it.
+
+        Rewriting calls this when visiting a node: the unconditional
+        recompute folds in any fanin rewiring that happened since the
+        node's cuts were last registered (e.g. at creation time).
+        """
+        cuts = self._merge(node)
+        self._db[node] = cuts
+        return cuts
+
+    def note_created(self, node: int) -> None:
+        """Register a freshly created gate (no-op if it already has cuts)."""
+        if self.aig.is_and(node) and node not in self._db:
+            self._db[node] = self._merge(node)
+
+    def _merge(self, node: int) -> list[Cut]:
+        fanin0, fanin1 = self.aig.fanins(node)
+        node0, node1 = fanin0 >> 1, fanin1 >> 1
+        cuts0 = self._db.get(node0)
+        if cuts0 is None:
+            cuts0 = self.cuts(node0)
+        cuts1 = self._db.get(node1)
+        if cuts1 is None:
+            cuts1 = self.cuts(node1)
+        self.merges += 1
+        return merge_cut_sets(
+            node,
+            fanin0,
+            fanin1,
+            cuts0,
+            cuts1,
+            self.k,
+            self.cut_limit,
+            self.cache if self._with_tables else None,
+        )
+
+    def enumerate_all(self) -> dict[int, list[Cut]]:
+        """Cut sets of every gate, computed in one topological pass.
+
+        This is the static-enumeration entry point the mapper uses; the
+        returned dictionary is the live database (constant, PIs and
+        gates), so callers must not mutate it.
+        """
+        for node in self.aig.topological_order():
+            if node not in self._db:
+                self._db[node] = self._merge(node)
+        return self._db
+
+    # ------------------------------------------------------------------
+    # Dead-cone bookkeeping (rewriting's staleness/revival logic)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_dead(self) -> int:
+        """Number of gates currently marked dead."""
+        return len(self._dead)
+
+    def is_dead(self, node: int) -> bool:
+        """True if ``node`` is marked as freed by a substitution."""
+        return node in self._dead
+
+    def kill(self, nodes: Iterable[int]) -> None:
+        """Mark a substitution's freed cone (typically the root's MFFC) dead."""
+        self._dead.update(nodes)
+
+    def revive_from(self, start: int) -> int:
+        """Un-kill every dead gate reachable through the fanins of ``start``.
+
+        A replacement cone may reuse gates an earlier substitution left
+        for dead (structural hashing resurrects them); those gates --
+        and their fanin cones, which they keep referenced -- are live
+        again.  Revived gates without a registered cut set get the
+        trivial one (their stored sets, when present, are still sound:
+        see the module docstring).  Returns the number of revived gates.
+        """
+        aig = self.aig
+        revived = 0
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if not aig.is_and(node):
+                continue
+            changed = False
+            if node in self._dead:
+                self._dead.discard(node)
+                revived += 1
+                changed = True
+            if node not in self._db:
+                self._db[node] = [trivial_cut(node, with_table=self._with_tables)]
+                changed = True
+            if changed:
+                stack.extend(aig.fanin_nodes(node))
+        return revived
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Flat numeric view: merges, invalidations, dead count, cache stats."""
+        result = {
+            "merges": float(self.merges),
+            "invalidations": float(self.invalidations),
+            "dead": float(self.num_dead),
+            "nodes_with_cuts": float(len(self._db)),
+        }
+        result.update(self.cache.stats())
+        return result
+
+
+def enumerate_cuts(aig: Aig, k: int = 6, cut_limit: int = 8) -> dict[int, list[Cut]]:
+    """Priority-cut enumeration: up to ``cut_limit`` k-feasible cuts per node.
+
+    Compatibility wrapper over :class:`CutEngine` (static mode, fused
+    tables included); every node keeps its trivial cut and cuts are
+    propagated in topological order exactly as before.
+    """
+    return CutEngine(aig, k=k, cut_limit=cut_limit).enumerate_all()

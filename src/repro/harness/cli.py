@@ -12,7 +12,11 @@ Besides the table-regeneration entry points (``repro-table1`` and
 * ``repro-optimize`` -- read a circuit file, run an optimization script
   (``"rw; fraig; rw; fraig"``, ``"resyn2"``, ...) through the
   :class:`repro.rewriting.PassManager`, print per-pass statistics,
-  verify the result and write it out.
+  verify the result and write it out;
+* ``repro-map`` -- read a circuit file, run the multi-pass k-LUT mapper
+  (depth, then area-flow and exact-area recovery), report LUT count /
+  depth / edge count / cut-cache hit rate, verify the mapping against
+  the source AIG by word-parallel simulation and write BLIF.
 
 All tools work purely on files, so they can be dropped into existing
 shell-based synthesis flows the way ``abc`` commands are; :func:`main`
@@ -34,8 +38,7 @@ from ..io import (
     write_blif_file,
     write_verilog_file,
 )
-from ..networks import Aig, map_aig_to_klut, network_statistics
-from ..networks.mapping import map_aig_to_klut as _map
+from ..networks import Aig, map_aig_to_klut, network_statistics, technology_map
 from ..simulation import (
     PatternSet,
     klut_po_signatures,
@@ -47,7 +50,15 @@ from ..simulation import (
 from ..rewriting import NAMED_SCRIPTS, PassManager
 from ..sweeping import FraigSweeper, StpSweeper, check_combinational_equivalence
 
-__all__ = ["simulate_main", "sweep_main", "optimize_main", "main", "read_network", "write_network"]
+__all__ = [
+    "simulate_main",
+    "sweep_main",
+    "optimize_main",
+    "map_main",
+    "main",
+    "read_network",
+    "write_network",
+]
 
 
 def read_network(path: str) -> Aig:
@@ -68,7 +79,7 @@ def write_network(aig: Aig, path: str, lut_size: int = 6) -> None:
     elif extension == ".bench":
         write_bench_file(aig, path)
     elif extension == ".blif":
-        klut, _ = _map(aig, k=lut_size)
+        klut, _ = map_aig_to_klut(aig, k=lut_size)
         write_blif_file(klut, path)
     elif extension == ".v":
         write_verilog_file(aig, path)
@@ -242,6 +253,77 @@ def optimize_main(argv: list[str] | None = None) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro-map
+# ---------------------------------------------------------------------------
+
+
+def map_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-map``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-map",
+        description="Map an AIGER/BENCH circuit to k-LUTs with the multi-pass mapper",
+    )
+    parser.add_argument("input", help="input circuit (.aag, .aig or .bench)")
+    parser.add_argument("--output", "-o", default=None, help="write the mapped network here (.blif)")
+    parser.add_argument("--lut-size", "-k", type=int, default=6, help="LUT size k (default: 6)")
+    parser.add_argument("--cut-limit", type=int, default=8, help="priority cuts kept per node")
+    parser.add_argument(
+        "--area-rounds",
+        type=int,
+        default=2,
+        help="area-recovery effort: 0 = depth only, 1 = +area flow, 2 = +exact area (default)",
+    )
+    parser.add_argument("--patterns", type=int, default=256, help="verification pattern count")
+    parser.add_argument("--seed", type=int, default=1, help="verification pattern seed")
+    parser.add_argument("--no-verify", action="store_true", help="skip the simulation cross-check")
+    arguments = parser.parse_args(argv)
+
+    aig = read_network(arguments.input)
+    print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
+    try:
+        result = technology_map(
+            aig,
+            k=arguments.lut_size,
+            cut_limit=arguments.cut_limit,
+            area_rounds=arguments.area_rounds,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    stats = result.stats
+    print(stats)
+    print(
+        f"  passes: depth {stats.depth_pass_luts or stats.num_luts} LUTs"
+        + (f" -> area-flow {stats.area_flow_luts} LUTs" if stats.area_flow_luts else "")
+        + (f" -> exact-area {stats.exact_area_luts} LUTs" if stats.exact_area_luts else "")
+    )
+    print(
+        f"  cut cache: {stats.cache_hits} hits / {stats.cache_misses} misses "
+        f"({stats.cache_hit_rate:.1%} hit rate, {stats.cuts_enumerated} cuts enumerated)"
+    )
+
+    if not arguments.no_verify:
+        patterns = PatternSet.random(aig.num_pis, arguments.patterns, arguments.seed)
+        aig_signatures = aig_po_signatures(aig, simulate_aig(aig, patterns))
+        klut_signatures = klut_po_signatures(
+            result.network, simulate_klut_per_pattern(result.network, patterns)
+        )
+        if aig_signatures != klut_signatures:
+            print("mapping verification FAILED: signatures differ", file=sys.stderr)
+            return 1
+        print(f"verification: {patterns.num_patterns} word-parallel patterns agree on all outputs")
+
+    if arguments.output:
+        extension = os.path.splitext(arguments.output)[1].lower()
+        if extension != ".blif":
+            print(f"unsupported mapping output format {extension!r} (expected .blif)", file=sys.stderr)
+            return 2
+        write_blif_file(result.network, arguments.output)
+        print(f"wrote {arguments.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # the combined `repro` entry point
 # ---------------------------------------------------------------------------
 
@@ -251,6 +333,7 @@ _SUBCOMMANDS = {
     "simulate": "repro-simulate: simulate a circuit file",
     "sweep": "repro-sweep: SAT-sweep a circuit file",
     "optimize": "repro-optimize: run an optimization script on a circuit file",
+    "map": "repro-map: map a circuit file to k-LUTs and write BLIF",
     "table1": "regenerate Table I (simulation comparison)",
     "table2": "regenerate Table II (sweeper comparison)",
 }
@@ -271,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
         return sweep_main(rest)
     if command == "optimize":
         return optimize_main(rest)
+    if command == "map":
+        return map_main(rest)
     if command == "table1":
         from .table1 import main as table1_main
 

@@ -7,9 +7,11 @@ The package provides the two network representations the paper operates on:
 * :class:`~repro.networks.klut.KLutNetwork` -- k-input LUT networks, the
   representation the STP simulator targets;
 
-plus generic traversal helpers, cut computation (including the paper's
-simulation-cut algorithm of Section III-B), AIG-to-k-LUT mapping and
-structural transforms (cleanup, substitution, constant propagation).
+plus generic traversal helpers, AIG-to-k-LUT mapping and structural
+transforms (cleanup, substitution, constant propagation).  Cut
+computation (including the paper's simulation-cut algorithm of Section
+III-B) lives in the shared :mod:`repro.cuts` engine and is re-exported
+here for compatibility.
 """
 
 from .aig import Aig, AigNode, LIT_FALSE, LIT_TRUE
@@ -21,8 +23,14 @@ from .traversal import (
     transitive_fanout,
     fanout_counts,
 )
-from .cuts import Cut, SimulationCut, enumerate_cuts, simulation_cuts, cut_truth_table
-from .mapping import map_aig_to_klut, aig_node_truth_table
+from ..cuts import Cut, SimulationCut, enumerate_cuts, simulation_cuts, cut_truth_table
+from .mapping import (
+    MappingResult,
+    MappingStats,
+    aig_node_truth_table,
+    map_aig_to_klut,
+    technology_map,
+)
 from .transforms import (
     cleanup_dangling,
     rebuild_strashed,
@@ -49,6 +57,9 @@ __all__ = [
     "simulation_cuts",
     "cut_truth_table",
     "map_aig_to_klut",
+    "technology_map",
+    "MappingResult",
+    "MappingStats",
     "aig_node_truth_table",
     "cleanup_dangling",
     "rebuild_strashed",

@@ -96,6 +96,10 @@ class Aig:
         # Cached topological gate order and node->position map; None = dirty.
         self._topo_cache: list[int] | None = None
         self._topo_pos: dict[int, int] | None = None
+        # Mutation listeners: callables invoked after substitute/replace_fanin
+        # with (old_node, new_literal, rewired_gates).  Incremental consumers
+        # (the cut engine) use them to invalidate exactly the affected state.
+        self._mutation_listeners: list[Callable[[int, int, tuple[int, ...]], None]] = []
 
     # ------------------------------------------------------------------
     # Literal helpers
@@ -535,6 +539,30 @@ class Aig:
         if key not in self._strash:
             self._strash[key] = gate
 
+    def add_mutation_listener(self, listener: Callable[[int, int, tuple[int, ...]], None]) -> None:
+        """Register a mutation hook.
+
+        The listener is invoked after every :meth:`substitute` /
+        :meth:`replace_fanin` as ``listener(old_node, new_literal,
+        rewired_gates)``, where ``rewired_gates`` are the gate indices
+        whose fanins were redirected.  Incremental consumers (e.g. the
+        shared cut engine) invalidate per-event state in O(fanout)
+        instead of re-scanning the network.  Listeners are not cloned by
+        :meth:`clone`.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: Callable[[int, int, tuple[int, ...]], None]) -> None:
+        """Unregister a mutation hook (no-op if it is not registered)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, old_node: int, new_literal: int, rewired_gates: tuple[int, ...]) -> None:
+        for listener in self._mutation_listeners:
+            listener(old_node, new_literal, rewired_gates)
+
     def _note_rewire(self, old_node: int, new_node: int) -> None:
         """Update topological-cache validity after redirecting references.
 
@@ -577,7 +605,8 @@ class Aig:
         old_refs = fanouts[old_node]
         fanouts[old_node] = []
         new_refs: list[int] = []
-        for gate in dict.fromkeys(old_refs):
+        rewired_gates = tuple(dict.fromkeys(old_refs))
+        for gate in rewired_gates:
             self._unstrash_gate(gate)
             entry = self._nodes[gate]
             if entry.fanin0 >> 1 == old_node:
@@ -596,6 +625,8 @@ class Aig:
                 rewritten += 1
             self._po_refs.setdefault(new_node, []).extend(po_refs)
         self._note_rewire(old_node, new_node)
+        if self._mutation_listeners:
+            self._notify_mutation(old_node, new_literal, rewired_gates)
         return rewritten
 
     def replace_fanin(self, gate: int, old_node: int, new_literal: int) -> bool:
@@ -628,6 +659,8 @@ class Aig:
         self._restrash_gate(gate)
         if changed:
             self._note_rewire(old_node, new_node)
+            if self._mutation_listeners:
+                self._notify_mutation(old_node, new_literal, (gate,))
         return changed
 
     def clone(self) -> "Aig":
@@ -643,6 +676,8 @@ class Aig:
         other._po_refs = {node: list(refs) for node, refs in self._po_refs.items()}
         other._topo_cache = list(self._topo_cache) if self._topo_cache is not None else None
         other._topo_pos = dict(self._topo_pos) if self._topo_pos is not None else None
+        # Mutation listeners are bound to *this* graph's consumers; the
+        # clone starts with none.
         return other
 
     def __repr__(self) -> str:

@@ -1,28 +1,22 @@
-"""Cut computation: k-feasible cuts for mapping and the paper's simulation cuts.
+"""Compatibility shim: cut machinery lives in :mod:`repro.cuts` now.
 
-Two distinct notions of "cut" live here:
-
-* :class:`Cut` and :func:`enumerate_cuts` -- classical priority-cut
-  enumeration on AIGs, used by the AIG-to-k-LUT mapper;
-* :class:`SimulationCut` and :func:`simulation_cuts` -- the cut algorithm of
-  Section III-B of the paper: given the set of nodes whose simulation
-  signatures are requested, the network is partitioned into tree-structured
-  cuts whose leaf counts respect a limit derived from the number of
-  simulation patterns (``limit = floor(log2(#patterns))``).  Single-fanout
-  chains collapse into one cut; multi-fanout nodes and requested nodes form
-  cut boundaries so that no value is recomputed.
+This module used to hold its own priority-cut enumeration next to the
+simulation cuts; both moved into the shared cut package
+(``src/repro/cuts/``), which is the single merge/dominance and
+cut-function implementation in the tree.  Importing from here keeps
+working for existing callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence
-
-from ..truthtable import TruthTable
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
-    from .aig import Aig
-    from .klut import KLutNetwork
+from ..cuts import (
+    Cut,
+    SimulationCut,
+    cut_truth_table,
+    enumerate_cuts,
+    simulation_cuts,
+    simulation_cuts_generic,
+)
 
 __all__ = [
     "Cut",
@@ -32,247 +26,3 @@ __all__ = [
     "simulation_cuts_generic",
     "cut_truth_table",
 ]
-
-
-@dataclass(frozen=True)
-class Cut:
-    """A k-feasible cut of an AIG node: the set of its leaf nodes."""
-
-    leaves: tuple[int, ...]
-
-    @property
-    def size(self) -> int:
-        """Number of leaves."""
-        return len(self.leaves)
-
-    def merge(self, other: "Cut") -> "Cut":
-        """Union of two cuts (leaves stay sorted and deduplicated)."""
-        return Cut(tuple(sorted(set(self.leaves) | set(other.leaves))))
-
-    def dominates(self, other: "Cut") -> bool:
-        """True if this cut's leaves are a subset of the other's."""
-        return set(self.leaves) <= set(other.leaves)
-
-
-def enumerate_cuts(aig: "Aig", k: int = 6, cut_limit: int = 8) -> dict[int, list[Cut]]:
-    """Priority-cut enumeration: up to ``cut_limit`` k-feasible cuts per node.
-
-    Every node always keeps its trivial cut ``{node}``.  Cuts are propagated
-    in topological order by merging the fanin cut sets and discarding cuts
-    larger than ``k`` or dominated by another cut of the same node.
-    """
-    if k < 1:
-        raise ValueError("cut size k must be at least 1")
-    cuts: dict[int, list[Cut]] = {0: [Cut(())]}
-    for pi in aig.pis:
-        cuts[pi] = [Cut((pi,))]
-    for node in aig.topological_order():
-        fanin0, fanin1 = aig.fanins(node)
-        node0, node1 = aig.node_of(fanin0), aig.node_of(fanin1)
-        merged: list[Cut] = []
-        for cut0 in cuts.get(node0, [Cut((node0,))]):
-            for cut1 in cuts.get(node1, [Cut((node1,))]):
-                candidate = cut0.merge(cut1)
-                if candidate.size > k:
-                    continue
-                if any(existing.dominates(candidate) for existing in merged):
-                    continue
-                merged = [c for c in merged if not candidate.dominates(c)]
-                merged.append(candidate)
-        merged.sort(key=lambda cut: cut.size)
-        merged = merged[: cut_limit - 1]
-        merged.append(Cut((node,)))
-        cuts[node] = merged
-    return cuts
-
-
-@dataclass(frozen=True)
-class SimulationCut:
-    """One tree cut produced by the paper's simulation-cut algorithm.
-
-    Attributes
-    ----------
-    root:
-        The node whose value the cut computes.
-    leaves:
-        Boundary nodes whose values the cut consumes (other cut roots,
-        requested nodes or primary inputs), in a fixed order.
-    volume:
-        Interior nodes absorbed into the cut (excluding the root), in
-        topological order; these nodes are *not* simulated individually.
-    """
-
-    root: int
-    leaves: tuple[int, ...]
-    volume: tuple[int, ...]
-
-    @property
-    def size(self) -> int:
-        """Number of leaves."""
-        return len(self.leaves)
-
-
-def simulation_cuts_generic(
-    targets: Sequence[int],
-    fanins_of: Callable[[int], Iterable[int]],
-    is_source: Callable[[int], bool],
-    limit: int,
-    extra_boundary: Iterable[int] = (),
-) -> list[SimulationCut]:
-    """Partition the TFI of ``targets`` into tree cuts with at most ``limit`` leaves.
-
-    ``is_source`` marks nodes that already carry values (PIs, constants);
-    they never become cut roots.  ``extra_boundary`` can force additional
-    nodes to be cut boundaries (the STP sweeper uses this to keep all
-    members of an equivalence class visible).  Cuts are returned in
-    topological order (a cut only consumes leaves that are sources or roots
-    of earlier cuts).
-    """
-    if limit < 1:
-        raise ValueError("cut leaf limit must be at least 1")
-
-    # Collect the cone and per-node fanout counts *within* the cone.
-    cone: list[int] = []
-    seen: set[int] = set()
-    stack = [t for t in targets]
-    while stack:
-        node = stack.pop()
-        if node in seen:
-            continue
-        seen.add(node)
-        cone.append(node)
-        if is_source(node):
-            continue
-        stack.extend(fanins_of(node))
-    fanout_in_cone: dict[int, int] = {node: 0 for node in cone}
-    for node in cone:
-        if is_source(node):
-            continue
-        for fanin in fanins_of(node):
-            fanout_in_cone[fanin] = fanout_in_cone.get(fanin, 0) + 1
-
-    boundary: set[int] = set(targets) | set(extra_boundary)
-    boundary.update(node for node, count in fanout_in_cone.items() if count >= 2)
-
-    def expand(root: int) -> tuple[list[int], list[int]]:
-        """Leaves and interior volume of the tree cut rooted at ``root``."""
-        leaves: list[int] = []
-        volume: list[int] = []
-        work = list(fanins_of(root))
-        while work:
-            node = work.pop(0)
-            if is_source(node) or node in boundary:
-                if node not in leaves:
-                    leaves.append(node)
-                continue
-            volume.append(node)
-            work.extend(fanins_of(node))
-        return leaves, volume
-
-    def subtree_leaf_count(node: int) -> int:
-        """Leaves of the subtree hanging below an interior node."""
-        count = 0
-        work = list(fanins_of(node))
-        seen_local: set[int] = set()
-        while work:
-            child = work.pop()
-            if child in seen_local:
-                continue
-            seen_local.add(child)
-            if is_source(child) or child in boundary:
-                count += 1
-            else:
-                work.extend(fanins_of(child))
-        return count
-
-    pending = [t for t in targets if not is_source(t)]
-    processed: dict[int, SimulationCut] = {}
-    queue = list(dict.fromkeys(pending))
-    while queue:
-        root = queue.pop(0)
-        if root in processed or is_source(root):
-            continue
-        leaves, volume = expand(root)
-        # Enforce the leaf limit by promoting the heaviest interior node to
-        # a boundary (it becomes a cut of its own) and re-expanding.
-        while len(leaves) > limit:
-            candidates = [n for n in volume if 1 < subtree_leaf_count(n) < len(leaves)]
-            if not candidates:
-                break
-            heaviest = max(candidates, key=subtree_leaf_count)
-            boundary.add(heaviest)
-            leaves, volume = expand(root)
-        processed[root] = SimulationCut(root, tuple(leaves), tuple(volume))
-        for leaf in leaves:
-            if not is_source(leaf) and leaf not in processed:
-                queue.append(leaf)
-
-    # Order cuts topologically: a cut goes after the cuts of its non-source leaves.
-    order: list[SimulationCut] = []
-    emitted: set[int] = set()
-
-    def emit(root: int) -> None:
-        stack2: list[tuple[int, bool]] = [(root, False)]
-        while stack2:
-            node, expanded = stack2.pop()
-            if expanded:
-                order.append(processed[node])
-                emitted.add(node)
-                continue
-            if node in emitted or node not in processed:
-                continue
-            emitted.add(node)
-            stack2.append((node, True))
-            for leaf in processed[node].leaves:
-                if leaf in processed and leaf not in emitted:
-                    stack2.append((leaf, False))
-
-    # ``emitted`` doubles as a visited marker during the DFS; reset per root
-    # is unnecessary because processed cuts are appended exactly once.
-    emitted.clear()
-    for target in targets:
-        if target in processed and target not in emitted:
-            emit(target)
-    for root in processed:
-        if root not in emitted:
-            emit(root)
-    return order
-
-
-def simulation_cuts(network: "KLutNetwork", targets: Sequence[int], limit: int) -> list[SimulationCut]:
-    """The paper's simulation-cut algorithm on a k-LUT network."""
-    return simulation_cuts_generic(
-        targets,
-        network.fanins,
-        lambda node: not network.is_lut(node),
-        limit,
-    )
-
-
-def cut_truth_table(network: "KLutNetwork", root: int, leaves: Sequence[int]) -> TruthTable:
-    """Truth table of ``root`` as a function of ``leaves`` on a k-LUT network.
-
-    This is the reference (composition-based) construction; the STP
-    simulator computes the same function through structural-matrix
-    products, and the two are cross-checked in the test suite.
-    """
-    leaf_positions = {leaf: index for index, leaf in enumerate(leaves)}
-    num_vars = len(leaves)
-    memo: dict[int, TruthTable] = {}
-
-    def table_of(node: int) -> TruthTable:
-        if node in memo:
-            return memo[node]
-        if node in leaf_positions:
-            result = TruthTable.variable(leaf_positions[node], num_vars)
-        elif network.is_constant(node):
-            result = TruthTable.constant(network.constant_value(node), num_vars)
-        elif network.is_pi(node):
-            raise ValueError(f"primary input {node} reached but not listed as a cut leaf")
-        else:
-            fanin_tables = [table_of(f) for f in network.lut_fanins(node)]
-            result = network.lut_function(node).compose(fanin_tables)
-        memo[node] = result
-        return result
-
-    return table_of(root)

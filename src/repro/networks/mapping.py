@@ -1,131 +1,446 @@
-"""AIG-to-k-LUT mapping.
+"""AIG-to-k-LUT technology mapping on the shared priority-cut engine.
 
-The paper's simulator operates on k-LUT networks while the sweeper operates
-on AIGs, so a structural mapper bridges the two.  The implementation is a
-classical cut-based mapper: priority cuts are enumerated for every AND
-node, a best cut is selected (smallest depth, then fewest leaves), and the
-network is covered starting from the primary outputs.  Every selected cut
-becomes a LUT whose truth table is computed over the cut leaves.
+The paper's simulator operates on k-LUT networks while the sweeper
+operates on AIGs, so a structural mapper bridges the two.  The mapper is
+a classical multi-pass cut-based mapper in the style of ABC's ``if``:
+
+1. a **depth pass** selects, for every node, the cut with the smallest
+   arrival time (ties broken by leaf count) and records the mapping's
+   depth;
+2. an **area-flow pass** re-selects cuts to minimise estimated global
+   area (area flow), constrained by per-node *required times* derived
+   from the depth-pass mapping, so depth never degrades;
+3. an **exact-area pass** walks the covered nodes with a reference
+   counter, dereferences each node's current cut and greedily picks the
+   candidate whose cone adds the fewest actual LUTs at the same
+   required-time constraint.
+
+Cut enumeration, fused cut functions and the structural-signature
+function cache come from :mod:`repro.cuts`; the mapper never walks a
+cone to compute a LUT function.  Every selected cut becomes a LUT whose
+truth table is the cut's fused table.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..cuts import Cut, CutEngine, CutFunctionCache, aig_cone_table
 from ..truthtable import TruthTable
 from .aig import Aig
-from .cuts import Cut, enumerate_cuts
 from .klut import KLutNetwork
 
-__all__ = ["aig_node_truth_table", "aig_literal_truth_table", "map_aig_to_klut"]
+__all__ = [
+    "MappingStats",
+    "MappingResult",
+    "technology_map",
+    "map_aig_to_klut",
+    "aig_node_truth_table",
+    "aig_literal_truth_table",
+]
+
+_INFINITY = float("inf")
 
 
-def aig_node_truth_table(aig: Aig, node: int, leaves: Sequence[int]) -> TruthTable:
+def aig_node_truth_table(
+    aig: Aig,
+    node: int,
+    leaves: Sequence[int],
+    allow_unused_leaves: bool = False,
+) -> TruthTable:
     """Truth table of an AIG node as a function of the cut ``leaves``.
 
     ``leaves`` are node indices; leaf ``i`` becomes input ``i`` of the
     resulting table.  The cone between ``node`` and the leaves must be
-    bounded by the leaves (a PI reached before a leaf raises an error).
+    bounded by the leaves; a leaf set that does not actually cut the
+    cone (an unlisted PI reached, an out-of-range leaf, or a listed leaf
+    the cone never reaches) raises :class:`ValueError` instead of
+    silently producing a table over the wrong support.  Window-style
+    callers that intentionally pass a superset of the support opt out
+    with ``allow_unused_leaves=True``.
     """
-    leaf_positions = {leaf: index for index, leaf in enumerate(leaves)}
-    num_vars = len(leaves)
-    memo: dict[int, TruthTable] = {}
-
-    def table_of(current: int) -> TruthTable:
-        if current in memo:
-            return memo[current]
-        if current in leaf_positions:
-            result = TruthTable.variable(leaf_positions[current], num_vars)
-        elif aig.is_constant(current):
-            result = TruthTable.constant(False, num_vars)
-        elif aig.is_pi(current):
-            raise ValueError(f"primary input {current} reached but not listed as a cut leaf")
-        else:
-            fanin0, fanin1 = aig.fanins(current)
-            table0 = table_of(aig.node_of(fanin0))
-            table1 = table_of(aig.node_of(fanin1))
-            if aig.is_complemented(fanin0):
-                table0 = ~table0
-            if aig.is_complemented(fanin1):
-                table1 = ~table1
-            result = table0 & table1
-        memo[current] = result
-        return result
-
-    return table_of(node)
+    return aig_cone_table(aig, node, leaves, allow_unused_leaves=allow_unused_leaves)
 
 
-def aig_literal_truth_table(aig: Aig, literal: int, leaves: Sequence[int]) -> TruthTable:
+def aig_literal_truth_table(
+    aig: Aig,
+    literal: int,
+    leaves: Sequence[int],
+    allow_unused_leaves: bool = False,
+) -> TruthTable:
     """Truth table of a literal (node plus complement) over the cut ``leaves``."""
-    table = aig_node_truth_table(aig, aig.node_of(literal), leaves)
+    table = aig_cone_table(aig, aig.node_of(literal), leaves, allow_unused_leaves=allow_unused_leaves)
     return ~table if aig.is_complemented(literal) else table
 
 
-def _best_cut(cuts: list[Cut], depth: dict[int, int], node: int) -> Cut:
-    """Pick the depth-optimal cut, breaking ties by leaf count.
-
-    The trivial cut ``{node}`` is excluded unless it is the only option
-    (it would map the node onto itself and make no progress).
-    """
-    candidates = [cut for cut in cuts if cut.leaves != (node,)]
-    if not candidates:
-        return cuts[0]
-
-    def cost(cut: Cut) -> tuple[int, int]:
-        cut_depth = 1 + max((depth.get(leaf, 0) for leaf in cut.leaves), default=0)
-        return (cut_depth, cut.size)
-
-    return min(candidates, key=cost)
+# ---------------------------------------------------------------------------
+# Mapping statistics
+# ---------------------------------------------------------------------------
 
 
-def map_aig_to_klut(aig: Aig, k: int = 6, cut_limit: int = 8) -> tuple[KLutNetwork, dict[int, int]]:
-    """Map an AIG into a k-LUT network.
+@dataclass
+class MappingStats:
+    """Counters collected by one technology-mapping run."""
 
-    Returns the LUT network together with a map from AIG node index to LUT
-    node index for every node that received a LUT (plus PIs and the
-    constant node).  Primary-output complementation is preserved through
-    the k-LUT network's ``negated`` PO flag.
+    k: int = 0
+    cut_limit: int = 0
+    num_luts: int = 0
+    depth: int = 0
+    num_edges: int = 0
+    depth_pass_luts: int = 0
+    area_flow_luts: int = 0
+    exact_area_luts: int = 0
+    cuts_enumerated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    passes: list[str] = field(default_factory=list)
+
+    def as_details(self) -> dict[str, float]:
+        """Flat numeric view for reports and benchmarks."""
+        return {
+            "num_luts": float(self.num_luts),
+            "depth": float(self.depth),
+            "num_edges": float(self.num_edges),
+            "depth_pass_luts": float(self.depth_pass_luts),
+            "area_flow_luts": float(self.area_flow_luts),
+            "exact_area_luts": float(self.exact_area_luts),
+            "cuts_enumerated": float(self.cuts_enumerated),
+            "cache_hits": float(self.cache_hits),
+            "cache_misses": float(self.cache_misses),
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"mapped to {self.num_luts} LUT{self.k}s, depth {self.depth}, "
+            f"{self.num_edges} edges ({' -> '.join(self.passes)}; "
+            f"cut cache hit rate {self.cache_hit_rate:.1%})"
+        )
+
+
+@dataclass
+class MappingResult:
+    """A mapped network plus the node map and the run's statistics."""
+
+    network: KLutNetwork
+    node_map: dict[int, int]
+    stats: MappingStats
+
+
+# ---------------------------------------------------------------------------
+# The multi-pass mapper
+# ---------------------------------------------------------------------------
+
+
+class _Mapper:
+    """One mapping run: cut selection state shared by the passes."""
+
+    def __init__(self, aig: Aig, k: int, cut_limit: int, cache: CutFunctionCache | None) -> None:
+        self.aig = aig
+        self.k = k
+        self.engine = CutEngine(aig, k=k, cut_limit=cut_limit, cache=cache)
+        self.all_cuts = self.engine.enumerate_all()
+        self.topo = aig.topological_order()
+        self.best: dict[int, Cut] = {}
+        self.arrival: dict[int, int] = {0: 0}
+        for pi in aig.pis:
+            self.arrival[pi] = 0
+        # Estimated reference counts for area flow: how often a node is
+        # used in the subject graph (never below one).
+        self.est_refs = {node: max(1, aig.fanout_count(node)) for node in self.topo}
+
+    # -- shared helpers -------------------------------------------------
+
+    def candidates(self, node: int) -> list[Cut]:
+        """Non-trivial cuts of ``node`` (the trivial cut maps a node onto itself)."""
+        cuts = [cut for cut in self.all_cuts[node] if cut.leaves != (node,)]
+        return cuts if cuts else list(self.all_cuts[node])
+
+    def cut_arrival(self, cut: Cut) -> int:
+        """Arrival time of a cut: one level above its slowest leaf."""
+        return 1 + max((self.arrival.get(leaf, 0) for leaf in cut.leaves), default=0)
+
+    def cover(self) -> list[int]:
+        """AND nodes used by the current selection, in topological order."""
+        required: set[int] = set()
+        frontier = [self.aig.node_of(po) for po in self.aig.pos if self.aig.is_and(self.aig.node_of(po))]
+        while frontier:
+            node = frontier.pop()
+            if node in required:
+                continue
+            required.add(node)
+            for leaf in self.best[node].leaves:
+                if self.aig.is_and(leaf) and leaf not in required:
+                    frontier.append(leaf)
+        return [node for node in self.topo if node in required]
+
+    def mapping_depth(self) -> int:
+        """Largest PO arrival under the current selection."""
+        depth = 0
+        for po in self.aig.pos:
+            node = self.aig.node_of(po)
+            if self.aig.is_and(node):
+                depth = max(depth, self.arrival[node])
+        return depth
+
+    def required_times(self, cover: list[int], target_depth: int) -> dict[int, float]:
+        """Per-node required times over the current cover.
+
+        PO drivers are required at ``target_depth``; a covered node
+        pushes ``required - 1`` onto its cut leaves.  Nodes outside the
+        cover are unconstrained (infinity) -- if a later pass pulls one
+        into the cover as a leaf, the leaf-feasibility check against its
+        *new* arrival keeps the depth bound intact.
+        """
+        required: dict[int, float] = {}
+        for po in self.aig.pos:
+            node = self.aig.node_of(po)
+            if self.aig.is_and(node):
+                required[node] = min(required.get(node, _INFINITY), float(target_depth))
+        for node in reversed(cover):
+            node_required = required.get(node, _INFINITY)
+            for leaf in self.best[node].leaves:
+                if not self.aig.is_and(leaf):
+                    continue
+                leaf_required = node_required - 1
+                if leaf_required < required.get(leaf, _INFINITY):
+                    required[leaf] = leaf_required
+        return required
+
+    # -- pass 1: depth --------------------------------------------------
+
+    def depth_pass(self) -> None:
+        """Depth-optimal cut per node, ties broken by leaf count."""
+        for node in self.topo:
+            best = min(self.candidates(node), key=lambda cut: (self.cut_arrival(cut), cut.size))
+            self.best[node] = best
+            self.arrival[node] = self.cut_arrival(best)
+
+    # -- pass 2: area flow ----------------------------------------------
+
+    def area_flow_pass(self, required: dict[int, float]) -> None:
+        """Re-select cuts by area flow under the required-time constraints.
+
+        Area flow distributes the estimated cost of a node's cone over
+        its estimated references, giving a global (if approximate) view
+        of sharing: ``af(n) = (1 + sum af(leaf)) / est_refs(n)``.  The
+        node's previous best cut is always feasible (its leaves' required
+        times were derived from it), so every node keeps a selection.
+        """
+        flow: dict[int, float] = {0: 0.0}
+        for pi in self.aig.pis:
+            flow[pi] = 0.0
+        for node in self.topo:
+            node_required = required.get(node, _INFINITY)
+            best_cut: Cut | None = None
+            best_cost: tuple[float, int, int] | None = None
+            for cut in self.candidates(node):
+                arrival = self.cut_arrival(cut)
+                if arrival > node_required:
+                    continue
+                cut_flow = 1.0 + sum(flow.get(leaf, 0.0) for leaf in cut.leaves)
+                cost = (cut_flow, arrival, cut.size)
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    best_cut = cut
+            if best_cut is None:  # pragma: no cover - previous best is always feasible
+                best_cut = self.best[node]
+            self.best[node] = best_cut
+            self.arrival[node] = self.cut_arrival(best_cut)
+            flow[node] = (1.0 + sum(flow.get(leaf, 0.0) for leaf in best_cut.leaves)) / self.est_refs[node]
+
+    # -- pass 3: exact area ---------------------------------------------
+
+    def exact_area_pass(self, required: dict[int, float]) -> None:
+        """Greedy exact-area recovery with reference counting.
+
+        The mapping is reference-counted (``refs[n]`` = number of LUT
+        fanins / POs consuming ``n``).  For each covered node the
+        current cut is dereferenced -- conceptually deleting its cone --
+        and every feasible candidate is probed for the exact number of
+        LUTs its selection would (re)introduce; the cheapest wins.
+        """
+        refs: dict[int, int] = {}
+
+        # Worklist form rather than recursion: the ref/deref cascade can
+        # be as deep as the mapped network (carry chains), which would
+        # overflow the interpreter stack.
+        def ref_cut(node: int) -> int:
+            area = 0
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                area += 1
+                for leaf in self.best[current].leaves:
+                    if not self.aig.is_and(leaf):
+                        continue
+                    if refs.get(leaf, 0) == 0:
+                        stack.append(leaf)
+                    refs[leaf] = refs.get(leaf, 0) + 1
+            return area
+
+        def deref_cut(node: int) -> int:
+            area = 0
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                area += 1
+                for leaf in self.best[current].leaves:
+                    if not self.aig.is_and(leaf):
+                        continue
+                    refs[leaf] -= 1
+                    if refs[leaf] == 0:
+                        stack.append(leaf)
+            return area
+
+        def probe(node: int, cut: Cut) -> int:
+            """Exact area of selecting ``cut`` at ``node``, without commitment."""
+            previous = self.best[node]
+            self.best[node] = cut
+            area = ref_cut(node)
+            deref_cut(node)
+            self.best[node] = previous
+            return area
+
+        for po in self.aig.pos:
+            node = self.aig.node_of(po)
+            if not self.aig.is_and(node):
+                continue
+            if refs.get(node, 0) == 0:
+                ref_cut(node)
+            refs[node] = refs.get(node, 0) + 1
+
+        for node in self.topo:
+            if refs.get(node, 0) == 0:
+                # Not in the cover: nothing to re-select, but the node's
+                # arrival must track its leaves' (legally) re-timed
+                # arrivals -- a later parent may still pull it into the
+                # cover, and a stale arrival would break the depth bound.
+                self.arrival[node] = self.cut_arrival(self.best[node])
+                continue
+            node_required = required.get(node, _INFINITY)
+            deref_cut(node)
+            best_cut = self.best[node]
+            best_cost = (probe(node, best_cut), self.cut_arrival(best_cut), best_cut.size)
+            for cut in self.candidates(node):
+                if cut is best_cut:
+                    continue
+                arrival = self.cut_arrival(cut)
+                if arrival > node_required:
+                    continue
+                cost = (probe(node, cut), arrival, cut.size)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_cut = cut
+            self.best[node] = best_cut
+            ref_cut(node)
+            self.arrival[node] = self.cut_arrival(best_cut)
+
+    # -- network construction -------------------------------------------
+
+    def build(self) -> tuple[KLutNetwork, dict[int, int], list[int]]:
+        """Materialise the selection into a k-LUT network."""
+        aig = self.aig
+        cover = self.cover()
+        klut = KLutNetwork(name=f"{aig.name}_lut{self.k}")
+        node_map: dict[int, int] = {0: klut.constant_false}
+        for pi, name in zip(aig.pis, aig.pi_names):
+            node_map[pi] = klut.add_pi(name)
+        for node in cover:
+            cut = self.best[node]
+            function = cut.table
+            if function is None:  # pragma: no cover - fused tables are always on
+                function = aig_cone_table(aig, node, cut.leaves)
+            fanins = [node_map[leaf] for leaf in cut.leaves]
+            node_map[node] = klut.add_lut(fanins, function)
+        for po, name in zip(aig.pos, aig.po_names):
+            po_node = aig.node_of(po)
+            klut.add_po(node_map[po_node], negated=aig.is_complemented(po), name=name)
+        return klut, node_map, cover
+
+
+def technology_map(
+    aig: Aig,
+    k: int = 6,
+    cut_limit: int = 8,
+    area_rounds: int = 2,
+    cache: CutFunctionCache | None = None,
+) -> MappingResult:
+    """Map an AIG into a k-LUT network with the multi-pass mapper.
+
+    ``area_rounds`` controls the recovery effort: 0 stops after the
+    depth pass (the behaviour of the old single-pass mapper), 1 adds the
+    area-flow pass, 2 (default) adds the exact-area pass.  Area recovery
+    never increases the mapped depth: every pass constrains cut
+    selection by required times derived from the depth-pass mapping.
+    A shared :class:`~repro.cuts.cache.CutFunctionCache` can be passed
+    to reuse fused cut functions across multiple mapping runs.
     """
     if k < 2:
         raise ValueError("LUT size k must be at least 2")
-    all_cuts = enumerate_cuts(aig, k=k, cut_limit=cut_limit)
+    if area_rounds < 0:
+        raise ValueError("area_rounds must be non-negative")
+    shared_cache = cache if cache is not None else CutFunctionCache()
+    # Snapshot the (possibly shared) cache counters so the statistics
+    # report this run's lookups, not the cache's lifetime totals.
+    hits_before, misses_before = shared_cache.hits, shared_cache.misses
+    mapper = _Mapper(aig, k, cut_limit, shared_cache)
+    stats = MappingStats(k=k, cut_limit=cut_limit)
+    stats.cuts_enumerated = sum(len(cuts) for cuts in mapper.all_cuts.values())
 
-    # Depth-oriented best-cut selection in topological order.
-    best_cuts: dict[int, Cut] = {}
-    depth: dict[int, int] = {0: 0}
-    for pi in aig.pis:
-        depth[pi] = 0
-    for node in aig.topological_order():
-        cut = _best_cut(all_cuts[node], depth, node)
-        best_cuts[node] = cut
-        depth[node] = 1 + max((depth.get(leaf, 0) for leaf in cut.leaves), default=0)
+    def snapshot() -> tuple[int, int, dict[int, Cut], dict[int, int]]:
+        cover = mapper.cover()
+        edges = sum(mapper.best[node].size for node in cover)
+        return (len(cover), edges, dict(mapper.best), dict(mapper.arrival))
 
-    # Cover the network from the POs.
-    required: set[int] = set()
-    frontier = [aig.node_of(po) for po in aig.pos if aig.is_and(aig.node_of(po))]
-    while frontier:
-        node = frontier.pop()
-        if node in required:
-            continue
-        required.add(node)
-        for leaf in best_cuts[node].leaves:
-            if aig.is_and(leaf) and leaf not in required:
-                frontier.append(leaf)
+    mapper.depth_pass()
+    stats.passes.append("depth")
+    target_depth = mapper.mapping_depth()
+    best_selection = snapshot()
+    stats.depth_pass_luts = best_selection[0]
 
-    # Build the LUT network.
-    klut = KLutNetwork(name=f"{aig.name}_lut{k}")
-    node_map: dict[int, int] = {0: klut.constant_false}
-    for pi, name in zip(aig.pis, aig.pi_names):
-        node_map[pi] = klut.add_pi(name)
-    for node in aig.topological_order():
-        if node not in required:
-            continue
-        cut = best_cuts[node]
-        leaves = list(cut.leaves)
-        function = aig_node_truth_table(aig, node, leaves)
-        fanins = [node_map[leaf] for leaf in leaves]
-        node_map[node] = klut.add_lut(fanins, function)
-    for po, name in zip(aig.pos, aig.po_names):
-        po_node = aig.node_of(po)
-        klut.add_po(node_map[po_node], negated=aig.is_complemented(po), name=name)
-    return klut, node_map
+    if area_rounds >= 1:
+        required = mapper.required_times(mapper.cover(), target_depth)
+        mapper.area_flow_pass(required)
+        stats.passes.append("area-flow")
+        candidate = snapshot()
+        stats.area_flow_luts = candidate[0]
+        if candidate[:2] < best_selection[:2]:
+            best_selection = candidate
+    if area_rounds >= 2:
+        required = mapper.required_times(mapper.cover(), target_depth)
+        mapper.exact_area_pass(required)
+        stats.passes.append("exact-area")
+        candidate = snapshot()
+        stats.exact_area_luts = candidate[0]
+        if candidate[:2] < best_selection[:2]:
+            best_selection = candidate
+
+    # Area recovery is monotone in practice, but a heuristic pass is
+    # never allowed to ship a worse selection than an earlier one: the
+    # best (LUTs, edges) snapshot wins.
+    _luts, _edges, mapper.best, mapper.arrival = best_selection
+    network, node_map, cover = mapper.build()
+    stats.num_luts = len(cover)
+    stats.depth = network.depth()
+    stats.num_edges = sum(mapper.best[node].size for node in cover)
+    stats.cache_hits = shared_cache.hits - hits_before
+    stats.cache_misses = shared_cache.misses - misses_before
+    lookups = stats.cache_hits + stats.cache_misses
+    stats.cache_hit_rate = stats.cache_hits / lookups if lookups else 0.0
+    return MappingResult(network, node_map, stats)
+
+
+def map_aig_to_klut(aig: Aig, k: int = 6, cut_limit: int = 8) -> tuple[KLutNetwork, dict[int, int]]:
+    """Map an AIG into a k-LUT network (full multi-pass flow).
+
+    Returns the LUT network together with a map from AIG node index to
+    LUT node index for every node that received a LUT (plus PIs and the
+    constant node).  Primary-output complementation is preserved through
+    the k-LUT network's ``negated`` PO flag.  See :func:`technology_map`
+    for the statistics-carrying entry point.
+    """
+    result = technology_map(aig, k=k, cut_limit=cut_limit)
+    return result.network, result.node_map

@@ -18,11 +18,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..cuts import CutEngine, aig_cone_table
 from ..networks.aig import Aig
 from ..networks.transforms import cleanup_dangling
 from .library import synthesize_structure
 from .mffc import collect_mffc
-from .rewrite import _cut_function, _dry_run, _instantiate, _revive
+from .rewrite import _dry_run, _instantiate
 
 __all__ = ["RefactorReport", "refactor"]
 
@@ -70,10 +71,12 @@ def refactor(
     start = time.perf_counter()
     work = aig.clone()
     report = RefactorReport(gates_before=work.num_ands)
-    dead: set[int] = set()
+    # The engine is used purely for its dead-cone/revival bookkeeping;
+    # refactoring works on whole MFFCs and does not track cuts.
+    engine = CutEngine(work, k=2, cut_limit=1, compute_tables=False)
 
     for node in work.topological_order():
-        if node in dead:
+        if engine.is_dead(node):
             continue
         report.nodes_visited += 1
         mffc = collect_mffc(work, node, max_size=max_cone)
@@ -87,26 +90,26 @@ def refactor(
         if len(leaves) > max_leaves:
             continue
         leaves.sort()
-        table = _cut_function(work, node, tuple(leaves), max_cone)
-        if table is None:
-            continue
+        # The MFFC boundary always cuts the cone (every non-member fanin
+        # of a member is a leaf), so the strict walker cannot raise here.
+        table = aig_cone_table(work, node, leaves)
         report.cones_evaluated += 1
         structure = synthesize_structure(table)
         leaf_literals = [Aig.literal(leaf) for leaf in leaves]
-        created, valid = _dry_run(work, structure, leaf_literals, node, mffc, dead)
+        created, valid = _dry_run(work, structure, leaf_literals, node, mffc, engine)
         if not valid:
             continue
         gain = len(mffc) - created
         threshold = 0 if zero_gain else 1
         if gain < threshold:
             continue
-        new_literal = _instantiate(work, structure, leaf_literals, None, 0, 0)
+        new_literal = _instantiate(work, structure, leaf_literals, None)
         new_node = new_literal >> 1
         if new_node == node:
             continue
         work.substitute(node, new_literal)
-        dead.update(mffc)
-        _revive(work, new_node, dead, None)
+        engine.kill(mffc)
+        engine.revive_from(new_node)
         report.refactors_applied += 1
         report.estimated_gain += gain
         if gain == 0:

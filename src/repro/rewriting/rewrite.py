@@ -1,37 +1,38 @@
 """DAG-aware cut rewriting (the ``rw`` pass).
 
 The pass walks the network once in topological order.  For every AND
-gate it enumerates the k-feasible cuts (k = 4), computes each cut's
-function, looks up a precomputed replacement structure for the
-function's NPN class, and prices the replacement *against the real
-network*: the gain of a candidate is the size of the root's MFFC (the
-gates a substitution frees) minus the number of gates the structure
-would actually add given sharing with existing logic
-(:meth:`~repro.networks.aig.Aig.find_and` dry-run, no mutation).  The
-best candidate with positive gain (non-negative with ``zero_gain``) is
-instantiated through the strashing constructor and committed with the
-incremental :meth:`~repro.networks.aig.Aig.substitute`.
+gate it asks the shared priority-cut engine (:mod:`repro.cuts`) for the
+k-feasible cuts (k = 4) *with their functions fused in* -- tables are
+built bottom-up from the fanin cut tables through the
+structural-signature cache, never by walking cones.  Each cut function
+is looked up in the precomputed NPN structure library and the candidate
+replacement is priced *against the real network*: the gain is the size
+of the root's MFFC (the gates a substitution frees) minus the number of
+gates the structure would actually add given sharing with existing
+logic (:meth:`~repro.networks.aig.Aig.find_and` dry-run, no mutation).
+The best candidate with positive gain (non-negative with ``zero_gain``)
+is instantiated through the strashing constructor and committed with
+the incremental :meth:`~repro.networks.aig.Aig.substitute`.
 
-Cut bookkeeping is incremental, in the spirit of the PR-1 engine: each
-node's cuts are merged from its *current* fanins' cut sets when the node
-is visited, nodes created by a rewrite get cut sets at creation time,
-and cones freed by a rewrite are tracked in a dead set so they are
-neither revisited nor double-counted (a dead gate resurrected by
-structural hashing is revived, and priced as a real cost).  Cut
-functions are recomputed from the live structure with a bounded cone
-walk, so stale cut leaves can never corrupt a replacement: a leaf that
-has dropped out of the cone merely becomes a don't-care input.
+All cut bookkeeping that used to live privately in this module -- the
+incremental cut database, dead-cone tracking, revival of gates
+resurrected by structural hashing, staleness handling -- is the
+engine's: the pass attaches a :class:`~repro.cuts.engine.CutEngine` to
+the working network, substitution events invalidate exactly the rewired
+gates' cut sets, gates created by a rewrite register their cuts at
+creation time, and freed cones are killed/revived through the engine.
+Fused tables stay sound across mutations because every committed
+substitution is function-preserving (see :mod:`repro.cuts.engine`).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..cuts import CutEngine
 from ..networks.aig import Aig
-from ..networks.cuts import Cut
 from ..networks.transforms import cleanup_dangling
-from ..truthtable import TruthTable
 from .library import AigStructure, RewriteLibrary, default_library
 from .mffc import collect_mffc
 
@@ -50,6 +51,7 @@ class RewriteReport:
     zero_gain_applied: int = 0
     estimated_gain: int = 0
     dead_revived: int = 0
+    cut_cache_hit_rate: float = 0.0
     total_time: float = 0.0
 
     def as_details(self) -> dict[str, float]:
@@ -61,74 +63,8 @@ class RewriteReport:
             "zero_gain_applied": float(self.zero_gain_applied),
             "estimated_gain": float(self.estimated_gain),
             "dead_revived": float(self.dead_revived),
+            "cut_cache_hit_rate": self.cut_cache_hit_rate,
         }
-
-
-def _merge_cuts(aig: Aig, node: int, cut_db: dict[int, list[Cut]], cut_size: int, cut_limit: int) -> list[Cut]:
-    """Cut set of one node from its current fanins' cut sets.
-
-    Same merge-and-dominate rule as
-    :func:`repro.networks.cuts.enumerate_cuts`, but driven by the *live*
-    fanin pointers so it stays correct while the pass mutates the graph.
-    The trivial cut ``{node}`` is always kept (it is what downstream
-    nodes use to treat this node as a leaf).
-    """
-    fanin0, fanin1 = aig.fanins(node)
-    node0, node1 = fanin0 >> 1, fanin1 >> 1
-    merged: list[Cut] = []
-    for cut0 in cut_db.get(node0, [Cut((node0,))]):
-        for cut1 in cut_db.get(node1, [Cut((node1,))]):
-            candidate = cut0.merge(cut1)
-            if candidate.size > cut_size:
-                continue
-            if any(existing.dominates(candidate) for existing in merged):
-                continue
-            merged = [cut for cut in merged if not candidate.dominates(cut)]
-            merged.append(candidate)
-    merged.sort(key=lambda cut: cut.size)
-    merged = merged[: cut_limit - 1]
-    merged.append(Cut((node,)))
-    return merged
-
-
-def _cut_function(aig: Aig, root: int, leaves: tuple[int, ...], max_cone: int) -> TruthTable | None:
-    """Function of ``root`` over ``leaves``, or ``None`` if the cut is unusable.
-
-    Walks the live cone; a primary input reached without being listed as
-    a leaf means the stored cut predates a substitution (stale), and a
-    cone larger than ``max_cone`` is not worth pricing -- both bail out.
-    Leaves that no longer sit in the cone simply become don't-care
-    inputs, which keeps the substitution sound.
-    """
-    positions = {leaf: index for index, leaf in enumerate(leaves)}
-    num_vars = len(leaves)
-    tables: dict[int, TruthTable] = {leaf: TruthTable.variable(index, num_vars) for leaf, index in positions.items()}
-    tables[0] = TruthTable.constant(False, num_vars)
-    interior = 0
-    stack: list[tuple[int, bool]] = [(root, False)]
-    while stack:
-        node, expanded = stack.pop()
-        if node in tables:
-            continue
-        if not aig.is_and(node):
-            return None  # stale cut: walked past the boundary onto a PI
-        fanin0, fanin1 = aig.fanins(node)
-        if expanded:
-            table0 = tables[fanin0 >> 1]
-            table1 = tables[fanin1 >> 1]
-            if fanin0 & 1:
-                table0 = ~table0
-            if fanin1 & 1:
-                table1 = ~table1
-            tables[node] = table0 & table1
-            continue
-        interior += 1
-        if interior > max_cone:
-            return None
-        stack.append((node, True))
-        stack.append((fanin0 >> 1, False))
-        stack.append((fanin1 >> 1, False))
-    return tables[root]
 
 
 def _dry_run(
@@ -137,16 +73,17 @@ def _dry_run(
     leaf_literals: list[int],
     root: int,
     treat_as_new: set[int],
-    dead: set[int],
+    engine: CutEngine,
 ) -> tuple[int, bool]:
     """Gates the structure would add, without mutating the network.
 
     Existing gates found by the strash lookup are free, *except* those in
-    ``treat_as_new`` (the root's MFFC) or in the pass's dead set: reusing
-    one keeps it alive, which costs exactly the gate the MFFC/dead
-    accounting assumed freed, so it is priced as a new gate.  Returns
-    ``(count, valid)``; ``valid`` is False when the replacement cone
-    would contain the root itself (substituting would create a cycle).
+    ``treat_as_new`` (the root's MFFC) or marked dead by the engine:
+    reusing one keeps it alive, which costs exactly the gate the
+    MFFC/dead accounting assumed freed, so it is priced as a new gate.
+    Returns ``(count, valid)``; ``valid`` is False when the replacement
+    cone would contain the root itself (substituting would create a
+    cycle).
     """
     created = 0
     literals: list[tuple[int, int] | None] = [(0, 0)] + [
@@ -169,7 +106,7 @@ def _dry_run(
         node = found >> 1
         if node == root:
             return created, False
-        if aig.is_and(node) and (node in treat_as_new or node in dead):
+        if aig.is_and(node) and (node in treat_as_new or engine.is_dead(node)):
             created += 1
         literals.append((node, found & 1))
     output = literals[structure.output >> 1]
@@ -182,13 +119,11 @@ def _instantiate(
     aig: Aig,
     structure: AigStructure,
     leaf_literals: list[int],
-    cut_db: dict[int, list[Cut]] | None,
-    cut_size: int,
-    cut_limit: int,
+    engine: CutEngine | None,
 ) -> int:
     """Materialise the structure; register cut sets for created gates.
 
-    ``cut_db = None`` skips the cut bookkeeping (the refactoring pass
+    ``engine = None`` skips the cut bookkeeping (the refactoring pass
     does not track cuts).
     """
     literals = [0] + list(leaf_literals)
@@ -196,38 +131,10 @@ def _instantiate(
         literal0 = literals[fanin0 >> 1] ^ (fanin0 & 1)
         literal1 = literals[fanin1 >> 1] ^ (fanin1 & 1)
         literal = aig.add_and(literal0, literal1)
-        node = literal >> 1
-        if cut_db is not None and aig.is_and(node) and node not in cut_db:
-            cut_db[node] = _merge_cuts(aig, node, cut_db, cut_size, cut_limit)
+        if engine is not None:
+            engine.note_created(literal >> 1)
         literals.append(literal)
     return literals[structure.output >> 1] ^ (structure.output & 1)
-
-
-def _revive(aig: Aig, start: int, dead: set[int], cut_db: dict[int, list[Cut]] | None) -> int:
-    """Un-kill every dead gate reachable through the fanins of ``start``.
-
-    A rewrite's replacement cone may reuse gates that an earlier rewrite
-    left for dead (structural hashing resurrects them); those gates --
-    and their fanin cones, which they keep referenced -- are live again.
-    Returns the number of revived gates.
-    """
-    revived = 0
-    stack = [start]
-    while stack:
-        node = stack.pop()
-        if not aig.is_and(node):
-            continue
-        changed = False
-        if node in dead:
-            dead.discard(node)
-            revived += 1
-            changed = True
-        if cut_db is not None and node not in cut_db:
-            cut_db[node] = [Cut((node,))]
-            changed = True
-        if changed:
-            stack.extend(aig.fanin_nodes(node))
-    return revived
 
 
 def rewrite(
@@ -236,7 +143,6 @@ def rewrite(
     cut_limit: int = 8,
     zero_gain: bool = False,
     library: RewriteLibrary | None = None,
-    max_cone: int = 32,
 ) -> tuple[Aig, RewriteReport]:
     """One DAG-aware rewriting pass over a copy of the network.
 
@@ -253,56 +159,52 @@ def rewrite(
     start = time.perf_counter()
     work = aig.clone()
     report = RewriteReport(gates_before=work.num_ands)
+    engine = CutEngine(work, k=cut_size, cut_limit=cut_limit, attach=True)
 
-    cut_db: dict[int, list[Cut]] = {0: [Cut(())]}
-    for pi in work.pis:
-        cut_db[pi] = [Cut((pi,))]
-    dead: set[int] = set()
-
-    for node in work.topological_order():
-        if node in dead:
-            continue
-        report.nodes_visited += 1
-        cuts = _merge_cuts(work, node, cut_db, cut_size, cut_limit)
-        cut_db[node] = cuts
-
-        best_gain: int | None = None
-        best: tuple[AigStructure, list[int], set[int]] | None = None
-        for cut in cuts:
-            if cut.leaves == (node,):
+    try:
+        for node in work.topological_order():
+            if engine.is_dead(node):
                 continue
-            table = _cut_function(work, node, cut.leaves, max_cone)
-            if table is None:
-                continue
-            report.cuts_evaluated += 1
-            mffc = collect_mffc(work, node, cut.leaves)
-            assert mffc is not None
-            structure = lib.structure(table)
-            leaf_literals = [Aig.literal(leaf) for leaf in cut.leaves]
-            created, valid = _dry_run(work, structure, leaf_literals, node, mffc, dead)
-            if not valid:
-                continue
-            gain = len(mffc) - created
-            if best_gain is None or gain > best_gain:
-                best_gain = gain
-                best = (structure, leaf_literals, mffc)
+            report.nodes_visited += 1
+            cuts = engine.compute(node)
 
-        threshold = 0 if zero_gain else 1
-        if best is None or best_gain is None or best_gain < threshold:
-            continue
-        structure, leaf_literals, mffc = best
-        new_literal = _instantiate(work, structure, leaf_literals, cut_db, cut_size, cut_limit)
-        new_node = new_literal >> 1
-        if new_node == node:
-            continue  # the structure strashed back onto the node itself
-        work.substitute(node, new_literal)
-        dead.update(mffc)
-        report.dead_revived += _revive(work, new_node, dead, cut_db)
-        report.rewrites_applied += 1
-        report.estimated_gain += best_gain
-        if best_gain == 0:
-            report.zero_gain_applied += 1
+            best_gain: int | None = None
+            best: tuple[AigStructure, list[int], set[int]] | None = None
+            for cut in cuts:
+                if cut.leaves == (node,) or cut.table is None:
+                    continue
+                report.cuts_evaluated += 1
+                mffc = collect_mffc(work, node, cut.leaves)
+                assert mffc is not None
+                structure = lib.structure(cut.table)
+                leaf_literals = [Aig.literal(leaf) for leaf in cut.leaves]
+                created, valid = _dry_run(work, structure, leaf_literals, node, mffc, engine)
+                if not valid:
+                    continue
+                gain = len(mffc) - created
+                if best_gain is None or gain > best_gain:
+                    best_gain = gain
+                    best = (structure, leaf_literals, mffc)
 
+            threshold = 0 if zero_gain else 1
+            if best is None or best_gain is None or best_gain < threshold:
+                continue
+            structure, leaf_literals, mffc = best
+            new_literal = _instantiate(work, structure, leaf_literals, engine)
+            new_node = new_literal >> 1
+            if new_node == node:
+                continue  # the structure strashed back onto the node itself
+            work.substitute(node, new_literal)
+            engine.kill(mffc)
+            report.dead_revived += engine.revive_from(new_node)
+            report.rewrites_applied += 1
+            report.estimated_gain += best_gain
+            if best_gain == 0:
+                report.zero_gain_applied += 1
+    finally:
+        engine.detach()
+
+    report.cut_cache_hit_rate = engine.cache.hit_rate
     cleaned, _literal_map = cleanup_dangling(work)
     report.gates_after = cleaned.num_ands
     report.total_time = time.perf_counter() - start

@@ -497,7 +497,7 @@ class CdclSolver:
                 break
             reason = self._reasons[abs(literal)]
             assert reason is not None, "decision literal reached before first UIP"
-            clause_literals = [l for l in reason if l != literal]
+            clause_literals = [lit for lit in reason if lit != literal]
         assert literal is not None
         learned = [-literal] + learned
         learned = self._minimize_learned(learned, stamp)
@@ -505,7 +505,7 @@ class CdclSolver:
         if len(learned) == 1:
             return learned, 0
         # Backtrack to the second-highest level in the learned clause.
-        levels = sorted((self._levels[abs(l)] for l in learned[1:]), reverse=True)
+        levels = sorted((self._levels[abs(lit)] for lit in learned[1:]), reverse=True)
         backtrack_level = levels[0]
         # Place a literal of that level at position 1 (watch invariant).
         for position in range(1, len(learned)):
@@ -612,7 +612,7 @@ class CdclSolver:
         if len(learned_indices) < 20:
             return
         locked = {
-            id(self._reasons[abs(l)]) for l in self._trail if self._reasons[abs(l)] is not None
+            id(self._reasons[abs(lit)]) for lit in self._trail if self._reasons[abs(lit)] is not None
         }
         learned_indices.sort(key=lambda i: self._clauses[i].activity)
         to_remove = set()

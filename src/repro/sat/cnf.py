@@ -22,7 +22,7 @@ def negate_literal(literal: int) -> int:
 
 def clause_to_string(clause: Sequence[int]) -> str:
     """DIMACS rendering of one clause (terminated by 0)."""
-    return " ".join(str(l) for l in clause) + " 0"
+    return " ".join(str(lit) for lit in clause) + " 0"
 
 
 @dataclass

@@ -114,7 +114,7 @@ class DpllSolver:
             if literal in clause:
                 continue
             if -literal in clause:
-                reduced = [l for l in clause if l != -literal]
+                reduced = [lit for lit in clause if lit != -literal]
                 if not reduced:
                     return None
                 result.append(reduced)

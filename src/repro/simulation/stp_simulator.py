@@ -31,8 +31,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..cuts import SimulationCut, klut_cone_table, simulation_cuts
 from ..networks.aig import Aig
-from ..networks.cuts import SimulationCut, simulation_cuts
 from ..networks.klut import KLutNetwork
 from ..networks.mapping import aig_node_truth_table
 from ..stp.canonical import STPForm, apply_operator, constant_form, normalize, variable_form
@@ -113,27 +113,9 @@ def cut_truth_table_stp(
     leaves = list(cut.leaves)
     if use_stp_algebra:
         return _cut_truth_table_algebraic(network, cut)
-    leaf_positions = {leaf: index for index, leaf in enumerate(leaves)}
-    num_vars = len(leaves)
-    memo: dict[int, TruthTable] = {}
-
-    def table_of(node: int) -> TruthTable:
-        if node in memo:
-            return memo[node]
-        if node in leaf_positions:
-            result = TruthTable.variable(leaf_positions[node], num_vars)
-        elif network.is_constant(node):
-            result = TruthTable.constant(network.constant_value(node), num_vars)
-        elif network.is_pi(node):
-            raise ValueError(f"primary input {node} reached but not listed as a cut leaf")
-        else:
-            function = network.lut_function(node)
-            fanin_tables = [table_of(f) for f in network.lut_fanins(node)]
-            result = _compose_minterms(function, fanin_tables, num_vars)
-        memo[node] = result
-        return result
-
-    return table_of(cut.root)
+    # The shared cone walker drives the traversal; only the word-level
+    # minterm composition (the structural-matrix product) is local.
+    return klut_cone_table(network, cut.root, leaves, compose=_compose_minterms)
 
 
 def _compose_minterms(function: TruthTable, fanins: Sequence[TruthTable], num_vars: int) -> TruthTable:
@@ -344,7 +326,7 @@ def stp_aig_truth_table(aig: Aig, literal: int, leaves: Sequence[int]) -> TruthT
     :func:`repro.networks.mapping.aig_node_truth_table` computes the same
     structural matrix and is used as the engine.
     """
-    table = aig_node_truth_table(aig, Aig.node_of(literal), leaves)
+    table = aig_node_truth_table(aig, Aig.node_of(literal), leaves, allow_unused_leaves=True)
     return ~table if Aig.is_complemented(literal) else table
 
 
@@ -503,7 +485,7 @@ def stp_window_truth_tables(
             tables[target] = TruthTable.variable(leaves.index(target), len(leaves))
         else:
             try:
-                tables[target] = aig_node_truth_table(aig, target, leaves)
+                tables[target] = aig_node_truth_table(aig, target, leaves, allow_unused_leaves=True)
             except ValueError:
                 # A substitution enlarged the structural support beyond the
                 # cached window; treat the pair as not coverable.

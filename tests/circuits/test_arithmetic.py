@@ -1,6 +1,5 @@
 """Tests for the arithmetic circuit generators (functional correctness)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for the control-logic circuit generators."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

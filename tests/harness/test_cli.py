@@ -1,12 +1,19 @@
-"""Tests for the file-level command-line tools (repro-simulate / repro-sweep / repro-optimize)."""
+"""Tests for the file-level command-line tools (repro-simulate / repro-sweep / repro-optimize / repro-map)."""
 
 import pytest
 
 from repro.circuits.arithmetic import ripple_carry_adder
 from repro.circuits.sweep_workloads import inject_redundancy
-from repro.harness.cli import main, optimize_main, read_network, simulate_main, sweep_main, write_network
-from repro.io import read_aiger_file, write_aiger_file, write_bench_file
-from repro.networks import Aig
+from repro.harness.cli import (
+    main,
+    map_main,
+    optimize_main,
+    read_network,
+    simulate_main,
+    sweep_main,
+    write_network,
+)
+from repro.io import read_aiger_file, read_blif_file, write_aiger_file, write_bench_file
 
 
 @pytest.fixture()
@@ -148,6 +155,35 @@ class TestOptimizeCli:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "equivalence vs input" not in captured.out
+
+
+class TestMapCli:
+    def test_map_and_write_blif(self, adder_file, tmp_path, capsys):
+        output = tmp_path / "mapped.blif"
+        assert map_main([str(adder_file), "-o", str(output), "-k", "4"]) == 0
+        captured = capsys.readouterr().out
+        assert "LUT4" in captured
+        assert "cut cache" in captured
+        assert "verification" in captured
+        network = read_blif_file(output)
+        assert network.num_luts > 0
+        assert network.max_fanin_size() <= 4
+
+    def test_map_depth_only(self, adder_file, capsys):
+        assert map_main([str(adder_file), "--area-rounds", "0", "--no-verify"]) == 0
+        captured = capsys.readouterr().out
+        assert "depth" in captured
+
+    def test_map_rejects_bad_lut_size(self, adder_file, capsys):
+        assert map_main([str(adder_file), "-k", "1"]) == 2
+
+    def test_map_rejects_non_blif_output(self, adder_file, tmp_path, capsys):
+        output = tmp_path / "mapped.aag"
+        assert map_main([str(adder_file), "-o", str(output), "--no-verify"]) == 2
+
+    def test_dispatches_map(self, adder_file, capsys):
+        assert main(["map", str(adder_file), "--no-verify"]) == 0
+        assert "mapped to" in capsys.readouterr().out
 
 
 class TestCombinedEntryPoint:

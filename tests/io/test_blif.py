@@ -4,7 +4,7 @@ import pytest
 
 from repro.io import read_blif, read_blif_file, write_blif, write_blif_file
 from repro.networks import KLutNetwork, map_aig_to_klut
-from repro.truthtable import TruthTable, tt_xor
+from repro.truthtable import tt_xor
 
 
 class TestWriter:

@@ -21,7 +21,7 @@ class TestAigWriter:
 
     def test_every_gate_is_an_and(self, small_aig):
         text = write_verilog(small_aig)
-        gate_lines = [l for l in text.splitlines() if re.match(r"\s*assign n\d+ =", l)]
+        gate_lines = [line for line in text.splitlines() if re.match(r"\s*assign n\d+ =", line)]
         assert len(gate_lines) == small_aig.num_ands
         assert all("&" in line for line in gate_lines)
 

@@ -44,7 +44,7 @@ class TestPriorityCuts:
         cuts = enumerate_cuts(small_aig, k=4)
         po_node = Aig.node_of(small_aig.pos[0])
         pi_cut = next(
-            (c for c in cuts[po_node] if all(small_aig.is_pi(l) for l in c.leaves)),
+            (c for c in cuts[po_node] if all(small_aig.is_pi(leaf) for leaf in c.leaves)),
             None,
         )
         if pi_cut is None:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.networks import KLutNetwork
-from repro.truthtable import TruthTable, tt_and, tt_mux, tt_xor
+from repro.truthtable import tt_and, tt_xor
 
 
 class TestConstruction:

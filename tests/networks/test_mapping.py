@@ -32,10 +32,40 @@ class TestConeTruthTables:
             aig_node_truth_table(aig, Aig.node_of(x), [Aig.node_of(a)])
 
     def test_constant_node(self):
+        # The cone of the constant node never reaches the listed leaf, so
+        # the strict walker rejects the leaf set; window semantics allow it.
         aig = Aig()
         a = aig.add_pi()
-        table = aig_node_truth_table(aig, 0, [Aig.node_of(a)])
+        with pytest.raises(ValueError):
+            aig_node_truth_table(aig, 0, [Aig.node_of(a)])
+        table = aig_node_truth_table(aig, 0, [Aig.node_of(a)], allow_unused_leaves=True)
         assert table.bits == 0
+
+    def test_leaf_set_not_cutting_the_cone_raises(self):
+        # Regression for the silent wrong-support tables: a leaf that is
+        # not part of the cone used to become a don't-care input.
+        aig = Aig()
+        a, b, c = aig.add_pi(), aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        unrelated = aig.add_and(b, c)
+        with pytest.raises(ValueError):
+            aig_node_truth_table(
+                aig, Aig.node_of(x), [Aig.node_of(a), Aig.node_of(b), Aig.node_of(unrelated)]
+            )
+        table = aig_node_truth_table(
+            aig,
+            Aig.node_of(x),
+            [Aig.node_of(a), Aig.node_of(b), Aig.node_of(unrelated)],
+            allow_unused_leaves=True,
+        )
+        assert not table.depends_on(2)
+
+    def test_out_of_range_leaf_raises(self):
+        aig = Aig()
+        a, b = aig.add_pi(), aig.add_pi()
+        x = aig.add_and(a, b)
+        with pytest.raises(ValueError):
+            aig_node_truth_table(aig, Aig.node_of(x), [Aig.node_of(a), 999])
 
 
 class TestMapping:

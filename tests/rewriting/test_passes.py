@@ -13,7 +13,7 @@ from repro.rewriting import (
     optimize,
     parse_script,
 )
-from repro.sweeping import check_combinational_equivalence, fraig_sweep
+from repro.sweeping import fraig_sweep
 
 
 def _workload(seed: int, num_gates: int = 60):

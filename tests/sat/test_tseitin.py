@@ -1,7 +1,5 @@
 """Tests for the Tseitin encoding of AIGs."""
 
-import pytest
-
 from repro.networks import Aig
 from repro.sat import CdclSolver, SolverResult, miter_cnf, tseitin_encode
 

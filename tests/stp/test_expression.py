@@ -6,8 +6,6 @@ from hypothesis import strategies as st
 
 from repro.stp import (
     BinaryOp,
-    Constant,
-    NotOp,
     Variable,
     expression_to_stp,
     parse_expression,

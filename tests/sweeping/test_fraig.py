@@ -1,7 +1,5 @@
 """Tests for the baseline FRAIG sweeper."""
 
-import pytest
-
 from repro.circuits.arithmetic import ripple_carry_adder
 from repro.circuits.sweep_workloads import inject_redundancy
 from repro.networks import Aig

@@ -4,7 +4,7 @@ import pytest
 
 from repro.circuits import epfl_benchmark, inject_redundancy
 from repro.io import read_aiger, write_aiger, write_blif, read_blif
-from repro.networks import Aig, map_aig_to_klut
+from repro.networks import map_aig_to_klut
 from repro.simulation import (
     PatternSet,
     aig_po_signatures,
