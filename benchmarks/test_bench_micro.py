@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.circuits import epfl_benchmark
 from repro.networks import Aig, map_aig_to_klut
-from repro.networks.cuts import simulation_cuts
+from repro.cuts import simulation_cuts
 from repro.sat import CircuitSolver
 from repro.simulation import (
     PatternSet,

@@ -14,7 +14,7 @@ Run with:  python examples/fig1_cut_example.py
 from __future__ import annotations
 
 from repro.networks import KLutNetwork
-from repro.networks.cuts import simulation_cuts
+from repro.cuts import simulation_cuts
 from repro.simulation import (
     PatternSet,
     StpSimulator,

@@ -9,7 +9,12 @@ One :class:`CutEngine` instance serves every cut consumer in the tree:
   events invalidate exactly the rewired gates' cut sets (O(fanout) per
   event), freshly created gates register at creation, and the
   dead-cone/revival bookkeeping that used to live privately in
-  ``rewriting/rewrite.py`` is part of the engine;
+  ``rewriting/rewrite.py`` is part of the engine.  Attachment goes
+  through the generic mutation-listener bus of the
+  :class:`~repro.networks.protocol.MutableNetwork` protocol (the
+  listener signature is network-agnostic); the cut *merging* itself is
+  AIG-specific -- two fanin literals per gate -- which is why the
+  engine's constructor takes an ``Aig``, not the bare protocol;
 * every cut carries its function, fused bottom-up from the fanin cut
   tables through the shared :class:`~repro.cuts.cache.CutFunctionCache`
   -- no consumer ever re-walks a cone to learn a cut's function.
@@ -42,9 +47,11 @@ class CutEngine:
     ----------
     aig:
         The network.  With ``attach=True`` the engine registers a
-        mutation listener so :meth:`Aig.substitute` /
-        :meth:`Aig.replace_fanin` events invalidate the rewired gates'
-        cut sets automatically; call :meth:`detach` when done.
+        mutation listener (the
+        :class:`~repro.networks.protocol.MutableNetwork` listener bus)
+        so :meth:`Aig.substitute` / :meth:`Aig.replace_fanin` events
+        invalidate the rewired gates' cut sets automatically; call
+        :meth:`detach` when done.
     k / cut_limit:
         Cut size bound and priority limit (the trivial cut is always
         kept on top of ``cut_limit - 1`` merged cuts).

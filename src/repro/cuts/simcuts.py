@@ -23,6 +23,7 @@ from .cone import klut_cone_table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from ..networks.klut import KLutNetwork
+    from ..networks.protocol import LogicNetwork
 
 __all__ = ["SimulationCut", "simulation_cuts", "simulation_cuts_generic", "cut_truth_table"]
 
@@ -180,12 +181,17 @@ def simulation_cuts_generic(
     return order
 
 
-def simulation_cuts(network: "KLutNetwork", targets: Sequence[int], limit: int) -> list[SimulationCut]:
-    """The paper's simulation-cut algorithm on a k-LUT network."""
+def simulation_cuts(network: "LogicNetwork", targets: Sequence[int], limit: int) -> list[SimulationCut]:
+    """The paper's simulation-cut algorithm on any logic network.
+
+    Operates on the :class:`~repro.networks.protocol.LogicNetwork` read
+    surface (``gate_fanin_nodes`` / ``is_gate``), so the partitioning
+    works identically on k-LUT networks (the paper's setting) and AIGs.
+    """
     return simulation_cuts_generic(
         targets,
-        network.fanins,
-        lambda node: not network.is_lut(node),
+        network.gate_fanin_nodes,
+        lambda node: not network.is_gate(node),
         limit,
     )
 

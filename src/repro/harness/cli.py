@@ -10,9 +10,11 @@ Besides the table-regeneration entry points (``repro-table1`` and
   sweepers on it, verify the result and write it back out in any of the
   supported formats;
 * ``repro-optimize`` -- read a circuit file, run an optimization script
-  (``"rw; fraig; rw; fraig"``, ``"resyn2"``, ...) through the
+  (``"rw; fraig; rw; fraig"``, ``"resyn2"``, or a mapped-network flow
+  like ``"map; lutmffc; cleanup"``) through the network-generic
   :class:`repro.rewriting.PassManager`, print per-pass statistics,
-  verify the result and write it out;
+  verify the result and write it out (a flow ending in a k-LUT network
+  writes BLIF);
 * ``repro-map`` -- read a circuit file, run the multi-pass k-LUT mapper
   (depth, then area-flow and exact-area recovery), report LUT count /
   depth / edge count / cut-cache hit rate, verify the mapping against
@@ -38,7 +40,7 @@ from ..io import (
     write_blif_file,
     write_verilog_file,
 )
-from ..networks import Aig, map_aig_to_klut, network_statistics, technology_map
+from ..networks import Aig, KLutNetwork, map_aig_to_klut, network_statistics, technology_map
 from ..simulation import (
     PatternSet,
     klut_po_signatures,
@@ -210,16 +212,19 @@ def optimize_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-optimize``."""
     parser = argparse.ArgumentParser(
         prog="repro-optimize",
-        description="Optimize an AIGER/BENCH circuit with a rewriting/sweeping script",
+        description="Optimize an AIGER/BENCH circuit with a rewriting/sweeping/mapping script",
         epilog=(
             "Scripts are semicolon-separated pass names (rw, rwz, rf, rfz, b, fraig, "
-            "stp, cp, cleanup) or named flows: " + ", ".join(sorted(NAMED_SCRIPTS))
+            "stp, cp, map, lutmffc, lutmffcz, cleanup) or named flows: "
+            + ", ".join(sorted(NAMED_SCRIPTS))
+            + ".  Flows ending behind 'map' produce a k-LUT network and write BLIF."
         ),
     )
     parser.add_argument("input", help="input circuit (.aag, .aig or .bench)")
     parser.add_argument("--output", "-o", default=None, help="write the optimized circuit here (.aag/.aig/.bench/.blif/.v)")
     parser.add_argument("--script", default="resyn2", help="optimization script (default: resyn2)")
     parser.add_argument("--patterns", type=int, default=64, help="pattern count for the SAT-based passes")
+    parser.add_argument("--lut-size", "-k", type=int, default=6, help="LUT size for the map/lutmffc passes")
     parser.add_argument("--conflict-limit", type=int, default=10_000, help="SAT conflict limit per query")
     parser.add_argument("--seed", type=int, default=1, help="random seed")
     parser.add_argument("--verify-each", action="store_true", help="CEC-check after every pass (slow)")
@@ -235,6 +240,7 @@ def optimize_main(argv: list[str] | None = None) -> int:
             seed=arguments.seed,
             num_patterns=arguments.patterns,
             conflict_limit=arguments.conflict_limit,
+            lut_size=arguments.lut_size,
             verify_each=arguments.verify_each,
         )
     except ValueError as error:
@@ -247,7 +253,18 @@ def optimize_main(argv: list[str] | None = None) -> int:
         print("refusing to write a non-equivalent result", file=sys.stderr)
         return 1
     if arguments.output:
-        write_network(optimized, arguments.output)
+        if isinstance(optimized, KLutNetwork):
+            extension = os.path.splitext(arguments.output)[1].lower()
+            if extension != ".blif":
+                print(
+                    f"script produced a k-LUT network; unsupported output format "
+                    f"{extension!r} (expected .blif)",
+                    file=sys.stderr,
+                )
+                return 2
+            write_blif_file(optimized, arguments.output)
+        else:
+            write_network(optimized, arguments.output, lut_size=arguments.lut_size)
         print(f"wrote {arguments.output}")
     return 0
 

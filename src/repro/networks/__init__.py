@@ -7,15 +7,29 @@ The package provides the two network representations the paper operates on:
 * :class:`~repro.networks.klut.KLutNetwork` -- k-input LUT networks, the
   representation the STP simulator targets;
 
-plus generic traversal helpers, AIG-to-k-LUT mapping and structural
-transforms (cleanup, substitution, constant propagation).  Cut
-computation (including the paper's simulation-cut algorithm of Section
-III-B) lives in the shared :mod:`repro.cuts` engine and is re-exported
-here for compatibility.
+both implementing the :class:`~repro.networks.protocol.LogicNetwork` /
+:class:`~repro.networks.protocol.MutableNetwork` protocols
+(``networks/protocol.py``): one explicit read surface (fanins, fanouts,
+topological order, levels) and one incremental mutation surface
+(``substitute`` / ``replace_fanin`` with O(fanout) bookkeeping, a
+mutation-listener bus, an epoch-cached topological order), with the
+shared bookkeeping implemented once in
+:class:`~repro.networks.incremental.IncrementalNetworkMixin`.
+Network-generic engines -- the pass pipeline, the MFFC walk, the
+simulation-cut partitioning -- are written against the protocol and run
+on either container.
+
+The package also holds generic traversal helpers, AIG-to-k-LUT mapping
+and structural transforms (cleanup, substitution, constant
+propagation).  Cut computation (including the paper's simulation-cut
+algorithm of Section III-B) lives in the shared :mod:`repro.cuts`
+engine and is re-exported here for compatibility.
 """
 
 from .aig import Aig, AigNode, LIT_FALSE, LIT_TRUE
+from .incremental import IncrementalNetworkMixin
 from .klut import KLutNetwork, LutNode
+from .protocol import LogicNetwork, MutableNetwork, MutationListener, network_kind
 from .traversal import (
     topological_sort,
     levelize,
@@ -33,6 +47,7 @@ from .mapping import (
 )
 from .transforms import (
     cleanup_dangling,
+    cleanup_dangling_klut,
     rebuild_strashed,
     propagate_constants,
     network_statistics,
@@ -46,6 +61,11 @@ __all__ = [
     "LIT_TRUE",
     "KLutNetwork",
     "LutNode",
+    "LogicNetwork",
+    "MutableNetwork",
+    "MutationListener",
+    "IncrementalNetworkMixin",
+    "network_kind",
     "topological_sort",
     "levelize",
     "transitive_fanin",
@@ -62,6 +82,7 @@ __all__ = [
     "MappingStats",
     "aig_node_truth_table",
     "cleanup_dangling",
+    "cleanup_dangling_klut",
     "rebuild_strashed",
     "propagate_constants",
     "network_statistics",

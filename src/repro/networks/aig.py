@@ -17,12 +17,20 @@ substitution used by SAT-sweeping, and the traversal queries (topological
 order, levels, fanouts, TFI/TFO cones) required by the simulator and the
 sweeper.
 
+The container implements the :class:`~repro.networks.protocol.MutableNetwork`
+protocol; network-generic engines (the pass pipeline, traversal and
+simulation-window helpers, the cut engine's attachment) consume it --
+and the :class:`~repro.networks.klut.KLutNetwork` -- through that
+protocol surface.
+
 Incremental-engine design
 -------------------------
 
 The container is built for SAT sweeping, where a network of ``N`` gates
 undergoes thousands of small mutations interleaved with traversal
-queries.  All bookkeeping is therefore maintained *incrementally* so that
+queries.  All bookkeeping is therefore maintained *incrementally* --
+through the shared
+:class:`~repro.networks.incremental.IncrementalNetworkMixin` -- so that
 per-event work is proportional to the event's cone, not to ``N``:
 
 * **Fanout lists** (``_fanouts``) hold, for every node, the indices of
@@ -54,7 +62,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
-from .traversal import levelize, topological_sort, transitive_fanin, transitive_fanout
+from .incremental import IncrementalNetworkMixin
+from .traversal import levelize, topological_sort, transitive_fanin
 
 __all__ = ["Aig", "AigNode", "LIT_FALSE", "LIT_TRUE"]
 
@@ -76,7 +85,7 @@ class AigNode:
     fanin1: int
 
 
-class Aig:
+class Aig(IncrementalNetworkMixin):
     """An And-Inverter Graph with structural hashing and complemented edges."""
 
     def __init__(self, name: str = "aig") -> None:
@@ -88,18 +97,9 @@ class Aig:
         self._pos: list[int] = []
         self._po_names: list[str] = []
         self._strash: dict[tuple[int, int], int] = {}
-        # Incrementally maintained fanout lists: _fanouts[n] holds the gate
-        # indices referencing node n, one entry per referencing fanin.
-        self._fanouts: list[list[int]] = [[]]
-        # PO references per node: _po_refs[n] lists the PO indices driven by n.
-        self._po_refs: dict[int, list[int]] = {}
-        # Cached topological gate order and node->position map; None = dirty.
-        self._topo_cache: list[int] | None = None
-        self._topo_pos: dict[int, int] | None = None
-        # Mutation listeners: callables invoked after substitute/replace_fanin
-        # with (old_node, new_literal, rewired_gates).  Incremental consumers
-        # (the cut engine) use them to invalidate exactly the affected state.
-        self._mutation_listeners: list[Callable[[int, int, tuple[int, ...]], None]] = []
+        # Fanout lists, PO reference map, topo cache and listener bus.
+        self._init_incremental()
+        self._register_node()  # the constant node
 
     # ------------------------------------------------------------------
     # Literal helpers
@@ -138,7 +138,7 @@ class Aig:
         """Create a primary input; returns its (positive) literal."""
         node = len(self._nodes)
         self._nodes.append(AigNode(-1, -1))
-        self._fanouts.append([])
+        self._register_node()
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
         return self.literal(node)
@@ -149,7 +149,7 @@ class Aig:
         self._pos.append(literal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
         index = len(self._pos) - 1
-        self._po_refs.setdefault(literal >> 1, []).append(index)
+        self._add_po_ref(literal >> 1, index)
         return index
 
     def add_and(self, a: int, b: int) -> int:
@@ -176,15 +176,13 @@ class Aig:
             return self.literal(existing)
         node = len(self._nodes)
         self._nodes.append(AigNode(a, b))
-        self._fanouts.append([])
+        self._register_node()
         self._fanouts[a >> 1].append(node)
         self._fanouts[b >> 1].append(node)
         self._strash[key] = node
         # Appending a freshly created gate keeps any cached order valid:
         # both fanins already exist, hence precede it.
-        if self._topo_cache is not None:
-            self._topo_pos[node] = len(self._topo_cache)  # type: ignore[index]
-            self._topo_cache.append(node)
+        self._topo_append(node)
         return self.literal(node)
 
     def find_and(self, a: int, b: int) -> int | None:
@@ -298,6 +296,11 @@ class Aig:
         return len(self._nodes) - 1 - len(self._pis)
 
     @property
+    def num_gates(self) -> int:
+        """Number of internal gates (protocol-generic alias of :attr:`num_ands`)."""
+        return self.num_ands
+
+    @property
     def pis(self) -> list[int]:
         """Node indices of the primary inputs."""
         return list(self._pis)
@@ -329,14 +332,9 @@ class Aig:
     def set_po(self, index: int, literal: int) -> None:
         """Redirect primary output ``index`` to a new literal."""
         self._check_literal(literal)
-        old_node = self._pos[index] >> 1
-        refs = self._po_refs.get(old_node)
-        if refs is not None and index in refs:
-            refs.remove(index)
-            if not refs:
-                del self._po_refs[old_node]
+        self._drop_po_ref(self._pos[index] >> 1, index)
         self._pos[index] = literal
-        self._po_refs.setdefault(literal >> 1, []).append(index)
+        self._add_po_ref(literal >> 1, index)
 
     def is_constant(self, node: int) -> bool:
         """True for the constant-false node 0."""
@@ -349,6 +347,14 @@ class Aig:
     def is_and(self, node: int) -> bool:
         """True if ``node`` is an internal AND gate."""
         return node > len(self._pis) and node < len(self._nodes)
+
+    def is_gate(self, node: int) -> bool:
+        """True if ``node`` is an internal gate (protocol alias of :meth:`is_and`)."""
+        return self.is_and(node)
+
+    def po_nodes(self) -> list[int]:
+        """Node indices driving the primary outputs, in PO order."""
+        return [po >> 1 for po in self._pos]
 
     def fanins(self, node: int) -> tuple[int, int]:
         """Fanin literals of an AND node."""
@@ -419,20 +425,6 @@ class Aig:
             return [0] + list(self._pis) + list(cache)
         return list(cache)
 
-    def topological_position(self, node: int) -> int:
-        """Position of a gate in the cached topological order.
-
-        PIs and the constant node report ``-1`` (they precede every
-        gate).  Positions are consistent with fanin edges: for any AND
-        gate, every fanin has a strictly smaller position.  Computing the
-        order on a clean cache is O(1); a dirty cache triggers one O(N)
-        recomputation.
-        """
-        if self._topo_pos is None:
-            self.topological_order()
-        assert self._topo_pos is not None
-        return self._topo_pos.get(node, -1)
-
     def levels(self) -> dict[int, int]:
         """Logic level of every node (PIs and constant are level 0)."""
         sources = [0] + list(self._pis)
@@ -445,48 +437,13 @@ class Aig:
             return 0
         return max(node_levels[self.node_of(po)] for po in self._pos)
 
-    def fanouts(self, node: int) -> list[int]:
-        """Gate indices referencing ``node`` (one entry per referencing fanin).
-
-        Answered in O(fanout) from the incrementally maintained lists; a
-        gate referencing the node through both fanins appears twice.
-        """
-        return list(self._fanouts[node])
-
-    def fanout_count(self, node: int) -> int:
-        """Number of references of one node (gate fanins plus PO drivers).
-
-        Answered in O(1) from the maintained fanout list and PO reference
-        map; the MFFC computation of the rewriting passes queries this for
-        every cone node, so it must not scan the network.
-        """
-        count = len(self._fanouts[node])
-        refs = self._po_refs.get(node)
-        return count + len(refs) if refs else count
-
-    def fanout_counts(self) -> dict[int, int]:
-        """Number of gate/PO references of every node.
-
-        Answered in O(N) straight from the maintained fanout lists and PO
-        reference map (no edge scan).
-        """
-        counts = {node: len(self._fanouts[node]) for node in self.nodes()}
-        for node, refs in self._po_refs.items():
-            counts[node] += len(refs)
-        return counts
-
     def tfi(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
         """Transitive fanin cone of ``nodes`` (the nodes themselves included)."""
         return transitive_fanin(list(nodes), self._gate_fanin_nodes, limit)
 
-    def tfo(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
-        """Transitive fanout cone of ``nodes`` (the nodes themselves included).
-
-        Served from the maintained fanout lists in O(cone), without
-        rebuilding a network-wide fanout map.
-        """
-        fanouts = self._fanouts
-        return transitive_fanout(list(nodes), lambda n: fanouts[n], limit)
+    # fanouts / fanout_count / fanout_counts / tfo / topological_position
+    # are provided by IncrementalNetworkMixin, answered from the
+    # maintained fanout lists and PO reference map.
 
     # ------------------------------------------------------------------
     # Evaluation (reference semantics, used by tests and CEC)
@@ -539,45 +496,8 @@ class Aig:
         if key not in self._strash:
             self._strash[key] = gate
 
-    def add_mutation_listener(self, listener: Callable[[int, int, tuple[int, ...]], None]) -> None:
-        """Register a mutation hook.
-
-        The listener is invoked after every :meth:`substitute` /
-        :meth:`replace_fanin` as ``listener(old_node, new_literal,
-        rewired_gates)``, where ``rewired_gates`` are the gate indices
-        whose fanins were redirected.  Incremental consumers (e.g. the
-        shared cut engine) invalidate per-event state in O(fanout)
-        instead of re-scanning the network.  Listeners are not cloned by
-        :meth:`clone`.
-        """
-        self._mutation_listeners.append(listener)
-
-    def remove_mutation_listener(self, listener: Callable[[int, int, tuple[int, ...]], None]) -> None:
-        """Unregister a mutation hook (no-op if it is not registered)."""
-        try:
-            self._mutation_listeners.remove(listener)
-        except ValueError:
-            pass
-
-    def _notify_mutation(self, old_node: int, new_literal: int, rewired_gates: tuple[int, ...]) -> None:
-        for listener in self._mutation_listeners:
-            listener(old_node, new_literal, rewired_gates)
-
-    def _note_rewire(self, old_node: int, new_node: int) -> None:
-        """Update topological-cache validity after redirecting references.
-
-        If the cached order exists and the replacement node appears
-        strictly before the replaced node, every redirected edge still
-        points backwards and the cached order remains valid; otherwise
-        the cache is dropped and recomputed lazily.
-        """
-        if self._topo_cache is None:
-            return
-        pos = self._topo_pos
-        assert pos is not None
-        if pos.get(new_node, -1) >= pos.get(old_node, -1):
-            self._topo_cache = None
-            self._topo_pos = None
+    # add_mutation_listener / remove_mutation_listener and the topo-cache
+    # validity tracking (_note_rewire) live in IncrementalNetworkMixin.
 
     def substitute(self, old_node: int, new_literal: int) -> int:
         """Replace every reference to ``old_node`` by ``new_literal``.
@@ -618,12 +538,9 @@ class Aig:
             self._restrash_gate(gate)
             rewritten += 1
         fanouts[new_node].extend(new_refs)
-        po_refs = self._po_refs.pop(old_node, None)
-        if po_refs:
-            for index in po_refs:
-                self._pos[index] = new_literal ^ (self._pos[index] & 1)
-                rewritten += 1
-            self._po_refs.setdefault(new_node, []).extend(po_refs)
+        for index in self._move_po_refs(old_node, new_node):
+            self._pos[index] = new_literal ^ (self._pos[index] & 1)
+            rewritten += 1
         self._note_rewire(old_node, new_node)
         if self._mutation_listeners:
             self._notify_mutation(old_node, new_literal, rewired_gates)
@@ -672,12 +589,7 @@ class Aig:
         other._pos = list(self._pos)
         other._po_names = list(self._po_names)
         other._strash = dict(self._strash)
-        other._fanouts = [list(refs) for refs in self._fanouts]
-        other._po_refs = {node: list(refs) for node, refs in self._po_refs.items()}
-        other._topo_cache = list(self._topo_cache) if self._topo_cache is not None else None
-        other._topo_pos = dict(self._topo_pos) if self._topo_pos is not None else None
-        # Mutation listeners are bound to *this* graph's consumers; the
-        # clone starts with none.
+        self._copy_incremental_into(other)
         return other
 
     def __repr__(self) -> str:

@@ -1,13 +1,16 @@
-"""Compatibility shim: cut machinery lives in :mod:`repro.cuts` now.
+"""Deprecated compatibility shim: cut machinery lives in :mod:`repro.cuts`.
 
 This module used to hold its own priority-cut enumeration next to the
 simulation cuts; both moved into the shared cut package
 (``src/repro/cuts/``), which is the single merge/dominance and
-cut-function implementation in the tree.  Importing from here keeps
-working for existing callers.
+cut-function implementation in the tree.  Every internal caller has been
+migrated; importing from here still works but raises a
+``DeprecationWarning`` -- switch to ``from repro.cuts import ...``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..cuts import (
     Cut,
@@ -16,6 +19,12 @@ from ..cuts import (
     enumerate_cuts,
     simulation_cuts,
     simulation_cuts_generic,
+)
+
+warnings.warn(
+    "repro.networks.cuts is deprecated; import from repro.cuts instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

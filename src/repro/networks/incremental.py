@@ -1,0 +1,249 @@
+"""Shared incremental bookkeeping for mutable logic networks.
+
+:class:`IncrementalNetworkMixin` holds the machinery that used to be
+private to :class:`~repro.networks.aig.Aig` and is in fact completely
+network-agnostic: maintained fanout lists, the PO reference map, the
+mutation-listener bus and the epoch-cached topological order with its
+validity tracking.  Both containers (:class:`~repro.networks.aig.Aig`
+and :class:`~repro.networks.klut.KLutNetwork`) mix it in, so the
+incremental-engine guarantees -- O(fanout) substitution, O(1)-amortised
+topological order, O(1) ``fanout_count`` -- hold uniformly and the
+:class:`~repro.networks.protocol.MutableNetwork` protocol has one
+implementation of its bookkeeping, not two.
+
+The mixin deliberately does *not* own the mutation operations
+themselves: how fanins are stored (literal pairs versus node tuples)
+and what must be patched alongside them (the AIG strash table, LUT
+functions) is representation-specific.  Containers implement
+``substitute`` / ``replace_fanin`` and call back into the mixin's
+primitives:
+
+* ``_register_node`` when appending a node, then direct edits of the
+  exposed ``_fanouts`` lists during construction and substitution (the
+  edit pattern is representation-specific: two literal fanins on an
+  AIG, an arbitrary fanin tuple on a LUT network);
+* ``_add_po_ref`` / ``_drop_po_ref`` / ``_move_po_refs`` for the PO
+  reference map;
+* ``_topo_append`` when creating a gate (creation order extends any
+  valid topological order), ``_note_rewire`` after redirecting
+  references (the cache survives whenever the replacement precedes the
+  replaced node), ``_topo_invalidate`` for anything else;
+* ``_notify_mutation`` to fire the listener bus.
+
+Hosts must provide ``nodes()`` (for ``fanout_counts``), ``is_gate`` and
+``topological_order()`` (which fills ``_topo_cache`` /``_topo_pos`` when
+dirty) -- exactly the :class:`~repro.networks.protocol.LogicNetwork`
+read surface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .protocol import MutationListener
+from .traversal import transitive_fanout
+
+__all__ = ["IncrementalNetworkMixin"]
+
+
+class IncrementalNetworkMixin:
+    """Fanout lists, PO references, topo cache and listener bus in one place."""
+
+    _fanouts: list[list[int]]
+    _po_refs: dict[int, list[int]]
+    _topo_cache: list[int] | None
+    _topo_pos: dict[int, int] | None
+    _mutation_listeners: list[MutationListener]
+
+    if TYPE_CHECKING:  # pragma: no cover - the host container provides these
+        # Declared for the type checker only (no runtime definition, so
+        # the subclass's implementations are never shadowed): the read
+        # surface the mixin's derived queries build on.
+        def nodes(self) -> Iterator[int]: ...
+
+        def topological_order(self) -> list[int]: ...
+
+    def _init_incremental(self) -> None:
+        """Initialise the incremental state (call from ``__init__``)."""
+        # Fanout lists: _fanouts[n] holds the gate indices referencing
+        # node n, one entry per referencing fanin.
+        self._fanouts = []
+        # PO references per node: _po_refs[n] lists the PO indices driven by n.
+        self._po_refs = {}
+        # Cached topological gate order and node->position map; None = dirty.
+        self._topo_cache = None
+        self._topo_pos = None
+        # Mutation listeners: callables invoked after substitute/replace_fanin
+        # with (old_node, replacement, rewired_gates).  Incremental consumers
+        # (the cut engine) use them to invalidate exactly the affected state.
+        self._mutation_listeners = []
+
+    # ------------------------------------------------------------------
+    # Construction-time bookkeeping
+    # ------------------------------------------------------------------
+
+    def _register_node(self) -> None:
+        """Extend the fanout lists for one freshly appended node."""
+        self._fanouts.append([])
+
+    def _add_po_ref(self, node: int, po_index: int) -> None:
+        """Record that PO ``po_index`` is driven by ``node``."""
+        self._po_refs.setdefault(node, []).append(po_index)
+
+    def _drop_po_ref(self, node: int, po_index: int) -> None:
+        """Remove one PO reference (no-op if absent)."""
+        refs = self._po_refs.get(node)
+        if refs is not None and po_index in refs:
+            refs.remove(po_index)
+            if not refs:
+                del self._po_refs[node]
+
+    def _move_po_refs(self, old_node: int, new_node: int) -> list[int]:
+        """Transfer all PO references of ``old_node`` to ``new_node``.
+
+        Returns the transferred PO indices (empty when there were none);
+        the caller patches the PO literal/tuple entries themselves.
+        """
+        refs = self._po_refs.pop(old_node, None)
+        if not refs:
+            return []
+        self._po_refs.setdefault(new_node, []).extend(refs)
+        return refs
+
+    # ------------------------------------------------------------------
+    # Fanout queries (the LogicNetwork read surface)
+    # ------------------------------------------------------------------
+
+    def fanouts(self, node: int) -> list[int]:
+        """Gate indices referencing ``node`` (one entry per referencing fanin).
+
+        Answered in O(fanout) from the incrementally maintained lists; a
+        gate referencing the node through several fanins appears once per
+        reference.
+        """
+        return list(self._fanouts[node])
+
+    def fanout_count(self, node: int) -> int:
+        """Number of references of one node (gate fanins plus PO drivers).
+
+        Answered in O(1) from the maintained fanout list and PO reference
+        map; MFFC computation queries this for every cone node, so it
+        must not scan the network.
+        """
+        count = len(self._fanouts[node])
+        refs = self._po_refs.get(node)
+        return count + len(refs) if refs else count
+
+    def fanout_counts(self) -> dict[int, int]:
+        """Number of gate/PO references of every node.
+
+        Answered in O(N) straight from the maintained fanout lists and PO
+        reference map (no edge scan).
+        """
+        counts = {node: len(self._fanouts[node]) for node in self.nodes()}
+        for node, refs in self._po_refs.items():
+            counts[node] += len(refs)
+        return counts
+
+    def tfo(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
+        """Transitive fanout cone of ``nodes`` (the nodes themselves included).
+
+        Served from the maintained fanout lists in O(cone), without
+        rebuilding a network-wide fanout map.
+        """
+        fanouts = self._fanouts
+        return transitive_fanout(list(nodes), lambda n: fanouts[n], limit)
+
+    # ------------------------------------------------------------------
+    # Topological-order cache
+    # ------------------------------------------------------------------
+
+    def _topo_append(self, node: int) -> None:
+        """Extend a clean cache with a freshly created gate.
+
+        Creation order extends any valid order: a new gate's fanins
+        already exist, hence precede it.  A dirty cache stays dirty.
+        """
+        if self._topo_cache is not None:
+            assert self._topo_pos is not None
+            self._topo_pos[node] = len(self._topo_cache)
+            self._topo_cache.append(node)
+
+    def _topo_invalidate(self) -> None:
+        """Drop the cached order (recomputed lazily on next access)."""
+        self._topo_cache = None
+        self._topo_pos = None
+
+    def _note_rewire(self, old_node: int, new_node: int) -> None:
+        """Update topological-cache validity after redirecting references.
+
+        If the cached order exists and the replacement node appears
+        strictly before the replaced node, every redirected edge still
+        points backwards and the cached order remains valid; otherwise
+        the cache is dropped and recomputed lazily.
+        """
+        if self._topo_cache is None:
+            return
+        pos = self._topo_pos
+        assert pos is not None
+        if pos.get(new_node, -1) >= pos.get(old_node, -1):
+            self._topo_invalidate()
+
+    def topological_position(self, node: int) -> int:
+        """Position of a gate in the cached topological order.
+
+        PIs and constant nodes report ``-1`` (they precede every gate).
+        Positions are consistent with fanin edges: for any gate, every
+        fanin has a strictly smaller position.  Computing the order on a
+        clean cache is O(1); a dirty cache triggers one O(N)
+        recomputation through the host's ``topological_order``.
+        """
+        if self._topo_pos is None:
+            self.topological_order()
+        assert self._topo_pos is not None
+        return self._topo_pos.get(node, -1)
+
+    # ------------------------------------------------------------------
+    # Mutation-listener bus
+    # ------------------------------------------------------------------
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register a mutation hook.
+
+        The listener is invoked after every ``substitute`` /
+        ``replace_fanin`` as ``listener(old_node, replacement,
+        rewired_gates)``, where ``replacement`` is the network's
+        edge-reference type (AIG literal / k-LUT node index) and
+        ``rewired_gates`` are the gate indices whose fanins were
+        redirected.  Incremental consumers (e.g. the shared cut engine)
+        invalidate per-event state in O(fanout) instead of re-scanning
+        the network.  Listeners are not cloned by ``clone``.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unregister a mutation hook (no-op if it is not registered)."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_mutation(self, old_node: int, replacement: int, rewired_gates: tuple[int, ...]) -> None:
+        for listener in self._mutation_listeners:
+            listener(old_node, replacement, rewired_gates)
+
+    # ------------------------------------------------------------------
+    # Clone support
+    # ------------------------------------------------------------------
+
+    def _copy_incremental_into(self, other: "IncrementalNetworkMixin") -> None:
+        """Copy the incremental state into a clone (listeners excluded).
+
+        Mutation listeners are bound to *this* network's consumers; the
+        clone starts with none.
+        """
+        other._fanouts = [list(refs) for refs in self._fanouts]
+        other._po_refs = {node: list(refs) for node, refs in self._po_refs.items()}
+        other._topo_cache = list(self._topo_cache) if self._topo_cache is not None else None
+        other._topo_pos = dict(self._topo_pos) if self._topo_pos is not None else None
+        other._mutation_listeners = []

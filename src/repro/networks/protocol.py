@@ -1,0 +1,218 @@
+"""The ``LogicNetwork`` protocol: one interface for every network type.
+
+The repository carries two network representations -- the
+:class:`~repro.networks.aig.Aig` (two-input AND gates, complemented
+edges) and the :class:`~repro.networks.klut.KLutNetwork` (k-input LUTs,
+no edge complementation) -- and most of the machinery built on top of
+them (pass pipelines, traversal, simulation windows, statistics) needs
+only a small network-agnostic surface: node iteration, fanin/fanout
+queries, topological order, levels and mutation events.  This module
+makes that surface explicit, in the spirit of mockturtle's "network
+interface" concept: engines are written against the protocol, and any
+container structurally providing the methods participates.
+
+Two protocols are defined:
+
+* :class:`LogicNetwork` -- the **read surface**: node/gate iteration,
+  PI/PO queries, fanins as *node indices* (edge attributes such as AIG
+  complement bits or LUT functions stay representation-specific),
+  topological order, levels, depth, fanout lists/counts, TFI/TFO cones
+  and reference evaluation;
+* :class:`MutableNetwork` -- the **incremental mutation surface** on
+  top: ``substitute`` / ``replace_fanin`` with O(fanout) bookkeeping, a
+  mutation-listener bus for incremental consumers (the cut engine, the
+  sweepers), an epoch-cached topological order exposed through
+  ``topological_position``, and ``clone``.
+
+Replacement references
+----------------------
+
+``substitute(old_node, replacement)`` takes the network's natural *edge
+reference* as the replacement: a **literal** (``2 * node + complement``)
+on an AIG, a plain **node index** on a k-LUT network (which has no
+complemented edges; inversions are absorbed into LUT functions).
+Mutation listeners receive the same reference type.  Code that must
+stay fully generic can restrict itself to node-level replacements
+(literal with a clear complement bit on an AIG).
+
+Both protocols are ``runtime_checkable``: ``isinstance(network,
+LogicNetwork)`` verifies the method surface (not the signatures), which
+the conformance test suite uses to pin both containers to the protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+__all__ = ["LogicNetwork", "MutableNetwork", "MutationListener", "network_kind"]
+
+#: Signature of a mutation hook: ``listener(old_node, replacement,
+#: rewired_gates)`` where ``replacement`` is the network's edge-reference
+#: type (an AIG literal / a k-LUT node index) and ``rewired_gates`` are
+#: the gate indices whose fanins were redirected by the event.
+MutationListener = Callable[[int, int, "tuple[int, ...]"], None]
+
+
+@runtime_checkable
+class LogicNetwork(Protocol):
+    """Read surface shared by every logic-network container."""
+
+    name: str
+
+    # -- size ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (constants, PIs and gates)."""
+        ...
+
+    @property
+    def num_pis(self) -> int:
+        """Number of primary inputs."""
+        ...
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        ...
+
+    @property
+    def num_gates(self) -> int:
+        """Number of internal gates (AND nodes / LUTs)."""
+        ...
+
+    # -- node classification -------------------------------------------
+
+    @property
+    def pis(self) -> list[int]:
+        """Node indices of the primary inputs."""
+        ...
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate all node indices."""
+        ...
+
+    def gates(self) -> Iterator[int]:
+        """Iterate the internal gate indices in creation order."""
+        ...
+
+    def is_pi(self, node: int) -> bool:
+        """True if ``node`` is a primary input."""
+        ...
+
+    def is_constant(self, node: int) -> bool:
+        """True if ``node`` is a constant node."""
+        ...
+
+    def is_gate(self, node: int) -> bool:
+        """True if ``node`` is an internal gate (AND node / LUT)."""
+        ...
+
+    def pi_index(self, node: int) -> int:
+        """Position of a PI node in the PI list."""
+        ...
+
+    # -- connectivity --------------------------------------------------
+
+    def gate_fanin_nodes(self, node: int) -> Sequence[int]:
+        """Fanin *node indices* of ``node`` (empty for PIs and constants)."""
+        ...
+
+    def po_nodes(self) -> list[int]:
+        """Node indices driving the primary outputs, in PO order."""
+        ...
+
+    def topological_order(self) -> list[int]:
+        """Gate indices in topological (fanin-before-fanout) order."""
+        ...
+
+    def levels(self) -> dict[int, int]:
+        """Logic level of every node (sources are level 0)."""
+        ...
+
+    def depth(self) -> int:
+        """Largest PO level."""
+        ...
+
+    def fanouts(self, node: int) -> list[int]:
+        """Gate indices referencing ``node`` (one entry per referencing fanin)."""
+        ...
+
+    def fanout_count(self, node: int) -> int:
+        """Number of references of ``node`` (gate fanins plus PO drivers)."""
+        ...
+
+    def fanout_counts(self) -> dict[int, int]:
+        """Number of gate/PO references of every node."""
+        ...
+
+    def tfi(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
+        """Transitive fanin cone of ``nodes`` (the nodes themselves included)."""
+        ...
+
+    def tfo(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
+        """Transitive fanout cone of ``nodes`` (the nodes themselves included)."""
+        ...
+
+    # -- reference semantics -------------------------------------------
+
+    def evaluate(self, pi_values: Sequence[bool | int]) -> list[bool]:
+        """Evaluate all POs on one input assignment (reference semantics)."""
+        ...
+
+
+@runtime_checkable
+class MutableNetwork(LogicNetwork, Protocol):
+    """Incremental mutation surface on top of the read surface.
+
+    Implementations maintain their bookkeeping (fanout lists, PO
+    reference maps, the cached topological order) incrementally, so
+    ``substitute`` costs O(fanout(old_node)), not O(network).
+    """
+
+    def substitute(self, old_node: int, replacement: int) -> int:
+        """Redirect every reference to ``old_node`` to ``replacement``.
+
+        ``replacement`` is the network's edge-reference type (see the
+        module docstring).  Returns the number of references rewritten;
+        the replaced node becomes dangling.
+        """
+        ...
+
+    def replace_fanin(self, gate: int, old_node: int, replacement: int) -> bool:
+        """Redirect the fanins of one gate that reference ``old_node``."""
+        ...
+
+    def add_mutation_listener(self, listener: MutationListener) -> None:
+        """Register a hook invoked after every substitute/replace_fanin."""
+        ...
+
+    def remove_mutation_listener(self, listener: MutationListener) -> None:
+        """Unregister a mutation hook (no-op if it is not registered)."""
+        ...
+
+    def topological_position(self, node: int) -> int:
+        """Position of a gate in the cached topological order (-1 for sources)."""
+        ...
+
+    def clone(self) -> "MutableNetwork":
+        """Deep copy of the network (mutation listeners are not cloned)."""
+        ...
+
+
+def network_kind(network: object) -> str:
+    """Short kind tag of a network instance (``"aig"`` / ``"klut"`` / class name).
+
+    The pass pipeline uses these tags to validate that a script's passes
+    compose (an AIG pass cannot run on a mapped network); keeping the
+    mapping here avoids import cycles between the containers and the
+    pass layer.
+    """
+    from .aig import Aig
+    from .klut import KLutNetwork
+
+    if isinstance(network, Aig):
+        return "aig"
+    if isinstance(network, KLutNetwork):
+        return "klut"
+    return type(network).__name__.lower()

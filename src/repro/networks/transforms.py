@@ -1,10 +1,13 @@
-"""Structural transforms on AIGs: cleanup, re-hashing, constant propagation.
+"""Structural transforms on logic networks: cleanup, re-hashing, constant propagation.
 
-SAT-sweeping mutates the AIG in place (node substitution); these helpers
-restore the usual invariants afterwards: dangling nodes are removed,
-structurally identical gates are merged again, and constants are
-propagated.  All transforms are non-destructive -- they return a fresh
-:class:`~repro.networks.aig.Aig` plus a literal translation map.
+SAT-sweeping and the resynthesis passes mutate networks in place (node
+substitution); these helpers restore the usual invariants afterwards:
+dangling nodes are removed, structurally identical gates are merged
+again, and constants are propagated.  All transforms are
+non-destructive -- they return a fresh network plus a translation map
+(old literal to new literal for AIGs, old node to new node for k-LUT
+networks).  :func:`cleanup_dangling` dispatches on the network kind, so
+the generic ``cleanup`` pass of the pipeline works on either container.
 """
 
 from __future__ import annotations
@@ -12,9 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .aig import Aig
+from .klut import KLutNetwork
 
 __all__ = [
     "cleanup_dangling",
+    "cleanup_dangling_klut",
     "rebuild_strashed",
     "propagate_constants",
     "network_statistics",
@@ -53,13 +58,42 @@ def rebuild_strashed(aig: Aig) -> tuple[Aig, dict[int, int]]:
     return rebuilt, literal_map
 
 
-def cleanup_dangling(aig: Aig) -> tuple[Aig, dict[int, int]]:
-    """Remove nodes not reachable from any primary output.
+def cleanup_dangling_klut(network: KLutNetwork) -> tuple[KLutNetwork, dict[int, int]]:
+    """Remove k-LUT nodes not reachable from any primary output.
 
-    Implemented as a strashing rebuild restricted to the PO cones; returns
-    the cleaned graph and the old-literal to new-literal map.
+    Rebuilds the PO cones into a fresh :class:`KLutNetwork`; returns the
+    cleaned network and a map from old node index to new node index
+    (PIs, reachable constants and reachable LUTs).  PO complementation
+    flags and PI/PO names are preserved.
     """
-    return rebuild_strashed(aig)
+    reachable = set(network.tfi(network.po_nodes()))
+    rebuilt = KLutNetwork(network.name)
+    node_map: dict[int, int] = {}
+    for node in network.nodes():
+        if network.is_constant(node) and node in reachable:
+            node_map[node] = rebuilt.constant_node(network.constant_value(node))
+    for pi, name in zip(network.pis, network.pi_names):
+        node_map[pi] = rebuilt.add_pi(name)
+    for node in network.topological_order():
+        if node not in reachable:
+            continue
+        fanins = [node_map[f] for f in network.lut_fanins(node)]
+        node_map[node] = rebuilt.add_lut(fanins, network.lut_function(node))
+    for (node, negated), name in zip(network.pos, network.po_names):
+        rebuilt.add_po(node_map[node], negated=negated, name=name)
+    return rebuilt, node_map
+
+
+def cleanup_dangling(network: Aig | KLutNetwork) -> tuple[Aig | KLutNetwork, dict[int, int]]:
+    """Remove nodes not reachable from any primary output (kind-generic).
+
+    AIGs go through the strashing rebuild restricted to the PO cones and
+    return an old-literal to new-literal map; k-LUT networks go through
+    :func:`cleanup_dangling_klut` and return an old-node to new-node map.
+    """
+    if isinstance(network, KLutNetwork):
+        return cleanup_dangling_klut(network)
+    return rebuild_strashed(network)
 
 
 def propagate_constants(aig: Aig) -> tuple[Aig, dict[int, int]]:

@@ -2,7 +2,15 @@
 
 Every function takes the graph implicitly through callback functions
 (``fanins_of`` / ``fanouts_of``), so the same code serves both network
-types and the window/cone computations of the sweeper.
+types and the window/cone computations of the sweeper.  For whole
+networks, pass the :class:`~repro.networks.protocol.LogicNetwork`
+surface directly (``network.gate_fanin_nodes`` as ``fanins_of``,
+``network.fanouts`` as ``fanouts_of``); the containers' own
+``topological_order`` / ``levels`` / ``tfi`` / ``tfo`` methods are thin,
+cached wrappers over these helpers.  :func:`fanout_counts` doubles as
+the from-scratch oracle the tests use to cross-check the incrementally
+maintained counts of
+:class:`~repro.networks.incremental.IncrementalNetworkMixin`.
 """
 
 from __future__ import annotations

@@ -14,10 +14,15 @@ Layering:
 * :mod:`~repro.rewriting.mffc` -- maximum fanout-free cones, the gain
   budget of every replacement;
 * :mod:`~repro.rewriting.rewrite` / :mod:`~repro.rewriting.balance` /
-  :mod:`~repro.rewriting.refactor` -- the three restructuring passes;
-* :mod:`~repro.rewriting.passes` -- the :class:`PassManager` running
-  ABC-style scripts (``"rw; fraig; rw; fraig"``, ``"resyn2"``, ...)
-  with per-pass statistics and optional CEC verification.
+  :mod:`~repro.rewriting.refactor` -- the three AIG restructuring passes;
+* :mod:`~repro.rewriting.klut_resyn` -- mapped-network (k-LUT) MFFC
+  resynthesis, committed through the incremental
+  :meth:`~repro.networks.klut.KLutNetwork.substitute`;
+* :mod:`~repro.rewriting.passes` -- the network-generic
+  :class:`PassManager` running ABC-style scripts (``"rw; fraig"``,
+  ``"resyn2"``, ``"map; lutmffc; cleanup"``, ...) with per-pass
+  statistics, parse-time network-kind checking and optional
+  verification.
 """
 
 from .npn import NpnTransform, npn_canonicalize, apply_npn_transform, npn_classes
@@ -26,13 +31,16 @@ from .mffc import collect_mffc, mffc_size
 from .rewrite import RewriteReport, rewrite
 from .balance import BalanceReport, balance
 from .refactor import RefactorReport, refactor
+from .klut_resyn import LutResynReport, lut_resynthesize
 from .passes import (
     PassManager,
     PassStatistics,
     FlowStatistics,
     optimize,
     parse_script,
+    validate_script,
     PASS_NAMES,
+    PASS_KINDS,
     NAMED_SCRIPTS,
 )
 
@@ -53,11 +61,15 @@ __all__ = [
     "balance",
     "RefactorReport",
     "refactor",
+    "LutResynReport",
+    "lut_resynthesize",
     "PassManager",
     "PassStatistics",
     "FlowStatistics",
     "optimize",
     "parse_script",
+    "validate_script",
     "PASS_NAMES",
+    "PASS_KINDS",
     "NAMED_SCRIPTS",
 ]

@@ -6,39 +6,65 @@ rwz; b``) and mockturtle flows: a *script* is a semicolon-separated
 sequence of pass names, the :class:`PassManager` parses it, runs every
 pass in order on a network, collects per-pass statistics (gate count,
 depth, runtime, pass-specific counters) and can verify each step -- or
-the whole flow -- with the combinational equivalence checker.
+the whole flow -- against the input network.
+
+The pipeline is **network-generic**: every pass declares which network
+kind it accepts (``aig``, ``klut`` or ``any``) and which kind it
+produces, scripts are kind-checked at parse time against the
+:class:`~repro.networks.protocol.LogicNetwork` kinds, and the ``map``
+pass switches the flow from the AIG to the mapped k-LUT network, where
+the mapped-network passes (``lutmffc``) operate.  A script like
+``"rw; fraig; map; lutmffc; cleanup"`` therefore runs rewriting and
+sweeping on the AIG, maps, and resynthesises the mapped network -- all
+in one flow with one statistics report.
 
 Registered passes
 -----------------
 
-===========  ==============================================================
-``rw``       DAG-aware 4-cut rewriting (:func:`repro.rewriting.rewrite`)
-``rwz``      rewriting, zero-gain replacements allowed
-``rf``       MFFC refactoring (:func:`repro.rewriting.refactor`)
-``rfz``      refactoring, zero-gain replacements allowed
-``b``        AND-tree balancing (:func:`repro.rewriting.balance`)
-``fraig``    baseline SAT sweeping (:class:`repro.sweeping.FraigSweeper`)
-``stp``      STP-enhanced SAT sweeping (:class:`repro.sweeping.StpSweeper`)
-``cp``       SAT-backed constant propagation
-             (:func:`repro.sweeping.constant_prop.propagate_constant_candidates`)
-``cleanup``  dangling-node removal
-             (:func:`repro.networks.transforms.cleanup_dangling`)
-===========  ==============================================================
+===========  =======  =====================================================
+``rw``       aig      DAG-aware 4-cut rewriting (:func:`repro.rewriting.rewrite`)
+``rwz``      aig      rewriting, zero-gain replacements allowed
+``rf``       aig      MFFC refactoring (:func:`repro.rewriting.refactor`)
+``rfz``      aig      refactoring, zero-gain replacements allowed
+``b``        aig      AND-tree balancing (:func:`repro.rewriting.balance`)
+``fraig``    aig      baseline SAT sweeping (:class:`repro.sweeping.FraigSweeper`)
+``stp``      aig      STP-enhanced SAT sweeping (:class:`repro.sweeping.StpSweeper`)
+``cp``       aig      SAT-backed constant propagation
+``map``      aig>klut multi-pass k-LUT technology mapping
+                      (:func:`repro.networks.mapping.technology_map`)
+``lutmffc``  klut     mapped-network MFFC resynthesis
+                      (:func:`repro.rewriting.klut_resyn.lut_resynthesize`)
+``lutmffcz`` klut     LUT resynthesis, zero-gain replacements allowed
+``cleanup``  any      dangling-node removal (kind-generic
+                      :func:`repro.networks.transforms.cleanup_dangling`)
+===========  =======  =====================================================
 
-plus the named scripts ``resyn`` / ``resyn2`` (ABC's classical recipes
-built from the passes above) and ``rwsweep`` (``rw; fraig; rw; fraig``,
-the interleaved rewriting/sweeping flow the paper-style harness uses as
-a pre-pass).  Long names (``rewrite``, ``balance``, ``refactor``,
-``constprop``) are accepted as aliases.
+plus the named scripts ``resyn`` / ``resyn2`` (ABC's classical recipes),
+``rwsweep`` (``rw; fraig; rw; fraig``, the interleaved
+rewriting/sweeping flow the paper-style harness uses as a pre-pass) and
+``maplut`` (``map; lutmffc; cleanup``, the mapped-network optimization
+flow).  Long names (``rewrite``, ``balance``, ``refactor``,
+``constprop``, ``lutresyn``) are accepted as aliases.
+
+Verification
+------------
+
+AIG-to-AIG steps are checked with the combinational equivalence checker
+(complete).  As soon as a flow crosses into the mapped network, the
+check against the AIG-typed reference is word-parallel simulation --
+exhaustive for networks of up to 10 inputs, 256 random patterns
+otherwise -- mirroring how the mapper itself is verified.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Sequence, Union
 
 from ..networks.aig import Aig
+from ..networks.klut import KLutNetwork
+from ..networks.protocol import network_kind
 from ..networks.transforms import cleanup_dangling
 from ..sat.circuit import CircuitSolver
 from ..simulation.patterns import PatternSet
@@ -47,6 +73,7 @@ from ..sweeping.constant_prop import propagate_constant_candidates
 from ..sweeping.fraig import FraigSweeper
 from ..sweeping.stp_sweeper import StpSweeper
 from .balance import balance
+from .klut_resyn import lut_resynthesize
 from .library import RewriteLibrary
 from .refactor import refactor
 from .rewrite import rewrite
@@ -57,15 +84,21 @@ __all__ = [
     "PassManager",
     "optimize",
     "parse_script",
+    "validate_script",
     "PASS_NAMES",
+    "PASS_KINDS",
     "NAMED_SCRIPTS",
 ]
+
+#: Any network the pipeline operates on.
+Network = Union[Aig, KLutNetwork]
 
 #: Expansions of the named multi-pass scripts (applied recursively).
 NAMED_SCRIPTS: dict[str, str] = {
     "resyn": "b; rw; rwz; b; rwz; b",
     "resyn2": "b; rw; rf; b; rw; rwz; b; rfz; rwz; b",
     "rwsweep": "rw; fraig; rw; fraig",
+    "maplut": "map; lutmffc; cleanup",
 }
 
 #: Long-name aliases for the single passes.
@@ -75,10 +108,42 @@ _ALIASES: dict[str, str] = {
     "refactor": "rf",
     "constprop": "cp",
     "trim": "cleanup",
+    "lutresyn": "lutmffc",
 }
 
 #: The canonical single-pass names.
-PASS_NAMES: tuple[str, ...] = ("rw", "rwz", "rf", "rfz", "b", "fraig", "stp", "cp", "cleanup")
+PASS_NAMES: tuple[str, ...] = (
+    "rw",
+    "rwz",
+    "rf",
+    "rfz",
+    "b",
+    "fraig",
+    "stp",
+    "cp",
+    "map",
+    "lutmffc",
+    "lutmffcz",
+    "cleanup",
+)
+
+#: Network-kind signature of every pass: ``(input_kind, output_kind)``
+#: with input in {"aig", "klut", "any"} and output in {"aig", "klut",
+#: "same"}.  ``validate_script`` threads the kind through a script.
+PASS_KINDS: dict[str, tuple[str, str]] = {
+    "rw": ("aig", "aig"),
+    "rwz": ("aig", "aig"),
+    "rf": ("aig", "aig"),
+    "rfz": ("aig", "aig"),
+    "b": ("aig", "aig"),
+    "fraig": ("aig", "aig"),
+    "stp": ("aig", "aig"),
+    "cp": ("aig", "aig"),
+    "map": ("aig", "klut"),
+    "lutmffc": ("klut", "klut"),
+    "lutmffcz": ("klut", "klut"),
+    "cleanup": ("any", "same"),
+}
 
 
 def parse_script(script: str | Sequence[str]) -> list[str]:
@@ -108,9 +173,40 @@ def parse_script(script: str | Sequence[str]) -> list[str]:
     return result
 
 
+def validate_script(passes: Sequence[str], start_kind: str = "aig") -> str:
+    """Kind-check a parsed script; returns the kind of the final network.
+
+    Each pass's declared input kind must match the kind the previous
+    passes produce (``"rw"`` cannot follow ``"map"``; ``"lutmffc"``
+    cannot run before it).  Raises ``ValueError`` with the offending
+    pass and the kind mismatch spelled out.
+    """
+    kind = start_kind
+    for name in passes:
+        kinds = PASS_KINDS.get(name)
+        if kinds is None:
+            raise ValueError(f"unknown pass {name!r}; known passes: {', '.join(PASS_NAMES)}")
+        input_kind, output_kind = kinds
+        if input_kind != "any" and input_kind != kind:
+            hint = " (run 'map' first)" if input_kind == "klut" and kind == "aig" else ""
+            raise ValueError(
+                f"pass {name!r} expects a {input_kind} network but the flow "
+                f"produces a {kind} network at this point{hint}"
+            )
+        if output_kind != "same":
+            kind = output_kind
+    return kind
+
+
 @dataclass
 class PassStatistics:
-    """Statistics of one executed pass."""
+    """Statistics of one executed pass.
+
+    ``gates_before`` / ``gates_after`` count the network's internal
+    gates in its own representation -- AND nodes on an AIG, LUTs on a
+    mapped network; ``kind`` records the representation the pass
+    produced.
+    """
 
     name: str
     gates_before: int = 0
@@ -119,6 +215,7 @@ class PassStatistics:
     depth_after: int = 0
     total_time: float = 0.0
     verified: bool | None = None
+    kind: str = "aig"
     details: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -130,10 +227,11 @@ class PassStatistics:
 
     def __str__(self) -> str:
         verified = "" if self.verified is None else f"  cec={'ok' if self.verified else 'FAIL'}"
+        unit = "" if self.kind == "aig" else f" {self.kind}"
         return (
             f"{self.name:<8} gates {self.gates_before:>6} -> {self.gates_after:<6} "
             f"depth {self.depth_before:>3} -> {self.depth_after:<3} "
-            f"{self.total_time:7.3f}s{verified}"
+            f"{self.total_time:7.3f}s{unit}{verified}"
         )
 
 
@@ -149,6 +247,8 @@ class FlowStatistics:
     depth_after: int = 0
     total_time: float = 0.0
     verified: bool | None = None
+    kind_before: str = "aig"
+    kind_after: str = "aig"
 
     @property
     def gate_reduction(self) -> float:
@@ -158,15 +258,48 @@ class FlowStatistics:
         return 1.0 - self.gates_after / self.gates_before
 
     def __str__(self) -> str:
+        crossing = "" if self.kind_before == self.kind_after else f" [{self.kind_before} -> {self.kind_after}]"
         lines = [
             f"script {self.script!r}: gates {self.gates_before} -> {self.gates_after} "
             f"({100 * self.gate_reduction:.1f}% reduction), depth {self.depth_before} -> "
-            f"{self.depth_after}, total {self.total_time:.3f}s"
+            f"{self.depth_after}, total {self.total_time:.3f}s{crossing}"
         ]
         lines.extend(f"  {stats}" for stats in self.passes)
         if self.verified is not None:
             lines.append(f"  equivalence vs input: {'ok' if self.verified else 'FAIL'}")
         return "\n".join(lines)
+
+
+def _po_signatures(network: Network, patterns: PatternSet) -> list[int]:
+    """Word-parallel PO signatures of either network kind."""
+    from ..simulation.bitwise import (
+        aig_po_signatures,
+        klut_po_signatures,
+        simulate_aig,
+        simulate_klut_minterm,
+    )
+
+    if isinstance(network, KLutNetwork):
+        return klut_po_signatures(network, simulate_klut_minterm(network, patterns))
+    return aig_po_signatures(network, simulate_aig(network, patterns))
+
+
+def _networks_equivalent(reference: Network, candidate: Network) -> bool:
+    """Kind-generic equivalence verdict between two pipeline networks.
+
+    Two AIGs go through the (complete) CEC miter; any pair involving a
+    mapped network is compared by word-parallel simulation, exhaustively
+    when the input count allows it and on 256 random patterns otherwise.
+    """
+    if isinstance(reference, Aig) and isinstance(candidate, Aig):
+        return bool(check_combinational_equivalence(reference, candidate))
+    if reference.num_pis != candidate.num_pis:
+        return False
+    if reference.num_pis <= 10:
+        patterns = PatternSet.exhaustive(reference.num_pis)
+    else:
+        patterns = PatternSet.random(reference.num_pis, 256, seed=1)
+    return _po_signatures(reference, patterns) == _po_signatures(candidate, patterns)
 
 
 class PassManager:
@@ -176,13 +309,23 @@ class PassManager:
     ----------
     script:
         Pass names separated by ``;`` (or a sequence), e.g.
-        ``"rw; fraig; rw; fraig"``, ``"resyn2"``.
+        ``"rw; fraig; rw; fraig"``, ``"resyn2"``,
+        ``"map; lutmffc; cleanup"``.  The script is kind-checked at
+        construction time (an AIG pass cannot follow ``map``).
     seed, num_patterns, conflict_limit:
         Forwarded to the SAT-based passes (``fraig``, ``stp``, ``cp``).
+    lut_size, cut_limit:
+        LUT size and priority-cut limit of the ``map`` pass; the
+        mapped-network passes inherit ``lut_size`` as their fan-in
+        bound.  When ``lut_size`` is omitted, ``map`` uses k = 6 and the
+        mapped-network passes bound themselves by the network's own
+        maximum fan-in -- so a klut-only script on an externally mapped
+        network never creates LUTs wider than the mapper did.
     verify_each:
-        Run the combinational equivalence checker after every pass and
-        record the verdict in that pass's statistics (slow; meant for
-        debugging and the fuzz tests).
+        Verify every pass against its input network (CEC between AIGs,
+        word-parallel simulation once the flow is mapped) and record the
+        verdict in that pass's statistics (slow; meant for debugging and
+        the fuzz tests).
     library:
         Shared :class:`~repro.rewriting.library.RewriteLibrary`; defaults
         to the process-wide library.
@@ -194,76 +337,104 @@ class PassManager:
         seed: int = 1,
         num_patterns: int = 64,
         conflict_limit: int | None = 10_000,
+        lut_size: int | None = None,
+        cut_limit: int = 8,
         verify_each: bool = False,
         library: RewriteLibrary | None = None,
     ) -> None:
         self.script = script if isinstance(script, str) else "; ".join(script)
         self.passes = parse_script(script)
+        # Kind-check at construction: the script must compose from at
+        # least one starting kind (run() re-validates against the actual
+        # input).  A klut-only script ("lutmffc; cleanup") is legal for
+        # callers holding an already-mapped network.  When neither start
+        # works, the aig-start error is the meaningful one: the klut
+        # retry trips over the first AIG pass, not the actual problem.
+        try:
+            validate_script(self.passes, "aig")
+        except ValueError as aig_error:
+            try:
+                validate_script(self.passes, "klut")
+            except ValueError:
+                raise aig_error from None
         self.seed = seed
         self.num_patterns = num_patterns
         self.conflict_limit = conflict_limit
+        self.lut_size = lut_size
+        self.cut_limit = cut_limit
         self.verify_each = verify_each
         self.library = library
 
     # ------------------------------------------------------------------
 
-    def run(self, aig: Aig, verify: bool = False) -> tuple[Aig, FlowStatistics]:
-        """Run every pass of the script on (a copy of) ``aig``.
+    def run(self, network: Network, verify: bool = False) -> tuple[Network, FlowStatistics]:
+        """Run every pass of the script on (a copy of) ``network``.
 
-        With ``verify`` the final result is checked against the input
-        network with the CEC miter and the verdict recorded in
-        ``FlowStatistics.verified``.
+        The input may be an :class:`Aig` (the usual case) or an already
+        mapped :class:`KLutNetwork` (for klut-only scripts); the script
+        is re-validated against the actual input kind.  With ``verify``
+        the final result is checked against the input network (see the
+        module docstring for the verification semantics) and the verdict
+        recorded in ``FlowStatistics.verified``.
         """
+        start_kind = network_kind(network)
+        validate_script(self.passes, start_kind)
         flow = FlowStatistics(
             script=self.script,
-            gates_before=aig.num_ands,
-            depth_before=aig.depth(),
+            gates_before=network.num_gates,
+            depth_before=network.depth(),
+            kind_before=start_kind,
         )
         start = time.perf_counter()
-        current = aig
+        current: Network = network
         for name in self.passes:
-            stats = self._run_pass(name, current)
-            result = stats.pop("result")
-            pass_stats = stats.pop("stats")
+            result, pass_stats = self._run_pass(name, current)
             if self.verify_each:
-                pass_stats.verified = bool(check_combinational_equivalence(current, result))
+                pass_stats.verified = _networks_equivalent(current, result)
             flow.passes.append(pass_stats)
             current = result
-        flow.gates_after = current.num_ands
+        flow.gates_after = current.num_gates
         flow.depth_after = current.depth()
+        flow.kind_after = network_kind(current)
         flow.total_time = time.perf_counter() - start
         if verify:
-            flow.verified = bool(check_combinational_equivalence(aig, current))
+            flow.verified = _networks_equivalent(network, current)
         return current, flow
 
     # ------------------------------------------------------------------
 
-    def _run_pass(self, name: str, aig: Aig) -> dict:
+    def _run_pass(self, name: str, network: Network) -> tuple[Network, PassStatistics]:
         runner = self._runners()[name]
+        gates_before = network.num_gates
+        depth_before = network.depth()
         started = time.perf_counter()
-        result, details = runner(aig)
+        result, details = runner(network)
         elapsed = time.perf_counter() - started
         stats = PassStatistics(
             name=name,
-            gates_before=aig.num_ands,
-            gates_after=result.num_ands,
-            depth_before=aig.depth(),
+            gates_before=gates_before,
+            gates_after=result.num_gates,
+            depth_before=depth_before,
             depth_after=result.depth(),
             total_time=elapsed,
+            kind=network_kind(result),
             details=details,
         )
-        return {"result": result, "stats": stats}
+        return result, stats
 
-    def _runners(self) -> dict[str, Callable[[Aig], tuple[Aig, dict[str, float]]]]:
+    def _runners(self) -> dict[str, Callable[[Network], tuple[Network, dict[str, float]]]]:
         return {
-            "rw": lambda aig: self._rewrite(aig, zero_gain=False),
-            "rwz": lambda aig: self._rewrite(aig, zero_gain=True),
-            "rf": lambda aig: self._refactor(aig, zero_gain=False),
-            "rfz": lambda aig: self._refactor(aig, zero_gain=True),
+            "rw": lambda network: self._rewrite(network, zero_gain=False),
+            "rwz": lambda network: self._rewrite(network, zero_gain=True),
+            "rf": lambda network: self._refactor(network, zero_gain=False),
+            "rfz": lambda network: self._refactor(network, zero_gain=True),
             "b": self._balance,
             "fraig": self._fraig,
             "stp": self._stp,
             "cp": self._constant_prop,
+            "map": self._map,
+            "lutmffc": lambda network: self._lut_resyn(network, zero_gain=False),
+            "lutmffcz": lambda network: self._lut_resyn(network, zero_gain=True),
             "cleanup": self._cleanup,
         }
 
@@ -319,20 +490,34 @@ class PassManager:
             "sat_calls": float(report.sat_calls),
         }
 
-    def _cleanup(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
-        cleaned, _literal_map = cleanup_dangling(aig)
-        return cleaned, {"removed": float(aig.num_ands - cleaned.num_ands)}
+    def _map(self, aig: Aig) -> tuple[KLutNetwork, dict[str, float]]:
+        from ..networks.mapping import technology_map
+
+        k = self.lut_size if self.lut_size is not None else 6
+        result = technology_map(aig, k=k, cut_limit=self.cut_limit)
+        return result.network, result.stats.as_details()
+
+    def _lut_resyn(self, network: KLutNetwork, zero_gain: bool) -> tuple[KLutNetwork, dict[str, float]]:
+        result, report = lut_resynthesize(network, k=self.lut_size, zero_gain=zero_gain)
+        return result, report.as_details()
+
+    def _cleanup(self, network: Network) -> tuple[Network, dict[str, float]]:
+        cleaned, _node_map = cleanup_dangling(network)
+        return cleaned, {"removed": float(network.num_gates - cleaned.num_gates)}
 
 
 def optimize(
-    aig: Aig,
+    network: Network,
     script: str | Sequence[str] = "resyn2",
     verify: bool = False,
     **manager_options,
-) -> tuple[Aig, FlowStatistics]:
+) -> tuple[Network, FlowStatistics]:
     """Convenience wrapper: run one script on a network.
 
-    ``manager_options`` are forwarded to :class:`PassManager`.
+    ``manager_options`` are forwarded to :class:`PassManager`.  The
+    result is whatever kind the script produces -- an :class:`Aig` for
+    classical scripts, a :class:`KLutNetwork` for flows ending behind
+    ``map`` (e.g. ``"map; lutmffc; cleanup"``).
     """
     manager = PassManager(script, **manager_options)
-    return manager.run(aig, verify=verify)
+    return manager.run(network, verify=verify)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.networks import Aig, enumerate_cuts, simulation_cuts, cut_truth_table
-from repro.networks.cuts import Cut, simulation_cuts_generic
+from repro.cuts import Cut, simulation_cuts_generic
 from repro.truthtable import TruthTable
 
 
@@ -138,3 +138,25 @@ class TestCutTruthTable:
         nodes = fig1_klut.fig1_nodes
         with pytest.raises(ValueError):
             cut_truth_table(fig1_klut, nodes[10], [nodes[6]])
+
+
+class TestDeprecatedShim:
+    def test_networks_cuts_import_warns(self):
+        """The retired repro.networks.cuts shim warns but keeps re-exporting."""
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.networks.cuts", None)
+        with pytest.warns(DeprecationWarning, match="repro.cuts"):
+            module = importlib.import_module("repro.networks.cuts")
+        assert module.Cut is Cut
+
+    def test_simulation_cuts_accepts_aig(self, small_aig):
+        """The protocol port: simulation cuts partition AIGs too."""
+        targets = [small_aig.node_of(po) for po in small_aig.pos]
+        cuts = simulation_cuts(small_aig, targets, limit=4)
+        roots = {cut.root for cut in cuts}
+        for target in targets:
+            assert target in roots
+        for cut in cuts:
+            assert len(cut.leaves) <= 4

@@ -5,13 +5,16 @@ import pytest
 from repro.circuits.arithmetic import ripple_carry_adder
 from repro.circuits.random_logic import random_aig
 from repro.circuits.sweep_workloads import inject_redundancy
+from repro.networks import KLutNetwork, map_aig_to_klut
 from repro.rewriting import (
     NAMED_SCRIPTS,
+    PASS_KINDS,
     PASS_NAMES,
     FlowStatistics,
     PassManager,
     optimize,
     parse_script,
+    validate_script,
 )
 from repro.sweeping import fraig_sweep
 
@@ -59,6 +62,47 @@ class TestParseScript:
     def test_every_named_script_parses(self):
         for name in NAMED_SCRIPTS:
             assert parse_script(name)
+
+    def test_maplut_script_expands(self):
+        assert parse_script("maplut") == ["map", "lutmffc", "cleanup"]
+
+    def test_lutresyn_alias(self):
+        assert parse_script("map; lutresyn") == ["map", "lutmffc"]
+
+
+class TestValidateScript:
+    def test_every_pass_has_a_kind(self):
+        assert set(PASS_KINDS) == set(PASS_NAMES)
+
+    def test_aig_script_stays_aig(self):
+        assert validate_script(parse_script("resyn2")) == "aig"
+
+    def test_map_switches_kind(self):
+        assert validate_script(parse_script("rw; map; lutmffc; cleanup")) == "klut"
+
+    def test_klut_pass_before_map_rejected(self):
+        with pytest.raises(ValueError, match="run 'map' first"):
+            validate_script(parse_script("lutmffc"), "aig")
+
+    def test_aig_pass_after_map_rejected(self):
+        with pytest.raises(ValueError, match="expects a aig network"):
+            validate_script(parse_script("map; rw"))
+
+    def test_klut_only_script_valid_from_klut(self):
+        assert validate_script(parse_script("lutmffc; cleanup"), "klut") == "klut"
+
+    def test_manager_accepts_klut_only_script(self):
+        # Construction succeeds (valid from a klut start); running it on
+        # an AIG fails the kind check with a clear message.
+        manager = PassManager("lutmffc; cleanup")
+        from repro.circuits.arithmetic import ripple_carry_adder
+
+        with pytest.raises(ValueError, match="run 'map' first"):
+            manager.run(ripple_carry_adder(width=2))
+
+    def test_manager_rejects_unsatisfiable_script(self):
+        with pytest.raises(ValueError, match="expects a aig network"):
+            PassManager("map; rw")
 
 
 class TestPassManager:
@@ -109,6 +153,25 @@ class TestPassManager:
     def test_script_property_preserved(self):
         manager = PassManager(["rw", "fraig"])
         assert manager.script == "rw; fraig"
+
+    def test_klut_only_script_on_mapped_network(self):
+        aig = _workload(36, num_gates=50)
+        network, _ = map_aig_to_klut(aig, k=4)
+        result, flow = PassManager("lutmffc; cleanup", lut_size=4).run(network, verify=True)
+        assert isinstance(result, KLutNetwork)
+        assert flow.verified is True
+        assert flow.kind_before == "klut" and flow.kind_after == "klut"
+        assert result.num_luts <= network.num_luts
+
+    def test_mixed_flow_statistics_chain_across_kinds(self):
+        aig = _workload(37, num_gates=50)
+        result, flow = optimize(aig, "rw; map; lutmffc", verify=True, lut_size=4)
+        assert isinstance(result, KLutNetwork)
+        assert flow.verified is True
+        # Pass boundaries chain even across the representation switch.
+        for previous, current in zip(flow.passes, flow.passes[1:]):
+            assert current.gates_before == previous.gates_after
+        assert [s.kind for s in flow.passes] == ["aig", "klut", "klut"]
 
 
 class TestFlowQuality:

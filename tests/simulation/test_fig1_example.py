@@ -6,7 +6,7 @@ printed in Section III-C; the signatures of the two specified nodes (7 and
 simulation, and the cut decomposition must be the one shown in Fig. 1(b).
 """
 
-from repro.networks.cuts import simulation_cuts
+from repro.cuts import simulation_cuts
 from repro.simulation import (
     PatternSet,
     cut_limit_for_patterns,

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.circuits.random_logic import random_aig
 from repro.networks import Aig, map_aig_to_klut
-from repro.networks.cuts import simulation_cuts
+from repro.cuts import simulation_cuts
 from repro.simulation import (
     PatternSet,
     StpSimulator,
@@ -100,7 +100,7 @@ class TestCutTruthTables:
             assert word_level == algebraic
 
     def test_algebraic_leaf_limit(self, small_klut):
-        from repro.networks.cuts import SimulationCut
+        from repro.cuts import SimulationCut
 
         wide_cut = SimulationCut(next(iter(small_klut.luts())), tuple(range(13)), ())
         with pytest.raises(ValueError):
