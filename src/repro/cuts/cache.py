@@ -71,6 +71,7 @@ class CutFunctionCache:
         self.npn_misses = 0
         self._tables: dict[tuple[int, ...], TruthTable] = {}
         self._npn: dict[tuple[int, int], TruthTable] = {}
+        self._complements: dict[tuple[int, int], TruthTable] = {}
 
     # -- fused merge tables -------------------------------------------------
 
@@ -112,6 +113,24 @@ class CutFunctionCache:
         result = TruthTable(num_vars, bits0 & bits1)
         self._tables[key] = result
         return result
+
+    def complement_table(self, table: TruthTable) -> TruthTable:
+        """Complement of a fused cut table, memoised by signature.
+
+        Choice-aware cut merging borrows a class member's cuts for the
+        other members; a member of opposite phase contributes the
+        *complement* of its fused table.  The complement is keyed by the
+        table's structural signature (``(num_vars, bits)``), so repeated
+        borrows across a class -- and across structurally identical
+        classes -- share one interned table object instead of allocating
+        a fresh complement per borrow.
+        """
+        key = (table.num_vars, table.bits)
+        cached = self._complements.get(key)
+        if cached is None:
+            cached = ~table
+            self._complements[key] = cached
+        return cached
 
     # -- NPN-canonical lookup -----------------------------------------------
 
@@ -165,5 +184,6 @@ class CutFunctionCache:
         """Drop all memoised tables and reset the counters."""
         self._tables.clear()
         self._npn.clear()
+        self._complements.clear()
         self.hits = self.misses = 0
         self.npn_hits = self.npn_misses = 0

@@ -17,13 +17,29 @@ One :class:`CutEngine` instance serves every cut consumer in the tree:
   engine's constructor takes an ``Aig``, not the bare protocol;
 * every cut carries its function, fused bottom-up from the fanin cut
   tables through the shared :class:`~repro.cuts.cache.CutFunctionCache`
-  -- no consumer ever re-walks a cone to learn a cut's function.
+  -- no consumer ever re-walks a cone to learn a cut's function;
+* with ``use_choices`` the engine merges cut sets **across choice
+  classes**: every class member's set is the union of its own
+  structural cuts and the (phase-complemented) cuts of the other
+  members, so downstream merges and the mapper transparently select
+  among all recorded implementations.
 
 Soundness of the fused tables under rewriting: the pass only commits
 function-preserving substitutions, so the composition identity a stored
 table expresses (``f_root = table(f_leaf_0, ..., f_leaf_{k-1})`` as
 functions of the primary inputs) survives every mutation even when the
 *structural* cone has been rewired around a stale leaf.
+
+Soundness of choice-merged cuts: a member's table over its leaves is
+complemented through the class phases
+(:meth:`~repro.cuts.cache.CutFunctionCache.complement_table`, memoised under
+the same structural-signature regime as the merge tables), so a cut
+borrowed from an alternative expresses the *borrowing* node's function
+exactly.  Acyclicity of any mapping drawn from the merged sets is the
+network's choice-collapsed invariant (see
+:mod:`repro.networks.incremental`); enumeration follows the network's
+``choice_topological_order`` so every leaf a borrowed cut can reach is
+enumerated first.
 """
 
 from __future__ import annotations
@@ -60,6 +76,17 @@ class CutEngine:
     cache:
         A shared :class:`CutFunctionCache`; a private one is created
         when omitted.
+    use_choices:
+        Merge cut sets across the network's choice classes: every class
+        member's served set is its own structural cuts plus the
+        phase-complemented cuts of the other members (capped at
+        ``choice_limit``).  With ``attach=True`` the engine also
+        registers a choice listener so class changes invalidate exactly
+        the affected members.
+    choice_limit:
+        Bound on a class-merged cut set (``2 * cut_limit`` when
+        omitted); a member's own cuts take priority, borrowed cuts fill
+        the remainder smallest-first.
     """
 
     def __init__(
@@ -70,6 +97,8 @@ class CutEngine:
         compute_tables: bool = True,
         cache: CutFunctionCache | None = None,
         attach: bool = False,
+        use_choices: bool = False,
+        choice_limit: int | None = None,
     ) -> None:
         if k < 1:
             raise ValueError("cut size k must be at least 1")
@@ -80,10 +109,15 @@ class CutEngine:
         self.cut_limit = cut_limit
         self.cache = cache if cache is not None else CutFunctionCache()
         self._with_tables = compute_tables
+        self.use_choices = use_choices
+        self.choice_limit = choice_limit if choice_limit is not None else 2 * cut_limit
         # The constant node's cut has no leaves; its zero-input constant
         # table expands into "constant false over the merged leaves".
         constant_table = TruthTable.constant(False, 0) if compute_tables else None
         self._db: dict[int, list[Cut]] = {0: [Cut((), constant_table)]}
+        # Structural-only sets of choice-class members; the served
+        # (class-merged) sets live in _db.
+        self._own: dict[int, list[Cut]] = {}
         for pi in aig.pis:
             self._db[pi] = [trivial_cut(pi, with_table=compute_tables)]
         self._dead: set[int] = set()
@@ -92,6 +126,7 @@ class CutEngine:
         self.invalidations = 0
         if attach:
             aig.add_mutation_listener(self._on_mutation)
+            aig.add_choice_listener(self._on_choice)
             self._attached = True
 
     # ------------------------------------------------------------------
@@ -99,9 +134,10 @@ class CutEngine:
     # ------------------------------------------------------------------
 
     def detach(self) -> None:
-        """Unregister the mutation listener (idempotent)."""
+        """Unregister the mutation/choice listeners (idempotent)."""
         if self._attached:
             self.aig.remove_mutation_listener(self._on_mutation)
+            self.aig.remove_choice_listener(self._on_choice)
             self._attached = False
 
     def _on_mutation(self, old_node: int, new_literal: int, rewired_gates: Sequence[int]) -> None:
@@ -112,9 +148,21 @@ class CutEngine:
         the next access.  Work per event is O(len(rewired_gates)).
         """
         self._db.pop(old_node, None)
+        self._own.pop(old_node, None)
         for gate in rewired_gates:
+            self._own.pop(gate, None)
             if self._db.pop(gate, None) is not None:
                 self.invalidations += 1
+
+    def _on_choice(self, representative: int, members: Sequence[int]) -> None:
+        """Choice event: drop the served sets of the affected class members.
+
+        Their structural-only sets stay valid; the class-merged view is
+        rebuilt lazily on the next access.  Work per event is
+        O(len(members)).
+        """
+        for member in members:
+            self._db.pop(member, None)
 
     # ------------------------------------------------------------------
     # Cut access
@@ -126,7 +174,10 @@ class CutEngine:
         Missing fanin cut sets are computed first, iteratively, so a
         chain of invalidated gates never recurses deeply.  A node with
         no computable fanins (a PI or the constant) answers its trivial
-        set directly.
+        set directly.  With ``use_choices``, a choice-class member's set
+        is the class-merged view: the member's own structural cuts plus
+        the phase-complemented cuts of the other members (all members'
+        structural sets are computed together, then combined).
         """
         cached = self._db.get(node)
         if cached is not None:
@@ -135,32 +186,111 @@ class CutEngine:
             result = [trivial_cut(node, with_table=self._with_tables)]
             self._db[node] = result
             return result
+        use_choices = self.use_choices and self.aig.has_choices
         stack = [node]
         while stack:
             current = stack[-1]
             if current in self._db:
                 stack.pop()
                 continue
-            missing = [
-                fanin
-                for fanin in self.aig.fanin_nodes(current)
-                if fanin not in self._db and self.aig.is_and(fanin)
-            ]
+            members = self.aig.choice_members(current) if use_choices else [current]
+            missing: list[int] = []
+            if len(members) == 1:
+                missing.extend(
+                    fanin
+                    for fanin in self.aig.fanin_nodes(current)
+                    if fanin not in self._db and self.aig.is_and(fanin)
+                )
+                if missing:
+                    stack.extend(missing)
+                    continue
+                stack.pop()
+                self._db[current] = self._merge(current)
+                continue
+            # A choice class: every member's structural set is needed
+            # before any member's merged view can be served.  The class-
+            # collapsed acyclicity invariant guarantees no member's cone
+            # reaches back into the class, so the stack terminates.
+            for member in members:
+                if member not in self._own:
+                    missing.extend(
+                        fanin
+                        for fanin in self.aig.fanin_nodes(member)
+                        if fanin not in self._db and self.aig.is_and(fanin)
+                    )
             if missing:
                 stack.extend(missing)
                 continue
             stack.pop()
-            self._db[current] = self._merge(current)
+            for member in members:
+                if member not in self._own:
+                    self._own[member] = self._merge(member)
+            for member in members:
+                if member not in self._db:
+                    self._db[member] = self._combine_class(member, members)
         return self._db[node]
+
+    def _combine_class(self, node: int, members: Sequence[int]) -> list[Cut]:
+        """Class-merged cut set served for ``node``.
+
+        The member's own cuts keep their priority (they stay first, so
+        downstream truncation prefers them -- a choice-augmented run can
+        only widen, never displace, the plain selection at equal size);
+        cuts borrowed from the other members follow smallest-first, with
+        their fused tables complemented through the relative phases, and
+        each member's *trivial* cut stays private (a borrowed wire would
+        alias the class).  The result is capped at ``choice_limit``.
+        """
+        own = self._own[node]
+        combined = [cut for cut in own if cut.leaves != (node,)]
+        seen = {cut.leaves for cut in combined}
+        node_phase = self.aig.choice_phase(node)
+        borrowed: list[Cut] = []
+        for member in members:
+            if member == node:
+                continue
+            # The structural-only set when available; an already-served
+            # (class-merged) set is an equally sound source -- its
+            # tables express the member's function and duplicates are
+            # filtered by leaf set.
+            source = self._own.get(member)
+            if source is None:
+                source = self._db.get(member)
+            if source is None:
+                continue
+            phase = self.aig.choice_phase(member) ^ node_phase
+            for cut in source:
+                if cut.leaves == (member,) or cut.leaves in seen:
+                    continue
+                seen.add(cut.leaves)
+                table = cut.table
+                if table is not None and phase:
+                    table = self.cache.complement_table(table)
+                borrowed.append(Cut(cut.leaves, table))
+        borrowed.sort(key=lambda cut: cut.size)
+        room = max(0, self.choice_limit - 1 - len(combined))
+        combined.extend(borrowed[:room])
+        combined.append(trivial_cut(node, with_table=self._with_tables))
+        return combined
 
     def compute(self, node: int) -> list[Cut]:
         """(Re)compute the cut set of ``node`` from its live fanins and store it.
 
         Rewriting calls this when visiting a node: the unconditional
         recompute folds in any fanin rewiring that happened since the
-        node's cuts were last registered (e.g. at creation time).
+        node's cuts were last registered (e.g. at creation time).  With
+        ``use_choices`` the recomputed structural set is re-merged with
+        the node's class (the other members' sets are reused as cached).
         """
         cuts = self._merge(node)
+        if self.use_choices:
+            members = self.aig.choice_members(node)
+            if len(members) > 1:
+                self._own[node] = cuts
+                for member in members:
+                    if member != node and member not in self._own:
+                        self.cuts(member)
+                cuts = self._combine_class(node, members)
         self._db[node] = cuts
         return cuts
 
@@ -195,11 +325,34 @@ class CutEngine:
 
         This is the static-enumeration entry point the mapper uses; the
         returned dictionary is the live database (constant, PIs and
-        gates), so callers must not mutate it.
+        gates), so callers must not mutate it.  With ``use_choices`` the
+        pass follows the network's ``choice_topological_order`` (all
+        structural fanins of a class precede every member) and the
+        stored sets are the class-merged views.
         """
+        if self.use_choices and self.aig.has_choices:
+            for node in self.aig.choice_topological_order():
+                if node not in self._db:
+                    self.cuts(node)
+            return self._db
         for node in self.aig.topological_order():
             if node not in self._db:
                 self._db[node] = self._merge(node)
+        return self._db
+
+    def enumerate_nodes(self, nodes: Iterable[int]) -> dict[int, list[Cut]]:
+        """Cut sets of ``nodes`` (plus their fanin cones), nothing else.
+
+        The restricted-enumeration entry point: the choice-aware
+        mapper's *plain fallback* run maps only the PO-reachable subject
+        graph, so enumerating the (possibly subject-sized) dangling
+        alternative cones would be pure waste.  Missing fanin sets
+        resolve lazily through :meth:`cuts`; the returned dictionary is
+        the live database, as with :meth:`enumerate_all`.
+        """
+        for node in nodes:
+            if node not in self._db:
+                self.cuts(node)
         return self._db
 
     # ------------------------------------------------------------------

@@ -16,9 +16,11 @@ Besides the table-regeneration entry points (``repro-table1`` and
   verify the result and write it out (a flow ending in a k-LUT network
   writes BLIF);
 * ``repro-map`` -- read a circuit file, run the multi-pass k-LUT mapper
-  (depth, then area-flow and exact-area recovery), report LUT count /
-  depth / edge count / cut-cache hit rate, verify the mapping against
-  the source AIG by word-parallel simulation and write BLIF.
+  (depth, then area-flow and exact-area recovery; with ``--choices`` a
+  ``dch``-style choice computation runs first and the mapper selects
+  among the recorded structures), report LUT count / depth / edge count
+  / cut-cache hit rate, verify the mapping against the source AIG by
+  word-parallel simulation and write BLIF.
 
 All tools work purely on files, so they can be dropped into existing
 shell-based synthesis flows the way ``abc`` commands are; :func:`main`
@@ -293,13 +295,32 @@ def map_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--patterns", type=int, default=256, help="verification pattern count")
     parser.add_argument("--seed", type=int, default=1, help="verification pattern seed")
     parser.add_argument("--no-verify", action="store_true", help="skip the simulation cross-check")
+    parser.add_argument(
+        "--choices",
+        action="store_true",
+        help="compute structural choices (dch-style) first and map choice-aware",
+    )
+    parser.add_argument("--conflict-limit", type=int, default=10_000, help="SAT conflict limit of --choices")
     arguments = parser.parse_args(argv)
 
     aig = read_network(arguments.input)
     print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
+    subject = aig
+    if arguments.choices:
+        from ..rewriting import compute_choices
+
+        subject, choice_report = compute_choices(
+            aig, seed=arguments.seed, conflict_limit=arguments.conflict_limit
+        )
+        print(
+            f"choices: {choice_report.choice_classes} classes, "
+            f"{choice_report.choice_alternatives} alternatives "
+            f"(rw {choice_report.rewrite_recorded} / rf {choice_report.refactor_recorded} / "
+            f"fraig {choice_report.fraig_recorded}), {choice_report.total_time:.3f}s"
+        )
     try:
         result = technology_map(
-            aig,
+            subject,
             k=arguments.lut_size,
             cut_limit=arguments.cut_limit,
             area_rounds=arguments.area_rounds,

@@ -496,8 +496,18 @@ class Aig(IncrementalNetworkMixin):
         if key not in self._strash:
             self._strash[key] = gate
 
-    # add_mutation_listener / remove_mutation_listener and the topo-cache
-    # validity tracking (_note_rewire) live in IncrementalNetworkMixin.
+    # add_mutation_listener / remove_mutation_listener, the topo-cache
+    # validity tracking (_note_rewire) and the choice-class bookkeeping
+    # live in IncrementalNetworkMixin.  The AIG's edge references are
+    # literals, so choice alternatives can be recorded with an explicit
+    # complement: ``add_choice(node, Aig.literal(alt, True))`` records
+    # that ``alt`` realises the complement of ``node``.
+
+    def _edge_ref_parts(self, reference: int) -> tuple[int, bool]:
+        return reference >> 1, bool(reference & 1)
+
+    def _make_edge_ref(self, node: int, phase: bool) -> int:
+        return 2 * node + int(phase)
 
     def substitute(self, old_node: int, new_literal: int) -> int:
         """Replace every reference to ``old_node`` by ``new_literal``.
@@ -542,6 +552,8 @@ class Aig(IncrementalNetworkMixin):
             self._pos[index] = new_literal ^ (self._pos[index] & 1)
             rewritten += 1
         self._note_rewire(old_node, new_node)
+        if self._choice_repr:
+            self._choices_on_substitute(old_node, new_literal)
         if self._mutation_listeners:
             self._notify_mutation(old_node, new_literal, rewired_gates)
         return rewritten

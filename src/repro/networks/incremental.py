@@ -3,13 +3,43 @@
 :class:`IncrementalNetworkMixin` holds the machinery that used to be
 private to :class:`~repro.networks.aig.Aig` and is in fact completely
 network-agnostic: maintained fanout lists, the PO reference map, the
-mutation-listener bus and the epoch-cached topological order with its
-validity tracking.  Both containers (:class:`~repro.networks.aig.Aig`
-and :class:`~repro.networks.klut.KLutNetwork`) mix it in, so the
+mutation-listener bus, the epoch-cached topological order with its
+validity tracking, and the structural **choice classes**.  Both
+containers (:class:`~repro.networks.aig.Aig` and
+:class:`~repro.networks.klut.KLutNetwork`) mix it in, so the
 incremental-engine guarantees -- O(fanout) substitution, O(1)-amortised
 topological order, O(1) ``fanout_count`` -- hold uniformly and the
 :class:`~repro.networks.protocol.MutableNetwork` protocol has one
 implementation of its bookkeeping, not two.
+
+Choice classes
+--------------
+
+A *choice class* groups functionally-equivalent gates: one
+**representative** plus a ring of alternatives, each annotated with a
+phase flag (``True`` when the member realises the *complement* of the
+representative).  Optimization passes record the structures they would
+otherwise discard -- the sweeper's proven-equivalent nodes, rewriting's
+replaced cones -- and the cut engine later merges cut sets across each
+class so the mapper can pick the best implementation per node
+(ABC's ``dch``-style flow).
+
+Classes are kept sound under mutation:
+
+* :meth:`add_choice` refuses any link that would make the
+  *choice-collapsed* graph cyclic (every class contracted to one
+  supernode whose fanins are the union of the members' fanins).  That
+  invariant is exactly what makes choice-aware cut selection acyclic:
+  a cut recorded at any member only ever reaches leaves whose collapsed
+  class strictly precedes the member's class, so a mapping that mixes
+  implementations can never close a combinational cycle.
+* ``substitute`` re-anchors the replaced node's class onto the
+  replacement (best effort: links that would break the invariant are
+  dropped), so sweeping a choice-carrying network keeps the recorded
+  alternatives attached to the surviving nodes.
+* choice events fire on a dedicated listener bus
+  (:meth:`add_choice_listener`), so attached engines (the shared cut
+  engine) invalidate exactly the affected class members.
 
 The mixin deliberately does *not* own the mutation operations
 themselves: how fanins are stored (literal pairs versus node tuples)
@@ -38,22 +68,31 @@ read surface.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from .protocol import MutationListener
-from .traversal import transitive_fanout
+from .protocol import ChoiceListener, MutationListener
+from .traversal import topological_sort, transitive_fanout
 
 __all__ = ["IncrementalNetworkMixin"]
 
 
 class IncrementalNetworkMixin:
-    """Fanout lists, PO references, topo cache and listener bus in one place."""
+    """Fanout lists, PO references, topo cache, choice classes and listener buses."""
+
+    #: Conservative bound on the choice-acyclicity walk: a merge whose
+    #: collapsed-cone check would visit more nodes is rejected outright
+    #: (soundness over completeness; real classes stay far below this).
+    CHOICE_TFI_LIMIT = 100_000
 
     _fanouts: list[list[int]]
     _po_refs: dict[int, list[int]]
     _topo_cache: list[int] | None
     _topo_pos: dict[int, int] | None
     _mutation_listeners: list[MutationListener]
+    _choice_listeners: list[ChoiceListener]
+    _choice_repr: dict[int, int]
+    _choice_phase: dict[int, bool]
+    _choice_members: dict[int, list[int]]
 
     if TYPE_CHECKING:  # pragma: no cover - the host container provides these
         # Declared for the type checker only (no runtime definition, so
@@ -61,7 +100,15 @@ class IncrementalNetworkMixin:
         # surface the mixin's derived queries build on.
         def nodes(self) -> Iterator[int]: ...
 
+        def gates(self) -> Iterator[int]: ...
+
         def topological_order(self) -> list[int]: ...
+
+        def is_gate(self, node: int) -> bool: ...
+
+        def gate_fanin_nodes(self, node: int) -> Sequence[int]: ...
+
+        def po_nodes(self) -> list[int]: ...
 
     def _init_incremental(self) -> None:
         """Initialise the incremental state (call from ``__init__``)."""
@@ -77,6 +124,14 @@ class IncrementalNetworkMixin:
         # with (old_node, replacement, rewired_gates).  Incremental consumers
         # (the cut engine) use them to invalidate exactly the affected state.
         self._mutation_listeners = []
+        # Choice classes: member -> representative, member -> phase
+        # relative to the representative, representative -> member list
+        # (representative first).  Nodes outside any class appear in none
+        # of the three maps; classes always have at least two members.
+        self._choice_listeners = []
+        self._choice_repr = {}
+        self._choice_phase = {}
+        self._choice_members = {}
 
     # ------------------------------------------------------------------
     # Construction-time bookkeeping
@@ -233,6 +288,270 @@ class IncrementalNetworkMixin:
             listener(old_node, replacement, rewired_gates)
 
     # ------------------------------------------------------------------
+    # Choice classes
+    # ------------------------------------------------------------------
+
+    def _edge_ref_parts(self, reference: int) -> tuple[int, bool]:
+        """Split an edge reference into ``(node, phase)``.
+
+        The default covers networks without complemented edges (the
+        k-LUT container); the AIG overrides it to decode literals.
+        """
+        return reference, False
+
+    def _make_edge_ref(self, node: int, phase: bool) -> int:
+        """Inverse of :meth:`_edge_ref_parts` (phase-less by default)."""
+        if phase:
+            raise ValueError("this network has no complemented edge references")
+        return node
+
+    @property
+    def has_choices(self) -> bool:
+        """True when at least one choice class is recorded."""
+        return bool(self._choice_members)
+
+    @property
+    def num_choice_classes(self) -> int:
+        """Number of choice classes (each has >= 2 members)."""
+        return len(self._choice_members)
+
+    @property
+    def num_choice_alternatives(self) -> int:
+        """Total number of non-representative class members."""
+        return len(self._choice_repr) - len(self._choice_members)
+
+    def choice_repr(self, node: int) -> int:
+        """Representative of ``node``'s choice class (``node`` itself if none)."""
+        return self._choice_repr.get(node, node)
+
+    def choice_phase(self, node: int) -> bool:
+        """Phase of ``node`` relative to its class representative.
+
+        ``True`` means the node realises the *complement* of the
+        representative; nodes outside any class (and representatives)
+        report ``False``.
+        """
+        return self._choice_phase.get(node, False)
+
+    def choice_members(self, node: int) -> list[int]:
+        """All members of ``node``'s choice class, representative first.
+
+        A node outside any class reports ``[node]``, so callers can
+        treat every node as a (possibly singleton) class uniformly.
+        """
+        members = self._choice_members.get(self._choice_repr.get(node, node))
+        return list(members) if members is not None else [node]
+
+    def choices(self, node: int) -> list[tuple[int, bool]]:
+        """The other members of ``node``'s class, with phases relative to ``node``.
+
+        Each entry is ``(member, phase)`` where ``phase`` is ``True``
+        when the member realises the complement of ``node``.  Empty for
+        nodes outside any class.
+        """
+        representative = self._choice_repr.get(node)
+        if representative is None:
+            return []
+        own_phase = self._choice_phase[node]
+        return [
+            (member, self._choice_phase[member] ^ own_phase)
+            for member in self._choice_members[representative]
+            if member != node
+        ]
+
+    def _choice_merge_creates_cycle(self, members: Sequence[int]) -> bool:
+        """True if merging ``members`` into one class breaks collapsed acyclicity.
+
+        Walks the choice-closed transitive fanin of the prospective
+        class (structural fanins, expanded through existing classes) and
+        reports a cycle as soon as any prospective member is reached.
+        The walk is bounded by :attr:`CHOICE_TFI_LIMIT`; overflowing the
+        bound conservatively counts as a cycle.
+        """
+        targets = set(members)
+        visited: set[int] = set()
+        stack: list[int] = []
+        for member in members:
+            stack.extend(self.gate_fanin_nodes(member))
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            if node in targets:
+                return True
+            if len(visited) > self.CHOICE_TFI_LIMIT:
+                return True
+            stack.extend(self.gate_fanin_nodes(node))
+            representative = self._choice_repr.get(node)
+            if representative is not None:
+                stack.extend(
+                    other for other in self._choice_members[representative] if other not in visited
+                )
+        return False
+
+    def add_choice(self, repr_node: int, alternative: int) -> bool:
+        """Record ``alternative`` as a functionally-equivalent choice of ``repr_node``.
+
+        ``alternative`` is the network's edge-reference type (an AIG
+        literal, so complemented equivalences are expressible; a plain
+        node index on a k-LUT network).  The call is *best effort* and
+        returns whether the link was recorded: it refuses PIs/constants,
+        nodes already in the same class, and -- crucially -- any link
+        that would make the choice-collapsed graph cyclic (see the
+        module docstring).  When the alternative already heads a class
+        of its own, the two classes are merged.  The caller is
+        responsible for the *functional* equivalence of the pair; the
+        fuzz suite verifies it by simulation.
+        """
+        alt_node, alt_phase = self._edge_ref_parts(alternative)
+        if alt_node == repr_node:
+            return False
+        if not self.is_gate(repr_node) or not self.is_gate(alt_node):
+            return False
+        target = self._choice_repr.get(repr_node, repr_node)
+        if self._choice_repr.get(alt_node, alt_node) == target:
+            return False
+        alt_repr = self._choice_repr.get(alt_node, alt_node)
+        alt_members = self._choice_members.get(alt_repr, [alt_node])
+        target_members = self._choice_members.get(target, [target])
+        if self._choice_merge_creates_cycle(list(target_members) + list(alt_members)):
+            return False
+        # Phase of the alternative's representative relative to `target`:
+        # alt_node == target ^ (phase(repr_node) ^ alt_phase) and
+        # alt_node == alt_repr ^ phase(alt_node).
+        alt_repr_phase = self._choice_phase.get(repr_node, False) ^ alt_phase ^ self._choice_phase.get(alt_node, False)
+        if target not in self._choice_members:
+            self._choice_members[target] = [target]
+            self._choice_repr[target] = target
+            self._choice_phase[target] = False
+        merged = self._choice_members[target]
+        for member in alt_members:
+            self._choice_repr[member] = target
+            self._choice_phase[member] = alt_repr_phase ^ self._choice_phase.get(member, False)
+            merged.append(member)
+        if alt_repr in self._choice_members and alt_repr != target:
+            del self._choice_members[alt_repr]
+        self._notify_choice(target, tuple(merged))
+        return True
+
+    def remove_choice(self, node: int) -> bool:
+        """Detach ``node`` from its choice class (dissolving 1-member remnants).
+
+        Returns ``True`` when the node was a class member.  When the
+        removed node was the representative, the first surviving member
+        takes over and phases are rebased onto it.
+        """
+        representative = self._choice_repr.get(node)
+        if representative is None:
+            return False
+        members = self._choice_members[representative]
+        affected = tuple(members)
+        members.remove(node)
+        del self._choice_repr[node]
+        del self._choice_phase[node]
+        if len(members) < 2:
+            for member in members:
+                self._choice_repr.pop(member, None)
+                self._choice_phase.pop(member, None)
+            del self._choice_members[representative]
+        elif node == representative:
+            new_representative = members[0]
+            base = self._choice_phase[new_representative]
+            del self._choice_members[representative]
+            self._choice_members[new_representative] = members
+            for member in members:
+                self._choice_repr[member] = new_representative
+                self._choice_phase[member] = self._choice_phase[member] ^ base
+        self._notify_choice(representative, affected)
+        return True
+
+    def clear_choices(self) -> None:
+        """Drop every recorded choice class."""
+        affected = [tuple(members) for members in self._choice_members.values()]
+        self._choice_repr.clear()
+        self._choice_phase.clear()
+        self._choice_members.clear()
+        for members in affected:
+            self._notify_choice(members[0], members)
+
+    def _choices_on_substitute(self, old_node: int, replacement: int) -> None:
+        """Re-anchor ``old_node``'s choice class onto the replacement.
+
+        Called by the containers' ``substitute``: the replaced node
+        leaves its class, and the surviving members are linked to the
+        replacement node (which now carries the fanouts) -- best effort,
+        links breaking the collapsed-acyclicity invariant are dropped.
+        """
+        representative = self._choice_repr.get(old_node)
+        if representative is None:
+            return
+        new_node, sub_phase = self._edge_ref_parts(replacement)
+        old_phase = self._choice_phase[old_node]
+        survivors = [m for m in self._choice_members[representative] if m != old_node]
+        # anchor == repr ^ phase(anchor), old == repr ^ old_phase and
+        # old == new ^ sub_phase, hence anchor == new ^ (phases xored).
+        # Captured before remove_choice, which may rebase or drop phases.
+        anchor = survivors[0] if survivors else -1
+        anchor_phase = (self._choice_phase.get(anchor, False) ^ old_phase ^ sub_phase) if survivors else False
+        self.remove_choice(old_node)
+        if not survivors or not self.is_gate(new_node):
+            return
+        self.add_choice(new_node, self._make_edge_ref(anchor, anchor_phase))
+
+    def choice_topological_order(self) -> list[int]:
+        """Gate order consistent with the *choice-collapsed* graph.
+
+        For every gate, the structural fanins of **all** members of its
+        choice class appear earlier -- the order choice-aware cut
+        enumeration and mapping iterate, since a cut recorded at any
+        class member may reach leaves anywhere in the class's merged
+        fanin cone.  Without choices this is the plain (cached)
+        topological order.
+        """
+        if not self._choice_members:
+            return self.topological_order()
+        choice_repr = self._choice_repr
+        choice_members = self._choice_members
+
+        def fanins_of(node: int) -> list[int]:
+            members = choice_members.get(choice_repr.get(node, node))
+            if members is None:
+                return list(self.gate_fanin_nodes(node))
+            merged: list[int] = []
+            for member in members:
+                merged.extend(self.gate_fanin_nodes(member))
+            return merged
+
+        roots = list(self.po_nodes()) + list(self.gates())
+        return [node for node in topological_sort(roots, fanins_of) if self.is_gate(node)]
+
+    # -- choice listener bus -------------------------------------------
+
+    def add_choice_listener(self, listener: ChoiceListener) -> None:
+        """Register a choice hook.
+
+        The listener is invoked after every class change (link added,
+        member removed, class re-anchored) as ``listener(representative,
+        members)`` with ``members`` the nodes whose class composition
+        changed; incremental consumers (the choice-aware cut engine)
+        invalidate exactly those nodes' merged state.  Listeners are not
+        cloned by ``clone``.
+        """
+        self._choice_listeners.append(listener)
+
+    def remove_choice_listener(self, listener: ChoiceListener) -> None:
+        """Unregister a choice hook (no-op if it is not registered)."""
+        try:
+            self._choice_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_choice(self, representative: int, members: tuple[int, ...]) -> None:
+        for listener in self._choice_listeners:
+            listener(representative, members)
+
+    # ------------------------------------------------------------------
     # Clone support
     # ------------------------------------------------------------------
 
@@ -247,3 +566,7 @@ class IncrementalNetworkMixin:
         other._topo_cache = list(self._topo_cache) if self._topo_cache is not None else None
         other._topo_pos = dict(self._topo_pos) if self._topo_pos is not None else None
         other._mutation_listeners = []
+        other._choice_listeners = []
+        other._choice_repr = dict(self._choice_repr)
+        other._choice_phase = dict(self._choice_phase)
+        other._choice_members = {node: list(members) for node, members in self._choice_members.items()}

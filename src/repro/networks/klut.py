@@ -376,6 +376,8 @@ class KLutNetwork(IncrementalNetworkMixin):
             self._pos[index] = (new_node, negated)
             rewritten += 1
         self._note_rewire(old_node, new_node)
+        if self._choice_repr:
+            self._choices_on_substitute(old_node, new_node)
         if self._mutation_listeners:
             self._notify_mutation(old_node, new_node, rewired_gates)
         return rewritten

@@ -19,6 +19,29 @@ Cut enumeration, fused cut functions and the structural-signature
 function cache come from :mod:`repro.cuts`; the mapper never walks a
 cone to compute a LUT function.  Every selected cut becomes a LUT whose
 truth table is the cut's fused table.
+
+Choice-aware mapping
+--------------------
+
+On a network carrying choice classes (see
+:mod:`repro.networks.incremental`), every class member's cut set is the
+class-merged view (:class:`~repro.cuts.engine.CutEngine` with
+``use_choices``), so **all three passes** select per node among every
+recorded implementation -- a depth-optimal alternative can win the depth
+pass while an area-cheaper one wins exact area at another node.  The
+passes iterate the network's ``choice_topological_order`` (a borrowed
+cut's leaves may live anywhere in the class's merged fanin cone) and the
+area-flow reference estimates are restricted to the PO-reachable
+subject graph, so dangling alternative structures never distort the
+sharing estimate.  The emitted k-LUT network is **choice-free**: the
+selection resolves every class to one concrete implementation per
+covered node.
+
+The choice-aware run is additionally guarded by a *plain fallback*: the
+same network is also mapped with choices disabled (exactly the plain
+mapper's selection) and the choice selection only ships when it does
+not regress -- mapping a choice-augmented network therefore never
+yields more LUTs or a deeper network than plain mapping.
 """
 
 from __future__ import annotations
@@ -95,6 +118,9 @@ class MappingStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit_rate: float = 0.0
+    choice_classes: int = 0
+    choice_alternatives: int = 0
+    used_choices: bool = False
     passes: list[str] = field(default_factory=list)
 
     def as_details(self) -> dict[str, float]:
@@ -110,13 +136,20 @@ class MappingStats:
             "cache_hits": float(self.cache_hits),
             "cache_misses": float(self.cache_misses),
             "cache_hit_rate": self.cache_hit_rate,
+            "choice_classes": float(self.choice_classes),
+            "choice_alternatives": float(self.choice_alternatives),
+            "used_choices": float(self.used_choices),
         }
 
     def __str__(self) -> str:
+        choices = ""
+        if self.choice_classes:
+            outcome = "selected" if self.used_choices else "plain fallback"
+            choices = f"; {self.choice_classes} choice classes, {outcome}"
         return (
             f"mapped to {self.num_luts} LUT{self.k}s, depth {self.depth}, "
             f"{self.num_edges} edges ({' -> '.join(self.passes)}; "
-            f"cut cache hit rate {self.cache_hit_rate:.1%})"
+            f"cut cache hit rate {self.cache_hit_rate:.1%}{choices})"
         )
 
 
@@ -137,19 +170,74 @@ class MappingResult:
 class _Mapper:
     """One mapping run: cut selection state shared by the passes."""
 
-    def __init__(self, aig: Aig, k: int, cut_limit: int, cache: CutFunctionCache | None) -> None:
+    def __init__(
+        self,
+        aig: Aig,
+        k: int,
+        cut_limit: int,
+        cache: CutFunctionCache | None,
+        use_choices: bool = False,
+    ) -> None:
         self.aig = aig
         self.k = k
-        self.engine = CutEngine(aig, k=k, cut_limit=cut_limit, cache=cache)
-        self.all_cuts = self.engine.enumerate_all()
-        self.topo = aig.topological_order()
+        self.use_choices = use_choices and aig.has_choices
+        # The choice-aware run doubles the priority-cut budget: class-
+        # merged fanin sets produce more merge candidates, and at the
+        # plain budget the smallest-first truncation starts dropping the
+        # *subject* cuts -- measurably costing depth.  The plain
+        # fallback run keeps the caller's budget, so its selection stays
+        # bit-identical to a plain map.
+        engine_cut_limit = 2 * cut_limit if self.use_choices else cut_limit
+        self.engine = CutEngine(aig, k=k, cut_limit=engine_cut_limit, cache=cache, use_choices=self.use_choices)
+        # With choices a borrowed cut's leaves may live anywhere in the
+        # class's merged fanin cone, so the passes iterate the choice-
+        # collapsed order (leaves always precede the selecting node).
+        # A *plain* run on a choice-carrying network (the never-worse
+        # fallback) maps only the PO-reachable subject graph instead:
+        # its selection cannot use the dangling alternative cones, so
+        # neither enumerating nor iterating them buys anything.
+        reachable = set(aig.tfi(aig.po_nodes())) if aig.has_choices else None
+        if self.use_choices:
+            self.topo = aig.choice_topological_order()
+            self.all_cuts = self.engine.enumerate_all()
+        elif reachable is not None:
+            self.topo = [node for node in aig.topological_order() if node in reachable]
+            self.all_cuts = self.engine.enumerate_nodes(self.topo)
+        else:
+            self.topo = aig.topological_order()
+            self.all_cuts = self.engine.enumerate_all()
         self.best: dict[int, Cut] = {}
         self.arrival: dict[int, int] = {0: 0}
         for pi in aig.pis:
             self.arrival[pi] = 0
         # Estimated reference counts for area flow: how often a node is
-        # used in the subject graph (never below one).
-        self.est_refs = {node: max(1, aig.fanout_count(node)) for node in self.topo}
+        # used in the subject graph (never below one).  The estimate is
+        # restricted to the PO-reachable subgraph: references held by
+        # dangling logic -- leftover cones, and in particular a choice
+        # pass's additive alternative structures -- are not subject
+        # logic and must not distort the sharing estimate.  This also
+        # makes the choice-aware run and its plain fallback price
+        # sharing identically to a plain map of the un-augmented
+        # network, which is what the never-worse guarantee rests on.
+        self.est_refs = self._reachable_refs(reachable)
+
+    def _reachable_refs(self, reachable: set[int] | None = None) -> dict[int, int]:
+        """Reference estimates counted over the PO-reachable subgraph only."""
+        aig = self.aig
+        if reachable is None:
+            reachable = set(aig.tfi(aig.po_nodes()))
+        counts = dict.fromkeys(self.topo, 0)
+        for node in self.topo:
+            if node not in reachable:
+                continue
+            for fanin in aig.gate_fanin_nodes(node):
+                if fanin in counts:
+                    counts[fanin] += 1
+        for po in aig.pos:
+            driver = aig.node_of(po)
+            if driver in counts:
+                counts[driver] += 1
+        return {node: max(1, count) for node, count in counts.items()}
 
     # -- shared helpers -------------------------------------------------
 
@@ -361,12 +449,68 @@ class _Mapper:
         return klut, node_map, cover
 
 
+@dataclass
+class _Selection:
+    """One complete cut selection: the best-snapshot unit of comparison."""
+
+    luts: int
+    edges: int
+    depth: int
+    best: dict[int, Cut]
+    arrival: dict[int, int]
+
+
+def _map_passes(mapper: _Mapper, area_rounds: int, relax_depth: int | None = None) -> tuple[_Selection, list[int]]:
+    """Run the pass sequence on one mapper; returns the best selection.
+
+    Area recovery is monotone in practice, but a heuristic pass is never
+    allowed to ship a worse selection than an earlier one: the best
+    (LUTs, edges) snapshot wins.  The second element reports the LUT
+    count after each executed pass (depth, area-flow, exact-area).
+
+    ``relax_depth`` loosens the required times to that depth when the
+    depth pass lands below it: the choice-aware run only has to stay
+    within the *plain* run's depth, and a choice-rich network often
+    reaches a lower depth whose tight required times would starve area
+    recovery of slack.
+    """
+
+    def snapshot() -> _Selection:
+        cover = mapper.cover()
+        edges = sum(mapper.best[node].size for node in cover)
+        return _Selection(len(cover), edges, mapper.mapping_depth(), dict(mapper.best), dict(mapper.arrival))
+
+    mapper.depth_pass()
+    target_depth = mapper.mapping_depth()
+    if relax_depth is not None and relax_depth > target_depth:
+        target_depth = relax_depth
+    best = snapshot()
+    pass_luts = [best.luts]
+
+    if area_rounds >= 1:
+        required = mapper.required_times(mapper.cover(), target_depth)
+        mapper.area_flow_pass(required)
+        candidate = snapshot()
+        pass_luts.append(candidate.luts)
+        if (candidate.luts, candidate.edges) < (best.luts, best.edges):
+            best = candidate
+    if area_rounds >= 2:
+        required = mapper.required_times(mapper.cover(), target_depth)
+        mapper.exact_area_pass(required)
+        candidate = snapshot()
+        pass_luts.append(candidate.luts)
+        if (candidate.luts, candidate.edges) < (best.luts, best.edges):
+            best = candidate
+    return best, pass_luts
+
+
 def technology_map(
     aig: Aig,
     k: int = 6,
     cut_limit: int = 8,
     area_rounds: int = 2,
     cache: CutFunctionCache | None = None,
+    use_choices: bool | None = None,
 ) -> MappingResult:
     """Map an AIG into a k-LUT network with the multi-pass mapper.
 
@@ -377,6 +521,14 @@ def technology_map(
     selection by required times derived from the depth-pass mapping.
     A shared :class:`~repro.cuts.cache.CutFunctionCache` can be passed
     to reuse fused cut functions across multiple mapping runs.
+
+    ``use_choices`` controls choice-aware mapping on a choice-carrying
+    network: ``None`` (default) enables it automatically whenever the
+    network records choice classes, ``False`` forces a plain run.  The
+    choice-aware run selects among all recorded implementations in all
+    passes and is guarded by a plain fallback run, so its result never
+    has more LUTs or a larger depth than plain mapping (the emitted
+    k-LUT network is always choice-free).
     """
     if k < 2:
         raise ValueError("LUT size k must be at least 2")
@@ -386,42 +538,45 @@ def technology_map(
     # Snapshot the (possibly shared) cache counters so the statistics
     # report this run's lookups, not the cache's lifetime totals.
     hits_before, misses_before = shared_cache.hits, shared_cache.misses
-    mapper = _Mapper(aig, k, cut_limit, shared_cache)
+    with_choices = aig.has_choices if use_choices is None else bool(use_choices) and aig.has_choices
+
     stats = MappingStats(k=k, cut_limit=cut_limit)
-    stats.cuts_enumerated = sum(len(cuts) for cuts in mapper.all_cuts.values())
+    stats.passes.extend(["depth", "area-flow", "exact-area"][: area_rounds + 1])
+    if not with_choices:
+        mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=False)
+        stats.cuts_enumerated = sum(len(cuts) for cuts in mapper.all_cuts.values())
+        selection, pass_luts = _map_passes(mapper, area_rounds)
+    else:
+        stats.choice_classes = aig.num_choice_classes
+        stats.choice_alternatives = aig.num_choice_alternatives
+        stats.passes.insert(0, "choice")
+        # The plain run first: its selection is both the never-worse
+        # fallback and the depth budget of the choice-aware run (the
+        # choice run's required times are relaxed to the plain depth --
+        # a choice-rich depth pass often lands *below* it, and the
+        # tighter required times would starve area recovery of slack).
+        plain_mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=False)
+        plain_selection, plain_pass_luts = _map_passes(plain_mapper, area_rounds)
+        mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=True)
+        stats.cuts_enumerated = sum(len(cuts) for cuts in mapper.all_cuts.values())
+        selection, pass_luts = _map_passes(mapper, area_rounds, relax_depth=plain_selection.depth)
+        # Ship the choice selection only when it regresses neither LUTs
+        # nor depth; edge count breaks exact-LUT ties.
+        improved = selection.luts < plain_selection.luts or (
+            selection.luts == plain_selection.luts
+            and (selection.depth, selection.edges) <= (plain_selection.depth, plain_selection.edges)
+        )
+        if selection.depth <= plain_selection.depth and selection.luts <= plain_selection.luts and improved:
+            stats.used_choices = True
+        else:
+            mapper, selection, pass_luts = plain_mapper, plain_selection, plain_pass_luts
+    stats.depth_pass_luts = pass_luts[0]
+    if len(pass_luts) > 1:
+        stats.area_flow_luts = pass_luts[1]
+    if len(pass_luts) > 2:
+        stats.exact_area_luts = pass_luts[2]
 
-    def snapshot() -> tuple[int, int, dict[int, Cut], dict[int, int]]:
-        cover = mapper.cover()
-        edges = sum(mapper.best[node].size for node in cover)
-        return (len(cover), edges, dict(mapper.best), dict(mapper.arrival))
-
-    mapper.depth_pass()
-    stats.passes.append("depth")
-    target_depth = mapper.mapping_depth()
-    best_selection = snapshot()
-    stats.depth_pass_luts = best_selection[0]
-
-    if area_rounds >= 1:
-        required = mapper.required_times(mapper.cover(), target_depth)
-        mapper.area_flow_pass(required)
-        stats.passes.append("area-flow")
-        candidate = snapshot()
-        stats.area_flow_luts = candidate[0]
-        if candidate[:2] < best_selection[:2]:
-            best_selection = candidate
-    if area_rounds >= 2:
-        required = mapper.required_times(mapper.cover(), target_depth)
-        mapper.exact_area_pass(required)
-        stats.passes.append("exact-area")
-        candidate = snapshot()
-        stats.exact_area_luts = candidate[0]
-        if candidate[:2] < best_selection[:2]:
-            best_selection = candidate
-
-    # Area recovery is monotone in practice, but a heuristic pass is
-    # never allowed to ship a worse selection than an earlier one: the
-    # best (LUTs, edges) snapshot wins.
-    _luts, _edges, mapper.best, mapper.arrival = best_selection
+    mapper.best, mapper.arrival = selection.best, selection.arrival
     network, node_map, cover = mapper.build()
     stats.num_luts = len(cover)
     stats.depth = network.depth()

@@ -44,13 +44,19 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
-__all__ = ["LogicNetwork", "MutableNetwork", "MutationListener", "network_kind"]
+__all__ = ["LogicNetwork", "MutableNetwork", "MutationListener", "ChoiceListener", "network_kind"]
 
 #: Signature of a mutation hook: ``listener(old_node, replacement,
 #: rewired_gates)`` where ``replacement`` is the network's edge-reference
 #: type (an AIG literal / a k-LUT node index) and ``rewired_gates`` are
 #: the gate indices whose fanins were redirected by the event.
 MutationListener = Callable[[int, int, "tuple[int, ...]"], None]
+
+#: Signature of a choice hook: ``listener(representative, members)``,
+#: fired after any choice-class change with the nodes whose class
+#: composition changed.  Incremental consumers (the choice-aware cut
+#: engine) invalidate exactly those nodes' merged state.
+ChoiceListener = Callable[[int, "tuple[int, ...]"], None]
 
 
 @runtime_checkable
@@ -154,6 +160,33 @@ class LogicNetwork(Protocol):
         """Transitive fanout cone of ``nodes`` (the nodes themselves included)."""
         ...
 
+    # -- choice classes ------------------------------------------------
+
+    @property
+    def has_choices(self) -> bool:
+        """True when at least one choice class is recorded."""
+        ...
+
+    def choice_repr(self, node: int) -> int:
+        """Representative of ``node``'s choice class (``node`` itself if none)."""
+        ...
+
+    def choice_phase(self, node: int) -> bool:
+        """Phase of ``node`` relative to its class representative."""
+        ...
+
+    def choice_members(self, node: int) -> list[int]:
+        """Members of ``node``'s class, representative first (``[node]`` if none)."""
+        ...
+
+    def choices(self, node: int) -> list[tuple[int, bool]]:
+        """Other members of ``node``'s class with phases relative to ``node``."""
+        ...
+
+    def choice_topological_order(self) -> list[int]:
+        """Gate order consistent with the choice-collapsed graph."""
+        ...
+
     # -- reference semantics -------------------------------------------
 
     def evaluate(self, pi_values: Sequence[bool | int]) -> list[bool]:
@@ -189,6 +222,26 @@ class MutableNetwork(LogicNetwork, Protocol):
 
     def remove_mutation_listener(self, listener: MutationListener) -> None:
         """Unregister a mutation hook (no-op if it is not registered)."""
+        ...
+
+    def add_choice(self, repr_node: int, alternative: int) -> bool:
+        """Record an equivalent alternative (edge-reference type) for a gate.
+
+        Best effort: returns ``False`` instead of recording a link that
+        would break the choice-collapsed acyclicity invariant.
+        """
+        ...
+
+    def remove_choice(self, node: int) -> bool:
+        """Detach ``node`` from its choice class."""
+        ...
+
+    def add_choice_listener(self, listener: ChoiceListener) -> None:
+        """Register a hook invoked after every choice-class change."""
+        ...
+
+    def remove_choice_listener(self, listener: ChoiceListener) -> None:
+        """Unregister a choice hook (no-op if it is not registered)."""
         ...
 
     def topological_position(self, node: int) -> int:

@@ -27,6 +27,30 @@ __all__ = [
 ]
 
 
+def _choice_reachable(aig: Aig) -> set[int]:
+    """PO-reachable nodes, closed over choice classes.
+
+    Starting from the PO cones, any choice class with a reachable member
+    pulls the cones of *all* its members in (alternatives are dangling
+    by construction -- nothing references them -- yet they must survive
+    a cleanup so the mapper can still choose them); iterate to a
+    fixpoint since an alternative's cone may reach further classes.
+    """
+    reachable = set(aig.tfi([aig.node_of(po) for po in aig.pos]))
+    pending = True
+    while pending:
+        pending = False
+        extra_roots = []
+        for node in list(reachable):
+            for member, _phase in aig.choices(node):
+                if member not in reachable:
+                    extra_roots.append(member)
+        if extra_roots:
+            reachable.update(aig.tfi(extra_roots))
+            pending = True
+    return reachable
+
+
 def rebuild_strashed(aig: Aig) -> tuple[Aig, dict[int, int]]:
     """Rebuild the PO cones of the AIG through the strashing constructor.
 
@@ -35,8 +59,16 @@ def rebuild_strashed(aig: Aig) -> tuple[Aig, dict[int, int]]:
     simplifications (which propagates constants) and drops dangling nodes.
     Returns the new graph and a map from old literal to new literal
     (positive literals of reachable nodes; complement by xor-ing bit 0).
+
+    Choice classes survive the rebuild: the cones of alternatives whose
+    class has a PO-reachable member are rebuilt too (even though they
+    are dangling) and the class links are re-registered through the
+    literal map.  Links that collapse structurally (the alternative
+    strashes onto its representative) or degenerate (an alternative
+    simplifies to a constant/PI) are silently dropped.
     """
-    reachable = set(aig.tfi([aig.node_of(po) for po in aig.pos]))
+    has_choices = aig.has_choices
+    reachable = _choice_reachable(aig) if has_choices else set(aig.tfi([aig.node_of(po) for po in aig.pos]))
     rebuilt = Aig(aig.name)
     literal_map: dict[int, int] = {0: 0, 1: 1}
     for pi, name in zip(aig.pis, aig.pi_names):
@@ -55,6 +87,21 @@ def rebuild_strashed(aig: Aig) -> tuple[Aig, dict[int, int]]:
     for po, name in zip(aig.pos, aig.po_names):
         new_po = literal_map[Aig.regular(po)] ^ (po & 1)
         rebuilt.add_po(new_po, name)
+    if has_choices:
+        for node in aig.topological_order():
+            if node not in reachable or aig.choice_repr(node) != node:
+                continue
+            repr_literal = literal_map.get(Aig.literal(node))
+            if repr_literal is None:
+                continue
+            for member, phase in aig.choices(node):
+                member_literal = literal_map.get(Aig.literal(member))
+                if member_literal is None:
+                    continue
+                rebuilt.add_choice(
+                    Aig.node_of(repr_literal),
+                    member_literal ^ int(phase) ^ (repr_literal & 1),
+                )
     return rebuilt, literal_map
 
 

@@ -18,6 +18,10 @@ Layering:
 * :mod:`~repro.rewriting.klut_resyn` -- mapped-network (k-LUT) MFFC
   resynthesis, committed through the incremental
   :meth:`~repro.networks.klut.KLutNetwork.substitute`;
+* :mod:`~repro.rewriting.choices` -- structural choice computation (the
+  ``dch``-style ``choice`` pass): rewriting/refactoring run additively
+  and the sweeper records proven equivalences as choice classes for
+  choice-aware mapping;
 * :mod:`~repro.rewriting.passes` -- the network-generic
   :class:`PassManager` running ABC-style scripts (``"rw; fraig"``,
   ``"resyn2"``, ``"map; lutmffc; cleanup"``, ...) with per-pass
@@ -31,6 +35,7 @@ from .mffc import collect_mffc, mffc_size
 from .rewrite import RewriteReport, rewrite
 from .balance import BalanceReport, balance
 from .refactor import RefactorReport, refactor
+from .choices import ChoiceReport, compute_choices
 from .klut_resyn import LutResynReport, lut_resynthesize
 from .passes import (
     PassManager,
@@ -61,6 +66,8 @@ __all__ = [
     "balance",
     "RefactorReport",
     "refactor",
+    "ChoiceReport",
+    "compute_choices",
     "LutResynReport",
     "lut_resynthesize",
     "PassManager",

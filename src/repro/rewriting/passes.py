@@ -30,8 +30,13 @@ Registered passes
 ``fraig``    aig      baseline SAT sweeping (:class:`repro.sweeping.FraigSweeper`)
 ``stp``      aig      STP-enhanced SAT sweeping (:class:`repro.sweeping.StpSweeper`)
 ``cp``       aig      SAT-backed constant propagation
+``choice``   aig      structural choice computation (``dch``-style:
+                      :func:`repro.rewriting.choices.compute_choices`);
+                      a following ``map`` selects among the recorded
+                      implementations automatically
 ``map``      aig>klut multi-pass k-LUT technology mapping
-                      (:func:`repro.networks.mapping.technology_map`)
+                      (:func:`repro.networks.mapping.technology_map`;
+                      choice-aware on a choice-carrying network)
 ``lutmffc``  klut     mapped-network MFFC resynthesis
                       (:func:`repro.rewriting.klut_resyn.lut_resynthesize`)
 ``lutmffcz`` klut     LUT resynthesis, zero-gain replacements allowed
@@ -41,10 +46,11 @@ Registered passes
 
 plus the named scripts ``resyn`` / ``resyn2`` (ABC's classical recipes),
 ``rwsweep`` (``rw; fraig; rw; fraig``, the interleaved
-rewriting/sweeping flow the paper-style harness uses as a pre-pass) and
+rewriting/sweeping flow the paper-style harness uses as a pre-pass),
 ``maplut`` (``map; lutmffc; cleanup``, the mapped-network optimization
-flow).  Long names (``rewrite``, ``balance``, ``refactor``,
-``constprop``, ``lutresyn``) are accepted as aliases.
+flow) and ``choicemap`` (``choice; map``, choice-aware mapping).  Long
+names (``rewrite``, ``balance``, ``refactor``, ``constprop``,
+``lutresyn``, ``dch``) are accepted as aliases.
 
 Verification
 ------------
@@ -99,6 +105,7 @@ NAMED_SCRIPTS: dict[str, str] = {
     "resyn2": "b; rw; rf; b; rw; rwz; b; rfz; rwz; b",
     "rwsweep": "rw; fraig; rw; fraig",
     "maplut": "map; lutmffc; cleanup",
+    "choicemap": "choice; map",
 }
 
 #: Long-name aliases for the single passes.
@@ -109,6 +116,7 @@ _ALIASES: dict[str, str] = {
     "constprop": "cp",
     "trim": "cleanup",
     "lutresyn": "lutmffc",
+    "dch": "choice",
 }
 
 #: The canonical single-pass names.
@@ -121,6 +129,7 @@ PASS_NAMES: tuple[str, ...] = (
     "fraig",
     "stp",
     "cp",
+    "choice",
     "map",
     "lutmffc",
     "lutmffcz",
@@ -139,6 +148,7 @@ PASS_KINDS: dict[str, tuple[str, str]] = {
     "fraig": ("aig", "aig"),
     "stp": ("aig", "aig"),
     "cp": ("aig", "aig"),
+    "choice": ("aig", "aig"),
     "map": ("aig", "klut"),
     "lutmffc": ("klut", "klut"),
     "lutmffcz": ("klut", "klut"),
@@ -432,6 +442,7 @@ class PassManager:
             "fraig": self._fraig,
             "stp": self._stp,
             "cp": self._constant_prop,
+            "choice": self._choice,
             "map": self._map,
             "lutmffc": lambda network: self._lut_resyn(network, zero_gain=False),
             "lutmffcz": lambda network: self._lut_resyn(network, zero_gain=True),
@@ -489,6 +500,18 @@ class PassManager:
             "substitutions": float(report.substitutions),
             "sat_calls": float(report.sat_calls),
         }
+
+    def _choice(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+        from .choices import compute_choices
+
+        result, report = compute_choices(
+            aig,
+            num_patterns=self.num_patterns,
+            seed=self.seed,
+            conflict_limit=self.conflict_limit,
+            library=self.library,
+        )
+        return result, report.as_details()
 
     def _map(self, aig: Aig) -> tuple[KLutNetwork, dict[str, float]]:
         from ..networks.mapping import technology_map

@@ -39,6 +39,7 @@ class RefactorReport:
     refactors_applied: int = 0
     zero_gain_applied: int = 0
     estimated_gain: int = 0
+    choices_recorded: int = 0
     total_time: float = 0.0
 
     def as_details(self) -> dict[str, float]:
@@ -49,6 +50,7 @@ class RefactorReport:
             "refactors_applied": float(self.refactors_applied),
             "zero_gain_applied": float(self.zero_gain_applied),
             "estimated_gain": float(self.estimated_gain),
+            "choices_recorded": float(self.choices_recorded),
         }
 
 
@@ -58,6 +60,7 @@ def refactor(
     max_cone: int = 64,
     min_cone: int = 3,
     zero_gain: bool = False,
+    record_choices: bool = False,
 ) -> tuple[Aig, RefactorReport]:
     """One MFFC-refactoring pass over a copy of the network.
 
@@ -65,6 +68,12 @@ def refactor(
     handles those better), as are cones wider than ``max_leaves`` inputs
     or larger than ``max_cone`` gates.  Returns the refactored, cleaned
     network and a report.
+
+    With ``record_choices`` the pass is *additive* (see
+    :func:`repro.rewriting.rewrite.rewrite`): the resynthesised cone is
+    instantiated next to the subject logic and recorded as a structural
+    choice of the cone root whenever its gain is non-negative; the base
+    network is never mutated.
     """
     if max_leaves < 2:
         raise ValueError("max_leaves must be at least 2")
@@ -100,12 +109,16 @@ def refactor(
         if not valid:
             continue
         gain = len(mffc) - created
-        threshold = 0 if zero_gain else 1
+        threshold = 0 if zero_gain or record_choices else 1
         if gain < threshold:
             continue
         new_literal = _instantiate(work, structure, leaf_literals, None)
         new_node = new_literal >> 1
         if new_node == node:
+            continue
+        if record_choices:
+            if work.add_choice(node, new_literal):
+                report.choices_recorded += 1
             continue
         work.substitute(node, new_literal)
         engine.kill(mffc)
@@ -115,6 +128,12 @@ def refactor(
         if gain == 0:
             report.zero_gain_applied += 1
 
+    if record_choices:
+        # Additive mode: no cleanup -- the subject graph must stay
+        # bit-identical (see repro.rewriting.rewrite).
+        report.gates_after = work.num_ands
+        report.total_time = time.perf_counter() - start
+        return work, report
     cleaned, _literal_map = cleanup_dangling(work)
     report.gates_after = cleaned.num_ands
     report.total_time = time.perf_counter() - start

@@ -38,6 +38,14 @@ from .mffc import collect_mffc
 
 __all__ = ["RewriteReport", "rewrite"]
 
+#: Alternatives recorded per node in choice-recording mode: the best
+#: library structures of that many distinct cuts.  One is the sweet
+#: spot on the bundled suite -- more alternatives inflate the class
+#: cut sets until downstream priority-cut truncation starts dropping
+#: the *subject* cuts, which costs depth (and whole-network snapshot
+#: appending was worse still).
+_RECORD_PER_NODE = 1
+
 
 @dataclass
 class RewriteReport:
@@ -51,6 +59,7 @@ class RewriteReport:
     zero_gain_applied: int = 0
     estimated_gain: int = 0
     dead_revived: int = 0
+    choices_recorded: int = 0
     cut_cache_hit_rate: float = 0.0
     total_time: float = 0.0
 
@@ -63,6 +72,7 @@ class RewriteReport:
             "zero_gain_applied": float(self.zero_gain_applied),
             "estimated_gain": float(self.estimated_gain),
             "dead_revived": float(self.dead_revived),
+            "choices_recorded": float(self.choices_recorded),
             "cut_cache_hit_rate": self.cut_cache_hit_rate,
         }
 
@@ -143,6 +153,7 @@ def rewrite(
     cut_limit: int = 8,
     zero_gain: bool = False,
     library: RewriteLibrary | None = None,
+    record_choices: bool = False,
 ) -> tuple[Aig, RewriteReport]:
     """One DAG-aware rewriting pass over a copy of the network.
 
@@ -150,6 +161,17 @@ def rewrite(
     The result is functionally equivalent to the input by construction:
     every substitution replaces a node by a structure whose function over
     the cut leaves was computed exactly.
+
+    With ``record_choices`` the pass is *additive*: instead of
+    substituting, the winning library structure is instantiated next to
+    the subject logic and recorded as a structural choice of the visited
+    node (:meth:`~repro.networks.aig.Aig.substitute` never runs, so the
+    base network is untouched).  Candidates are recorded when their gain
+    is non-negative -- an equal-size alternative with a different shape
+    is exactly what gives the choice-aware mapper freedom.  No cleanup
+    runs in this mode (it would renumber the subject graph); structures
+    whose link was refused stay dangling and unlinked until the next
+    cleanup-carrying pass prunes them.
     """
     if cut_size < 2:
         raise ValueError("cut size must be at least 2")
@@ -170,6 +192,7 @@ def rewrite(
 
             best_gain: int | None = None
             best: tuple[AigStructure, list[int], set[int]] | None = None
+            candidates: list[tuple[int, AigStructure, list[int]]] = []
             for cut in cuts:
                 if cut.leaves == (node,) or cut.table is None:
                     continue
@@ -182,9 +205,27 @@ def rewrite(
                 if not valid:
                     continue
                 gain = len(mffc) - created
+                if record_choices and gain >= 0:
+                    candidates.append((gain, structure, leaf_literals))
                 if best_gain is None or gain > best_gain:
                     best_gain = gain
                     best = (structure, leaf_literals, mffc)
+
+            if record_choices:
+                # Additive mode: keep the subject logic and record the
+                # best library structures (one per cut, highest gain
+                # first) as choices of the visited node.  Links breaking
+                # the collapsed-acyclicity invariant are dropped; their
+                # gates stay dangling and unlinked (the mapper ignores
+                # them, the next cleanup-carrying pass prunes them).
+                candidates.sort(key=lambda entry: -entry[0])
+                for _gain, structure, leaf_literals in candidates[:_RECORD_PER_NODE]:
+                    new_literal = _instantiate(work, structure, leaf_literals, engine)
+                    if new_literal >> 1 == node:
+                        continue  # the structure strashed back onto the node
+                    if work.add_choice(node, new_literal):
+                        report.choices_recorded += 1
+                continue
 
             threshold = 0 if zero_gain else 1
             if best is None or best_gain is None or best_gain < threshold:
@@ -205,6 +246,14 @@ def rewrite(
         engine.detach()
 
     report.cut_cache_hit_rate = engine.cache.hit_rate
+    if record_choices:
+        # Additive mode never mutates the subject logic, and a cleanup
+        # would rebuild (and renumber) the network -- the choice-aware
+        # mapper's plain fallback relies on the subject graph staying
+        # bit-identical to the input's.
+        report.gates_after = work.num_ands
+        report.total_time = time.perf_counter() - start
+        return work, report
     cleaned, _literal_map = cleanup_dangling(work)
     report.gates_after = cleaned.num_ands
     report.total_time = time.perf_counter() - start

@@ -11,7 +11,7 @@ constant class whose representative is the constant node 0.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..networks.aig import Aig
 from ..simulation.bitwise import simulate_aig_nodes
@@ -65,7 +65,7 @@ class EquivalenceClass:
         """True when no merge candidate remains in this class."""
         return len(self.members) <= 1
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.members)
 
 

@@ -6,11 +6,22 @@ checked against its class representative with a SAT query; disproofs yield
 counter-examples that are simulated incrementally over the *whole* network
 to refine all classes at once; proofs substitute the gate.  This is the
 engine the paper's STP sweeper is measured against.
+
+With ``record_choices`` the sweeper runs in *choice-recording* mode
+(the ``dch``-style flow): instead of substituting a proven-equivalent
+gate -- and thereby discarding one of the two structures -- it records
+the pair as a structural choice class
+(:meth:`~repro.networks.aig.Aig.add_choice`, complemented equivalences
+included), leaving the network itself untouched.  The recorded classes
+are exactly the equivalence classes the sweep proves anyway; the
+choice-aware mapper later picks the best implementation per node.
+Pairs already sharing a choice class are skipped without a SAT call.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Any
 
 from ..networks.aig import Aig, LIT_FALSE
 from ..sat.circuit import CircuitSolver, EquivalenceStatus
@@ -33,12 +44,14 @@ class FraigSweeper:
         seed: int = 1,
         conflict_limit: int | None = 10_000,
         tfi_limit: int = 1000,
+        record_choices: bool = False,
     ) -> None:
         self.original = aig
         self.num_patterns = num_patterns
         self.seed = seed
         self.conflict_limit = conflict_limit
         self.tfi_limit = tfi_limit
+        self.record_choices = record_choices
 
     def run(self) -> tuple[Aig, SweepStatistics]:
         """Sweep a copy of the network; returns the swept AIG and statistics."""
@@ -66,6 +79,7 @@ class FraigSweeper:
         stats.initial_candidate_nodes = len(classes.class_nodes())
 
         merged: set[int] = set()
+        record = self.record_choices
 
         # ---- sweep in topological order --------------------------------
         for candidate in aig.topological_order():
@@ -84,10 +98,19 @@ class FraigSweeper:
                     if member != candidate and member not in merged and member < candidate
                 ]
                 if 0 in cls.members and candidate != 0:
-                    drivers = [0] + [d for d in drivers if d != 0]
+                    # Constant candidates are substitution material: in
+                    # choice-recording mode the network stays untouched
+                    # and constants cannot anchor a choice class.
+                    drivers = [] if record else [0] + [d for d in drivers if d != 0]
                 if not drivers:
                     break
                 driver = drivers[0]
+                if record and aig.choice_repr(candidate) == aig.choice_repr(driver):
+                    # Already recorded in the same choice class (e.g. by
+                    # an earlier rewriting stage): no SAT call needed.
+                    classes.remove(candidate)
+                    stats.extra["choice_skipped"] = stats.extra.get("choice_skipped", 0.0) + 1.0
+                    break
                 if driver != 0 and not tfi.is_legal_merge(candidate, driver):
                     classes.remove(candidate)
                     break
@@ -96,6 +119,14 @@ class FraigSweeper:
 
                 outcome = solver.prove_equivalence(Aig.literal(candidate), driver_literal, self.conflict_limit)
                 if outcome.status is EquivalenceStatus.EQUIVALENT:
+                    if record:
+                        # Keep both structures: the loser becomes a
+                        # choice alternative instead of dangling logic.
+                        if aig.add_choice(driver, Aig.literal(candidate, inverted)):
+                            stats.extra["choices_recorded"] = stats.extra.get("choices_recorded", 0.0) + 1.0
+                        classes.remove(candidate)
+                        merged.add(candidate)
+                        break
                     aig.substitute(candidate, driver_literal)
                     classes.remove(candidate)
                     merged.add(candidate)
@@ -118,9 +149,11 @@ class FraigSweeper:
         stats.patterns_used = simulator.num_patterns
 
         # ---- finalise (shared tail: cleanup, counters, timers) ----------
-        return stats.finalize(aig, solver, start), stats
+        # The choice-recording sweep never substitutes: the subject graph
+        # must stay bit-identical, so the cleanup rebuild is skipped.
+        return stats.finalize(aig, solver, start, cleanup=not record), stats
 
 
-def fraig_sweep(aig: Aig, **kwargs) -> tuple[Aig, SweepStatistics]:
+def fraig_sweep(aig: Aig, **kwargs: Any) -> tuple[Aig, SweepStatistics]:
     """Convenience wrapper around :class:`FraigSweeper`."""
     return FraigSweeper(aig, **kwargs).run()

@@ -4,9 +4,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..networks.aig import Aig
 from ..networks.transforms import cleanup_dangling
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..sat.circuit import CircuitSolver
 
 __all__ = ["SweepStatistics"]
 
@@ -64,15 +68,21 @@ class SweepStatistics:
             return 0.0
         return 1.0 - self.gates_after / self.gates_before
 
-    def finalize(self, aig: Aig, solver, start_time: float) -> Aig:
+    def finalize(self, aig: Aig, solver: "CircuitSolver", start_time: float, cleanup: bool = True) -> Aig:
         """Shared tail of both sweepers' ``run``: cleanup, counters, timers.
 
         Removes the dangling cones the merges left behind (recording how
         many gates that dropped), copies the solver's query counters and
         directly-measured solve time, and stamps the total runtime.
-        Returns the cleaned network.
+        Returns the cleaned network.  With ``cleanup=False`` (the
+        choice-recording sweep, which never substitutes and must keep
+        the subject graph bit-identical) the network is returned
+        untouched.
         """
-        swept, _literal_map = cleanup_dangling(aig)
+        if cleanup:
+            swept, _literal_map = cleanup_dangling(aig)
+        else:
+            swept = aig
         self.gates_after = swept.num_ands
         self.extra["dangling_gates_removed"] = float(aig.num_ands - swept.num_ands)
         self.total_sat_calls = solver.num_queries

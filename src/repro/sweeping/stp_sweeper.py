@@ -23,6 +23,7 @@ paper calls out:
 from __future__ import annotations
 
 import time
+from typing import Any
 
 from ..networks.aig import Aig, LIT_FALSE
 from ..sat.circuit import CircuitSolver, EquivalenceStatus
@@ -325,6 +326,6 @@ class StpSweeper:
         return tables
 
 
-def stp_sweep(aig: Aig, **kwargs) -> tuple[Aig, SweepStatistics]:
+def stp_sweep(aig: Aig, **kwargs: Any) -> tuple[Aig, SweepStatistics]:
     """Convenience wrapper around :class:`StpSweeper`."""
     return StpSweeper(aig, **kwargs).run()

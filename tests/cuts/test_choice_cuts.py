@@ -1,0 +1,117 @@
+"""Choice-aware cut enumeration: class-merged sets, phases, invalidation."""
+
+from repro.cuts import CutEngine
+from repro.cuts.cone import aig_cone_table
+from repro.networks import Aig
+
+
+def _chain_with_choice():
+    aig = Aig()
+    a, b, c, d = (aig.add_pi() for _ in range(4))
+    f1 = aig.add_and(a, b)
+    f2 = aig.add_and(f1, c)
+    g = aig.add_and(f2, d)
+    aig.add_po(g)
+    alt = aig.add_and(f1, aig.add_and(c, d))
+    assert aig.add_choice(g >> 1, alt)
+    return aig, g >> 1, alt >> 1
+
+
+def _composes_to(aig, cut, target_bits, num_pis):
+    """Evaluate cut.table over the leaves' PI functions; compare to target."""
+    pis = list(aig.pis)
+    leaf_tables = [aig_cone_table(aig, leaf, pis, allow_unused_leaves=True) for leaf in cut.leaves]
+    bits = 0
+    for assignment in range(1 << num_pis):
+        index = 0
+        for position, table in enumerate(leaf_tables):
+            if (table.bits >> assignment) & 1:
+                index |= 1 << position
+        if (cut.table.bits >> index) & 1:
+            bits |= 1 << assignment
+    return bits == target_bits
+
+
+class TestClassMergedCuts:
+    def test_borrowed_cuts_present_and_sound(self):
+        aig, g, alt = _chain_with_choice()
+        engine = CutEngine(aig, k=4, use_choices=True)
+        db = engine.enumerate_all()
+        target = aig_cone_table(aig, g, list(aig.pis), allow_unused_leaves=True).bits
+        leaf_sets = {cut.leaves for cut in db[g]}
+        # the alternative's balanced cut {f1, c&d} arrives at g
+        assert any(alt in leaves or len(leaves) == 2 for leaves in leaf_sets)
+        for cut in db[g]:
+            if cut.table is None or cut.leaves == (g,):
+                continue
+            assert _composes_to(aig, cut, target, aig.num_pis), cut.leaves
+        # ... and symmetrically, g's cuts serve the alternative
+        for cut in db[alt]:
+            if cut.table is None or cut.leaves == (alt,):
+                continue
+            assert _composes_to(aig, cut, target, aig.num_pis), cut.leaves
+
+    def test_trivial_cuts_stay_private(self):
+        aig, g, alt = _chain_with_choice()
+        engine = CutEngine(aig, k=4, use_choices=True)
+        db = engine.enumerate_all()
+        assert (alt,) not in {cut.leaves for cut in db[g]}
+        assert (g,) not in {cut.leaves for cut in db[alt]}
+
+    def test_complemented_member_tables(self):
+        aig = Aig()
+        x, y = aig.add_pi(), aig.add_pi()
+        xnor = aig.node_of(aig.add_xor(x, y))  # node computes XNOR
+        aig.add_po(Aig.literal(xnor))
+        xor_node = aig.node_of(
+            aig.add_and(Aig.negate(aig.add_and(x, y)), aig.add_or(x, y))
+        )
+        assert aig.add_choice(xnor, Aig.literal(xor_node, True))
+        engine = CutEngine(aig, k=4, use_choices=True)
+        db = engine.enumerate_all()
+        xnor_bits = aig_cone_table(aig, xnor, list(aig.pis), allow_unused_leaves=True).bits
+        for cut in db[xnor]:
+            if cut.table is None or cut.leaves == (xnor,):
+                continue
+            assert _composes_to(aig, cut, xnor_bits, 2), cut.leaves
+
+    def test_choices_off_by_default(self):
+        aig, g, alt = _chain_with_choice()
+        plain = CutEngine(aig, k=4)
+        db = plain.enumerate_all()
+        # without use_choices the sets are purely structural
+        for cut in db[g]:
+            for leaf in cut.leaves:
+                assert leaf in set(aig.tfi([g])), cut.leaves
+
+    def test_choice_event_invalidates_served_sets(self):
+        aig, g, alt = _chain_with_choice()
+        engine = CutEngine(aig, k=4, use_choices=True, attach=True)
+        try:
+            before = engine.cuts(g)
+            # a new alternative joining the class must invalidate g's view
+            a, b, c, d = (Aig.literal(pi) for pi in aig.pis)
+            other = aig.add_and(aig.add_and(a, d), aig.add_and(b, c))
+            assert aig.add_choice(g, other)
+            after = engine.cuts(g)
+            assert after is not before
+            # the refreshed view still contains every previous leaf set
+            # and gained cuts borrowed from the new member's cone
+            assert {cut.leaves for cut in before} <= {cut.leaves for cut in after}
+            assert len(after) > len(before)
+        finally:
+            engine.detach()
+
+    def test_mutation_event_still_invalidates(self):
+        aig, g, alt = _chain_with_choice()
+        engine = CutEngine(aig, k=4, use_choices=True, attach=True)
+        try:
+            engine.enumerate_all()
+            a, b, c, d = (Aig.literal(pi) for pi in aig.pis)
+            replacement = aig.add_and(aig.add_and(b, c), aig.add_and(a, d))
+            aig.substitute(g, replacement)
+            new_node = replacement >> 1
+            refreshed = engine.cuts(new_node)
+            assert refreshed, "re-anchored class must still serve cuts"
+        finally:
+            engine.detach()

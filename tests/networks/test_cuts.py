@@ -140,16 +140,15 @@ class TestCutTruthTable:
             cut_truth_table(fig1_klut, nodes[10], [nodes[6]])
 
 
-class TestDeprecatedShim:
-    def test_networks_cuts_import_warns(self):
-        """The retired repro.networks.cuts shim warns but keeps re-exporting."""
+class TestRetiredShim:
+    def test_networks_cuts_module_is_gone(self):
+        """The repro.networks.cuts shim is retired for good: import fails."""
         import importlib
         import sys
 
         sys.modules.pop("repro.networks.cuts", None)
-        with pytest.warns(DeprecationWarning, match="repro.cuts"):
-            module = importlib.import_module("repro.networks.cuts")
-        assert module.Cut is Cut
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.networks.cuts")
 
     def test_simulation_cuts_accepts_aig(self, small_aig):
         """The protocol port: simulation cuts partition AIGs too."""
