@@ -52,6 +52,7 @@ from .cut import Cut, merge_cut_sets, trivial_cut
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from ..networks.aig import Aig
+    from ..resilience import Budget
 
 __all__ = ["CutEngine", "enumerate_cuts"]
 
@@ -87,7 +88,15 @@ class CutEngine:
         Bound on a class-merged cut set (``2 * cut_limit`` when
         omitted); a member's own cuts take priority, borrowed cuts fill
         the remainder smallest-first.
+    budget:
+        Optional :class:`repro.resilience.Budget`; the enumeration loops
+        poll its deadline every :data:`BUDGET_POLL_STRIDE` nodes and
+        raise ``BudgetExceeded`` when it expires (the engine's database
+        stays consistent -- already-computed sets remain valid).
     """
+
+    #: Enumeration nodes between two deadline polls.
+    BUDGET_POLL_STRIDE = 256
 
     def __init__(
         self,
@@ -99,6 +108,7 @@ class CutEngine:
         attach: bool = False,
         use_choices: bool = False,
         choice_limit: int | None = None,
+        budget: "Budget | None" = None,
     ) -> None:
         if k < 1:
             raise ValueError("cut size k must be at least 1")
@@ -122,6 +132,8 @@ class CutEngine:
             self._db[pi] = [trivial_cut(pi, with_table=compute_tables)]
         self._dead: set[int] = set()
         self._attached = False
+        self.budget = budget
+        self._poll_countdown = self.BUDGET_POLL_STRIDE
         self.merges = 0
         self.invalidations = 0
         if attach:
@@ -153,6 +165,15 @@ class CutEngine:
             self._own.pop(gate, None)
             if self._db.pop(gate, None) is not None:
                 self.invalidations += 1
+
+    def _poll_budget(self) -> None:
+        """Strided cooperative deadline poll for the enumeration loops."""
+        if self.budget is None:
+            return
+        self._poll_countdown -= 1
+        if self._poll_countdown <= 0:
+            self._poll_countdown = self.BUDGET_POLL_STRIDE
+            self.budget.checkpoint("cuts")
 
     def _on_choice(self, representative: int, members: Sequence[int]) -> None:
         """Choice event: drop the served sets of the affected class members.
@@ -189,6 +210,7 @@ class CutEngine:
         use_choices = self.use_choices and self.aig.has_choices
         stack = [node]
         while stack:
+            self._poll_budget()
             current = stack[-1]
             if current in self._db:
                 stack.pop()
@@ -332,10 +354,12 @@ class CutEngine:
         """
         if self.use_choices and self.aig.has_choices:
             for node in self.aig.choice_topological_order():
+                self._poll_budget()
                 if node not in self._db:
                     self.cuts(node)
             return self._db
         for node in self.aig.topological_order():
+            self._poll_budget()
             if node not in self._db:
                 self._db[node] = self._merge(node)
         return self._db
@@ -351,6 +375,7 @@ class CutEngine:
         the live database, as with :meth:`enumerate_all`.
         """
         for node in nodes:
+            self._poll_budget()
             if node not in self._db:
                 self.cuts(node)
         return self._db

@@ -35,6 +35,7 @@ import os
 import sys
 
 from ..io import (
+    ParseError,
     read_aiger_file,
     read_bench_file,
     write_aiger_file,
@@ -43,6 +44,7 @@ from ..io import (
     write_verilog_file,
 )
 from ..networks import Aig, KLutNetwork, map_aig_to_klut, network_statistics, technology_map
+from ..resilience import Budget, BudgetExceeded
 from ..simulation import (
     PatternSet,
     klut_po_signatures,
@@ -64,6 +66,18 @@ __all__ = [
     "write_network",
 ]
 
+# Exit codes shared by all file tools:
+#   0 -- success
+#   1 -- verification failure (result not written)
+#   2 -- usage, parse or I/O error
+#   3 -- at least one pass failed and was rolled back (--on-error rollback)
+#   4 -- aborted by a --timeout budget
+EXIT_OK = 0
+EXIT_VERIFY_FAILED = 1
+EXIT_USAGE = 2
+EXIT_PASS_FAILED = 3
+EXIT_BUDGET = 4
+
 
 def read_network(path: str) -> Aig:
     """Read an AIG from an AIGER (.aag/.aig) or BENCH (.bench) file."""
@@ -73,6 +87,18 @@ def read_network(path: str) -> Aig:
     if extension == ".bench":
         return read_bench_file(path)
     raise ValueError(f"unsupported input format {extension!r} (expected .aag, .aig or .bench)")
+
+
+def _load_network(path: str) -> Aig | None:
+    """Read an input circuit, printing a clean diagnostic on failure."""
+    try:
+        return read_network(path)
+    except ParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return None
+    except (ValueError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return None
 
 
 def write_network(aig: Aig, path: str, lut_size: int = 6) -> None:
@@ -115,7 +141,9 @@ def simulate_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", default=None, help="write per-output signatures to this CSV file")
     arguments = parser.parse_args(argv)
 
-    aig = read_network(arguments.input)
+    aig = _load_network(arguments.input)
+    if aig is None:
+        return EXIT_USAGE
     stats = network_statistics(aig)
     print(f"{os.path.basename(arguments.input)}: {stats}")
     patterns = PatternSet.random(aig.num_pis, arguments.patterns, arguments.seed)
@@ -167,11 +195,17 @@ def sweep_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--window-leaves", type=int, default=16, help="exhaustive window bound (stp engine)")
     parser.add_argument("--seed", type=int, default=1, help="random seed")
     parser.add_argument("--no-verify", action="store_true", help="skip the CEC verification")
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="wall-clock budget in seconds (exit 4 when exceeded)"
+    )
     arguments = parser.parse_args(argv)
 
-    aig = read_network(arguments.input)
+    aig = _load_network(arguments.input)
+    if aig is None:
+        return EXIT_USAGE
     print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
 
+    budget = Budget(wall_clock=arguments.timeout) if arguments.timeout is not None else None
     if arguments.engine == "fraig":
         sweeper = FraigSweeper(
             aig,
@@ -179,6 +213,7 @@ def sweep_main(argv: list[str] | None = None) -> int:
             seed=arguments.seed,
             conflict_limit=arguments.conflict_limit,
             tfi_limit=arguments.tfi_limit,
+            budget=budget,
         )
     else:
         sweeper = StpSweeper(
@@ -188,8 +223,13 @@ def sweep_main(argv: list[str] | None = None) -> int:
             conflict_limit=arguments.conflict_limit,
             tfi_limit=arguments.tfi_limit,
             window_leaves=arguments.window_leaves,
+            budget=budget,
         )
-    swept, stats = sweeper.run()
+    try:
+        swept, stats = sweeper.run()
+    except BudgetExceeded as error:
+        print(f"aborted: {error}", file=sys.stderr)
+        return EXIT_BUDGET
     print(stats)
 
     if not arguments.no_verify:
@@ -197,12 +237,12 @@ def sweep_main(argv: list[str] | None = None) -> int:
         print(f"equivalence check: {verdict.status}")
         if not verdict:
             print("refusing to write a non-equivalent result", file=sys.stderr)
-            return 1
+            return EXIT_VERIFY_FAILED
 
     if arguments.output:
         write_network(swept, arguments.output)
         print(f"wrote {arguments.output}")
-    return 0
+    return EXIT_OK
 
 
 # ---------------------------------------------------------------------------
@@ -231,9 +271,26 @@ def optimize_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1, help="random seed")
     parser.add_argument("--verify-each", action="store_true", help="CEC-check after every pass (slow)")
     parser.add_argument("--no-verify", action="store_true", help="skip the final CEC verification")
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock budget in seconds for the whole flow (exit 4 when exceeded under --on-error raise)",
+    )
+    parser.add_argument(
+        "--pass-timeout", type=float, default=None, help="wall-clock budget in seconds per pass"
+    )
+    parser.add_argument(
+        "--on-error", choices=["raise", "rollback"], default="raise",
+        help="on a failing pass: abort (raise) or roll the pass back and continue (rollback)",
+    )
+    parser.add_argument(
+        "--verify-commit", action="store_true",
+        help="simulation cross-check every pass before committing it (rolls back on mismatch)",
+    )
     arguments = parser.parse_args(argv)
 
-    aig = read_network(arguments.input)
+    aig = _load_network(arguments.input)
+    if aig is None:
+        return EXIT_USAGE
     print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
 
     try:
@@ -244,16 +301,24 @@ def optimize_main(argv: list[str] | None = None) -> int:
             conflict_limit=arguments.conflict_limit,
             lut_size=arguments.lut_size,
             verify_each=arguments.verify_each,
+            on_error=arguments.on_error,
+            verify_commit=arguments.verify_commit,
+            pass_timeout=arguments.pass_timeout,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
-        return 2
-    optimized, flow = manager.run(aig, verify=not arguments.no_verify)
+        return EXIT_USAGE
+    budget = Budget(wall_clock=arguments.timeout) if arguments.timeout is not None else None
+    try:
+        optimized, flow = manager.run(aig, verify=not arguments.no_verify, budget=budget)
+    except BudgetExceeded as error:
+        print(f"aborted: {error}", file=sys.stderr)
+        return EXIT_BUDGET
     print(flow)
 
     if flow.verified is False:
         print("refusing to write a non-equivalent result", file=sys.stderr)
-        return 1
+        return EXIT_VERIFY_FAILED
     if arguments.output:
         if isinstance(optimized, KLutNetwork):
             extension = os.path.splitext(arguments.output)[1].lower()
@@ -263,12 +328,16 @@ def optimize_main(argv: list[str] | None = None) -> int:
                     f"{extension!r} (expected .blif)",
                     file=sys.stderr,
                 )
-                return 2
+                return EXIT_USAGE
             write_blif_file(optimized, arguments.output)
         else:
             write_network(optimized, arguments.output, lut_size=arguments.lut_size)
         print(f"wrote {arguments.output}")
-    return 0
+    if flow.failed_passes:
+        names = ", ".join(stats.name for stats in flow.failed_passes)
+        print(f"warning: rolled-back passes: {names}", file=sys.stderr)
+        return EXIT_PASS_FAILED
+    return EXIT_OK
 
 
 # ---------------------------------------------------------------------------
@@ -301,17 +370,27 @@ def map_main(argv: list[str] | None = None) -> int:
         help="compute structural choices (dch-style) first and map choice-aware",
     )
     parser.add_argument("--conflict-limit", type=int, default=10_000, help="SAT conflict limit of --choices")
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="wall-clock budget in seconds (exit 4 when exceeded)"
+    )
     arguments = parser.parse_args(argv)
 
-    aig = read_network(arguments.input)
+    aig = _load_network(arguments.input)
+    if aig is None:
+        return EXIT_USAGE
     print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
+    budget = Budget(wall_clock=arguments.timeout) if arguments.timeout is not None else None
     subject = aig
     if arguments.choices:
         from ..rewriting import compute_choices
 
-        subject, choice_report = compute_choices(
-            aig, seed=arguments.seed, conflict_limit=arguments.conflict_limit
-        )
+        try:
+            subject, choice_report = compute_choices(
+                aig, seed=arguments.seed, conflict_limit=arguments.conflict_limit, budget=budget
+            )
+        except BudgetExceeded as error:
+            print(f"aborted: {error}", file=sys.stderr)
+            return EXIT_BUDGET
         print(
             f"choices: {choice_report.choice_classes} classes, "
             f"{choice_report.choice_alternatives} alternatives "
@@ -324,10 +403,14 @@ def map_main(argv: list[str] | None = None) -> int:
             k=arguments.lut_size,
             cut_limit=arguments.cut_limit,
             area_rounds=arguments.area_rounds,
+            budget=budget,
         )
+    except BudgetExceeded as error:
+        print(f"aborted: {error}", file=sys.stderr)
+        return EXIT_BUDGET
     except ValueError as error:
         print(str(error), file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     stats = result.stats
     print(stats)
     print(

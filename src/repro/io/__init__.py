@@ -8,9 +8,11 @@ which distribute AIGER or BLIF files.
 from .aiger import read_aiger, read_aiger_file, write_aiger, write_aiger_file
 from .bench import read_bench, read_bench_file, write_bench, write_bench_file
 from .blif import read_blif, read_blif_file, write_blif, write_blif_file
+from .errors import ParseError
 from .verilog import write_verilog, write_verilog_file
 
 __all__ = [
+    "ParseError",
     "read_aiger",
     "read_aiger_file",
     "write_aiger",

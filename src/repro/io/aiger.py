@@ -17,26 +17,34 @@ import os
 from typing import Iterable
 
 from ..networks.aig import Aig
+from .errors import ParseError
 
 __all__ = ["read_aiger", "read_aiger_file", "write_aiger", "write_aiger_file"]
 
 
 def read_aiger(data: str | bytes) -> Aig:
-    """Parse an AIGER document given as text (``aag``) or bytes (``aag``/``aig``)."""
+    """Parse an AIGER document given as text (``aag``) or bytes (``aag``/``aig``).
+
+    Raises :class:`~repro.io.errors.ParseError` (a :class:`ValueError`)
+    on malformed input, with line information where it is meaningful.
+    """
     if isinstance(data, str):
         return _read_ascii(data.encode("ascii"))
     if data.startswith(b"aag"):
         return _read_ascii(data)
     if data.startswith(b"aig"):
         return _read_binary(data)
-    raise ValueError("not an AIGER document (expected 'aag' or 'aig' header)")
+    raise ParseError("not an AIGER document (expected 'aag' or 'aig' header)", line=1)
 
 
 def read_aiger_file(path: str | os.PathLike) -> Aig:
     """Read an AIGER file (ASCII or binary, decided by the header)."""
     with open(path, "rb") as handle:
         data = handle.read()
-    aig = read_aiger(data)
+    try:
+        aig = read_aiger(data)
+    except ParseError as error:
+        raise error.with_source(os.fspath(path)) from None
     aig.name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
     return aig
 
@@ -63,28 +71,55 @@ def _read_ascii(data: bytes) -> Aig:
     text = data.decode("ascii", errors="replace")
     lines = text.splitlines()
     if not lines:
-        raise ValueError("empty AIGER document")
+        raise ParseError("empty AIGER document", line=1)
     header = lines[0].split()
     if len(header) < 6 or header[0] != "aag":
-        raise ValueError(f"invalid AIGER header: {lines[0]!r}")
-    max_var, num_inputs, num_latches, num_outputs, num_ands = (int(v) for v in header[1:6])
+        raise ParseError(f"invalid AIGER header: {lines[0]!r}", line=1)
+    try:
+        max_var, num_inputs, num_latches, num_outputs, num_ands = (
+            int(v) for v in header[1:6]
+        )
+    except ValueError:
+        raise ParseError(f"non-numeric field in AIGER header: {lines[0]!r}", line=1) from None
+
+    def body_line(cursor: int, what: str) -> list[int]:
+        if cursor >= len(lines):
+            raise ParseError(f"truncated AIGER document: missing {what}", line=len(lines))
+        try:
+            return [int(v) for v in lines[cursor].split()]
+        except ValueError:
+            raise ParseError(
+                f"non-numeric {what}: {lines[cursor]!r}", line=cursor + 1
+            ) from None
 
     cursor = 1
     input_literals = []
     for _ in range(num_inputs):
-        input_literals.append(int(lines[cursor].split()[0]))
+        fields = body_line(cursor, "input literal")
+        if not fields:
+            raise ParseError("empty input-literal line", line=cursor + 1)
+        input_literals.append(fields[0])
         cursor += 1
     latch_lines = []
     for _ in range(num_latches):
-        latch_lines.append([int(v) for v in lines[cursor].split()])
+        latch_lines.append(body_line(cursor, "latch definition"))
         cursor += 1
     output_literals = []
     for _ in range(num_outputs):
-        output_literals.append(int(lines[cursor].split()[0]))
+        fields = body_line(cursor, "output literal")
+        if not fields:
+            raise ParseError("empty output-literal line", line=cursor + 1)
+        output_literals.append(fields[0])
         cursor += 1
     and_lines = []
     for _ in range(num_ands):
-        and_lines.append([int(v) for v in lines[cursor].split()])
+        fields = body_line(cursor, "AND definition")
+        if len(fields) != 3:
+            raise ParseError(
+                f"AND definition needs 3 literals, got {len(fields)}: {lines[cursor]!r}",
+                line=cursor + 1,
+            )
+        and_lines.append(fields)
         cursor += 1
     symbols, _comments = _parse_symbols(lines[cursor:])
 
@@ -139,7 +174,7 @@ def _decode_varint(data: bytes, cursor: int) -> tuple[int, int]:
     shift = 0
     while True:
         if cursor >= len(data):
-            raise ValueError("truncated binary AIGER delta")
+            raise ParseError("truncated binary AIGER delta")
         byte = data[cursor]
         cursor += 1
         value |= (byte & 0x7F) << shift
@@ -162,26 +197,45 @@ def _encode_varint(value: int) -> bytes:
 
 
 def _read_binary(data: bytes) -> Aig:
-    newline = data.index(b"\n")
-    header = data[:newline].decode("ascii").split()
+    try:
+        newline = data.index(b"\n")
+    except ValueError:
+        raise ParseError("truncated binary AIGER document: no header line", line=1) from None
+    header = data[:newline].decode("ascii", errors="replace").split()
     if len(header) < 6 or header[0] != "aig":
-        raise ValueError(f"invalid binary AIGER header: {header}")
-    max_var, num_inputs, num_latches, num_outputs, num_ands = (int(v) for v in header[1:6])
+        raise ParseError(f"invalid binary AIGER header: {header}", line=1)
+    try:
+        max_var, num_inputs, num_latches, num_outputs, num_ands = (
+            int(v) for v in header[1:6]
+        )
+    except ValueError:
+        raise ParseError(f"non-numeric field in binary AIGER header: {header}", line=1) from None
+
+    def next_line(cursor: int, what: str) -> tuple[bytes, int]:
+        try:
+            end = data.index(b"\n", cursor)
+        except ValueError:
+            raise ParseError(f"truncated binary AIGER document: missing {what}") from None
+        return data[cursor:end], end + 1
 
     cursor = newline + 1
     # Inputs are implicit: variables 1..num_inputs.
     input_literals = [2 * (i + 1) for i in range(num_inputs)]
     latch_lines = []
     for index in range(num_latches):
-        end = data.index(b"\n", cursor)
-        fields = [int(v) for v in data[cursor:end].split()]
+        raw, cursor = next_line(cursor, "latch definition")
+        try:
+            fields = [int(v) for v in raw.split()]
+        except ValueError:
+            raise ParseError(f"non-numeric latch definition: {raw!r}") from None
         latch_lines.append([2 * (num_inputs + index + 1)] + fields)
-        cursor = end + 1
     output_literals = []
     for _ in range(num_outputs):
-        end = data.index(b"\n", cursor)
-        output_literals.append(int(data[cursor:end]))
-        cursor = end + 1
+        raw, cursor = next_line(cursor, "output literal")
+        try:
+            output_literals.append(int(raw))
+        except ValueError:
+            raise ParseError(f"non-numeric output literal: {raw!r}") from None
     and_lines = []
     for index in range(num_ands):
         lhs = 2 * (num_inputs + num_latches + index + 1)
@@ -275,12 +329,12 @@ def _build_aig(
     def resolve(aiger_literal: int) -> int:
         variable = aiger_literal >> 1
         if variable not in var_to_literal:
-            raise ValueError(f"AIGER literal {aiger_literal} references undefined variable {variable}")
+            raise ParseError(f"AIGER literal {aiger_literal} references undefined variable {variable}")
         return var_to_literal[variable] ^ (aiger_literal & 1)
 
     for lhs, rhs0, rhs1 in and_lines:
         if lhs & 1:
-            raise ValueError(f"AND left-hand side must be even, got {lhs}")
+            raise ParseError(f"AND left-hand side must be even, got {lhs}")
         var_to_literal[lhs >> 1] = aig.add_and(resolve(rhs0), resolve(rhs1))
 
     for index, literal in enumerate(output_literals):
@@ -291,5 +345,5 @@ def _build_aig(
             aig.add_po(resolve(fields[1]), f"latch_next{index}")
 
     if max_var < len(input_literals) + len(latch_lines) + len(and_lines):
-        raise ValueError("AIGER header max variable index is inconsistent with the body")
+        raise ParseError("AIGER header max variable index is inconsistent with the body", line=1)
     return aig

@@ -13,6 +13,7 @@ import os
 import re
 
 from ..networks.aig import Aig
+from .errors import ParseError
 
 __all__ = ["read_bench", "read_bench_file", "write_bench", "write_bench_file"]
 
@@ -21,11 +22,15 @@ _IO_PATTERN = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(([^)]*)\)\s*$", re.IGNORECASE)
 
 
 def read_bench(text: str) -> Aig:
-    """Parse a BENCH netlist into an AIG."""
+    """Parse a BENCH netlist into an AIG.
+
+    Raises :class:`~repro.io.errors.ParseError` (a :class:`ValueError`)
+    on malformed input, carrying the offending line number.
+    """
     inputs: list[str] = []
     outputs: list[str] = []
-    gates: list[tuple[str, str, list[str]]] = []
-    for raw in text.splitlines():
+    gates: list[tuple[str, str, list[str], int]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
@@ -39,9 +44,9 @@ def read_bench(text: str) -> Aig:
             target = gate_match.group(1)
             operator = gate_match.group(2).upper()
             operands = [token.strip() for token in gate_match.group(3).split(",") if token.strip()]
-            gates.append((target, operator, operands))
+            gates.append((target, operator, operands, line_number))
             continue
-        raise ValueError(f"unrecognised BENCH line: {raw!r}")
+        raise ParseError(f"unrecognised BENCH line: {raw!r}", line=line_number)
 
     aig = Aig()
     signal: dict[str, int] = {}
@@ -53,33 +58,41 @@ def read_bench(text: str) -> Aig:
     while pending and progress:
         progress = False
         remaining = []
-        for target, operator, operands in pending:
+        for target, operator, operands, line_number in pending:
             if all(op in signal or op.lower() in ("gnd", "vdd") for op in operands):
-                signal[target] = _build_gate(aig, signal, operator, operands)
+                signal[target] = _build_gate(aig, signal, operator, operands, line_number)
                 progress = True
             else:
-                remaining.append((target, operator, operands))
+                remaining.append((target, operator, operands, line_number))
         pending = remaining
     if pending:
-        unresolved = [target for target, _op, _args in pending]
-        raise ValueError(f"could not resolve BENCH gates (cyclic or missing inputs): {unresolved}")
+        unresolved = [target for target, _op, _args, _line in pending]
+        raise ParseError(
+            f"could not resolve BENCH gates (cyclic or missing inputs): {unresolved}",
+            line=pending[0][3],
+        )
 
     for name in outputs:
         if name not in signal:
-            raise ValueError(f"output {name!r} is never defined")
+            raise ParseError(f"output {name!r} is never defined")
         aig.add_po(signal[name], name)
     return aig
 
 
 def read_bench_file(path: str | os.PathLike) -> Aig:
     """Read a BENCH file from disk."""
-    with open(path, "r", encoding="ascii") as handle:
-        aig = read_bench(handle.read())
+    with open(path, "r", encoding="ascii", errors="replace") as handle:
+        try:
+            aig = read_bench(handle.read())
+        except ParseError as error:
+            raise error.with_source(os.fspath(path)) from None
     aig.name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
     return aig
 
 
-def _build_gate(aig: Aig, signal: dict[str, int], operator: str, operands: list[str]) -> int:
+def _build_gate(
+    aig: Aig, signal: dict[str, int], operator: str, operands: list[str], line_number: int
+) -> int:
     def resolve(name: str) -> int:
         lowered = name.lower()
         if lowered == "gnd":
@@ -89,6 +102,8 @@ def _build_gate(aig: Aig, signal: dict[str, int], operator: str, operands: list[
         return signal[name]
 
     literals = [resolve(op) for op in operands]
+    if not literals:
+        raise ParseError(f"BENCH gate {operator!r} has no operands", line=line_number)
     if operator in ("BUF", "BUFF"):
         return literals[0]
     if operator == "NOT":
@@ -107,7 +122,10 @@ def _build_gate(aig: Aig, signal: dict[str, int], operator: str, operands: list[
         return Aig.negate(aig.add_xor_multi(literals))
     if operator == "MUX" and len(literals) == 3:
         return aig.add_mux(literals[0], literals[1], literals[2])
-    raise ValueError(f"unsupported BENCH gate type {operator!r} with {len(operands)} operands")
+    raise ParseError(
+        f"unsupported BENCH gate type {operator!r} with {len(operands)} operands",
+        line=line_number,
+    )
 
 
 def write_bench(aig: Aig) -> str:

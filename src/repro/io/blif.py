@@ -13,20 +13,27 @@ import os
 
 from ..networks.klut import KLutNetwork
 from ..truthtable import TruthTable
+from .errors import ParseError
 
 __all__ = ["read_blif", "read_blif_file", "write_blif", "write_blif_file"]
 
 
 def read_blif(text: str) -> KLutNetwork:
-    """Parse a combinational BLIF document into a k-LUT network."""
+    """Parse a combinational BLIF document into a k-LUT network.
+
+    Raises :class:`~repro.io.errors.ParseError` (a :class:`ValueError`)
+    on malformed input.  Line numbers refer to the physical input; a
+    continuation-joined logical line reports the number of its first
+    physical line.
+    """
     model_name = "blif"
     inputs: list[str] = []
     outputs: list[str] = []
-    names_blocks: list[tuple[list[str], list[str]]] = []
+    names_blocks: list[tuple[list[str], list[tuple[str, int]], int]] = []
 
     lines = _continuation_joined_lines(text)
-    current_block: tuple[list[str], list[str]] | None = None
-    for line in lines:
+    current_block: tuple[list[str], list[tuple[str, int]], int] | None = None
+    for line, line_number in lines:
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
@@ -41,17 +48,24 @@ def read_blif(text: str) -> KLutNetwork:
             elif directive == ".outputs":
                 outputs.extend(tokens[1:])
             elif directive == ".names":
-                current_block = (tokens[1:], [])
+                if not tokens[1:]:
+                    raise ParseError(".names block has no signals", line=line_number)
+                current_block = (tokens[1:], [], line_number)
                 names_blocks.append(current_block)
             elif directive == ".end":
                 break
             elif directive in (".latch", ".gate", ".subckt"):
-                raise ValueError(f"unsupported BLIF construct {directive!r} (combinational subset only)")
+                raise ParseError(
+                    f"unsupported BLIF construct {directive!r} (combinational subset only)",
+                    line=line_number,
+                )
             # Other dot-directives (.default_input_arrival, ...) are ignored.
         else:
             if current_block is None:
-                raise ValueError(f"cover line outside a .names block: {stripped!r}")
-            current_block[1].append(stripped)
+                raise ParseError(
+                    f"cover line outside a .names block: {stripped!r}", line=line_number
+                )
+            current_block[1].append((stripped, line_number))
 
     network = KLutNetwork(name=model_name)
     signal_to_node: dict[str, int] = {}
@@ -64,30 +78,36 @@ def read_blif(text: str) -> KLutNetwork:
     while pending and progress:
         progress = False
         remaining = []
-        for signals, cover in pending:
+        for signals, cover, line_number in pending:
             *input_names, output_name = signals
             if all(name in signal_to_node for name in input_names):
                 node = _build_names_node(network, signal_to_node, input_names, cover)
                 signal_to_node[output_name] = node
                 progress = True
             else:
-                remaining.append((signals, cover))
+                remaining.append((signals, cover, line_number))
         pending = remaining
     if pending:
         unresolved = [block[0][-1] for block in pending]
-        raise ValueError(f"could not resolve BLIF nodes (cyclic or missing inputs): {unresolved}")
+        raise ParseError(
+            f"could not resolve BLIF nodes (cyclic or missing inputs): {unresolved}",
+            line=pending[0][2],
+        )
 
     for name in outputs:
         if name not in signal_to_node:
-            raise ValueError(f"output {name!r} is never defined")
+            raise ParseError(f"output {name!r} is never defined")
         network.add_po(signal_to_node[name], name=name)
     return network
 
 
 def read_blif_file(path: str | os.PathLike) -> KLutNetwork:
     """Read a BLIF file from disk."""
-    with open(path, "r", encoding="ascii") as handle:
-        return read_blif(handle.read())
+    with open(path, "r", encoding="ascii", errors="replace") as handle:
+        try:
+            return read_blif(handle.read())
+        except ParseError as error:
+            raise error.with_source(os.fspath(path)) from None
 
 
 def write_blif(network: KLutNetwork) -> str:
@@ -130,19 +150,26 @@ def write_blif_file(network: KLutNetwork, path: str | os.PathLike) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _continuation_joined_lines(text: str) -> list[str]:
-    """Join BLIF continuation lines (trailing backslash)."""
-    joined: list[str] = []
+def _continuation_joined_lines(text: str) -> list[tuple[str, int]]:
+    """Join BLIF continuation lines (trailing backslash).
+
+    Returns ``(logical_line, first_physical_line_number)`` pairs so parse
+    errors can point at the start of a joined line.
+    """
+    joined: list[tuple[str, int]] = []
     buffer = ""
-    for raw in text.splitlines():
+    buffer_start = 0
+    for line_number, raw in enumerate(text.splitlines(), start=1):
         line = raw.rstrip()
         if line.endswith("\\"):
+            if not buffer:
+                buffer_start = line_number
             buffer += line[:-1] + " "
             continue
-        joined.append(buffer + line)
+        joined.append((buffer + line, buffer_start if buffer else line_number))
         buffer = ""
     if buffer:
-        joined.append(buffer)
+        joined.append((buffer, buffer_start))
     return joined
 
 
@@ -150,26 +177,28 @@ def _build_names_node(
     network: KLutNetwork,
     signal_to_node: dict[str, int],
     input_names: list[str],
-    cover: list[str],
+    cover: list[tuple[str, int]],
 ) -> int:
     if not input_names:
         # Constant node: a single "1" line means constant true, empty cover constant false.
-        value = any(line.strip() == "1" for line in cover)
+        value = any(line.strip() == "1" for line, _number in cover)
         return network.constant_node(value)
     num_vars = len(input_names)
     bits = 0
     complemented_output = False
-    rows: list[tuple[str, str]] = []
-    for line in cover:
+    rows: list[tuple[str, str, int]] = []
+    for line, line_number in cover:
         fields = line.split()
         if len(fields) != 2:
-            raise ValueError(f"malformed BLIF cover line {line!r}")
-        rows.append((fields[0], fields[1]))
-    if rows and all(output == "0" for _pattern, output in rows):
+            raise ParseError(f"malformed BLIF cover line {line!r}", line=line_number)
+        rows.append((fields[0], fields[1], line_number))
+    if rows and all(output == "0" for _pattern, output, _number in rows):
         complemented_output = True
-    for pattern, output in rows:
+    for pattern, output, line_number in rows:
         if len(pattern) != num_vars:
-            raise ValueError(f"cover row {pattern!r} does not match {num_vars} inputs")
+            raise ParseError(
+                f"cover row {pattern!r} does not match {num_vars} inputs", line=line_number
+            )
         if (output == "1") == complemented_output:
             continue
         for assignment in _expand_cube(pattern):

@@ -1,0 +1,52 @@
+"""Typed parse errors for the circuit file-format readers.
+
+Every reader in :mod:`repro.io` raises :class:`ParseError` on malformed
+input.  It subclasses :class:`ValueError`, so existing ``except
+ValueError`` call sites keep working, but carries enough context (source
+label, line, column) for a command-line front end to print a precise,
+compiler-style diagnostic instead of a bare traceback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ParseError"]
+
+
+class ParseError(ValueError):
+    """A circuit file could not be parsed.
+
+    Attributes:
+        message: the bare problem description (without location prefix).
+        source: label of the input (usually a file path), if known.
+        line: 1-based line number of the offending input, if known.
+        column: 1-based column number, if known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        source: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source = source
+
+    def __str__(self) -> str:
+        prefix_parts = []
+        if self.source is not None:
+            prefix_parts.append(self.source)
+        if self.line is not None:
+            prefix_parts.append(f"line {self.line}")
+            if self.column is not None:
+                prefix_parts.append(f"column {self.column}")
+        if prefix_parts:
+            return f"{', '.join(prefix_parts)}: {self.message}"
+        return self.message
+
+    def with_source(self, source: str) -> "ParseError":
+        """Return a copy labelled with the originating file path."""
+        return ParseError(self.message, line=self.line, column=self.column, source=source)

@@ -554,7 +554,7 @@ class Aig(IncrementalNetworkMixin):
         self._note_rewire(old_node, new_node)
         if self._choice_repr:
             self._choices_on_substitute(old_node, new_literal)
-        if self._mutation_listeners:
+        if self._has_mutation_audience():
             self._notify_mutation(old_node, new_literal, rewired_gates)
         return rewritten
 
@@ -588,7 +588,7 @@ class Aig(IncrementalNetworkMixin):
         self._restrash_gate(gate)
         if changed:
             self._note_rewire(old_node, new_node)
-            if self._mutation_listeners:
+            if self._has_mutation_audience():
                 self._notify_mutation(old_node, new_literal, (gate,))
         return changed
 

@@ -68,12 +68,41 @@ read surface.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from .protocol import ChoiceListener, MutationListener
 from .traversal import topological_sort, transitive_fanout
 
-__all__ = ["IncrementalNetworkMixin"]
+__all__ = [
+    "IncrementalNetworkMixin",
+    "AmbientMutationObserver",
+    "add_ambient_mutation_observer",
+    "remove_ambient_mutation_observer",
+]
+
+#: Process-wide mutation observer: ``observer(network, old_node,
+#: replacement, rewired_gates)``.  Unlike per-network listeners, ambient
+#: observers see every mutation on *every* network in the process --
+#: including the private working copies optimization passes clone
+#: internally, which per-network listeners never reach (``clone`` does
+#: not copy listeners).  This is the hook the resilience layer uses for
+#: mutation budgets and fault injection.  Single-threaded by design.
+AmbientMutationObserver = Callable[["IncrementalNetworkMixin", int, int, "tuple[int, ...]"], None]
+
+_AMBIENT_MUTATION_OBSERVERS: list[AmbientMutationObserver] = []
+
+
+def add_ambient_mutation_observer(observer: AmbientMutationObserver) -> None:
+    """Register a process-wide mutation observer (see :data:`AmbientMutationObserver`)."""
+    _AMBIENT_MUTATION_OBSERVERS.append(observer)
+
+
+def remove_ambient_mutation_observer(observer: AmbientMutationObserver) -> None:
+    """Unregister a process-wide mutation observer (no-op if absent)."""
+    try:
+        _AMBIENT_MUTATION_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
 
 
 class IncrementalNetworkMixin:
@@ -284,8 +313,19 @@ class IncrementalNetworkMixin:
             pass
 
     def _notify_mutation(self, old_node: int, replacement: int, rewired_gates: tuple[int, ...]) -> None:
+        for observer in _AMBIENT_MUTATION_OBSERVERS:
+            observer(self, old_node, replacement, rewired_gates)
         for listener in self._mutation_listeners:
             listener(old_node, replacement, rewired_gates)
+
+    def _has_mutation_audience(self) -> bool:
+        """True when any per-network listener or ambient observer is registered.
+
+        Containers use this as the fire-the-bus guard in ``substitute``/
+        ``replace_fanin`` so mutation events reach ambient observers even
+        on networks (e.g. pass-internal clones) with no listeners.
+        """
+        return bool(self._mutation_listeners) or bool(_AMBIENT_MUTATION_OBSERVERS)
 
     # ------------------------------------------------------------------
     # Choice classes

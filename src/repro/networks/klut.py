@@ -378,7 +378,7 @@ class KLutNetwork(IncrementalNetworkMixin):
         self._note_rewire(old_node, new_node)
         if self._choice_repr:
             self._choices_on_substitute(old_node, new_node)
-        if self._mutation_listeners:
+        if self._has_mutation_audience():
             self._notify_mutation(old_node, new_node, rewired_gates)
         return rewritten
 
@@ -404,7 +404,7 @@ class KLutNetwork(IncrementalNetworkMixin):
             old_fanouts.remove(gate)
         self._fanouts[new_node].extend([gate] * replaced)
         self._note_rewire(old_node, new_node)
-        if self._mutation_listeners:
+        if self._has_mutation_audience():
             self._notify_mutation(old_node, new_node, (gate,))
         return True
 

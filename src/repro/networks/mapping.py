@@ -47,12 +47,15 @@ yields more LUTs or a deeper network than plain mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..cuts import Cut, CutEngine, CutFunctionCache, aig_cone_table
 from ..truthtable import TruthTable
 from .aig import Aig
 from .klut import KLutNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..resilience import Budget
 
 __all__ = [
     "MappingStats",
@@ -177,9 +180,11 @@ class _Mapper:
         cut_limit: int,
         cache: CutFunctionCache | None,
         use_choices: bool = False,
+        budget: "Budget | None" = None,
     ) -> None:
         self.aig = aig
         self.k = k
+        self.budget = budget
         self.use_choices = use_choices and aig.has_choices
         # The choice-aware run doubles the priority-cut budget: class-
         # merged fanin sets produce more merge candidates, and at the
@@ -188,7 +193,14 @@ class _Mapper:
         # fallback run keeps the caller's budget, so its selection stays
         # bit-identical to a plain map.
         engine_cut_limit = 2 * cut_limit if self.use_choices else cut_limit
-        self.engine = CutEngine(aig, k=k, cut_limit=engine_cut_limit, cache=cache, use_choices=self.use_choices)
+        self.engine = CutEngine(
+            aig,
+            k=k,
+            cut_limit=engine_cut_limit,
+            cache=cache,
+            use_choices=self.use_choices,
+            budget=budget,
+        )
         # With choices a borrowed cut's leaves may live anywhere in the
         # class's merged fanin cone, so the passes iterate the choice-
         # collapsed order (leaves always precede the selecting node).
@@ -240,6 +252,11 @@ class _Mapper:
         return {node: max(1, count) for node, count in counts.items()}
 
     # -- shared helpers -------------------------------------------------
+
+    def poll_budget(self, counter: int) -> None:
+        """Strided cooperative deadline poll for the selection loops."""
+        if self.budget is not None and counter % 256 == 0:
+            self.budget.checkpoint("map")
 
     def candidates(self, node: int) -> list[Cut]:
         """Non-trivial cuts of ``node`` (the trivial cut maps a node onto itself)."""
@@ -301,7 +318,8 @@ class _Mapper:
 
     def depth_pass(self) -> None:
         """Depth-optimal cut per node, ties broken by leaf count."""
-        for node in self.topo:
+        for index, node in enumerate(self.topo):
+            self.poll_budget(index)
             best = min(self.candidates(node), key=lambda cut: (self.cut_arrival(cut), cut.size))
             self.best[node] = best
             self.arrival[node] = self.cut_arrival(best)
@@ -320,7 +338,8 @@ class _Mapper:
         flow: dict[int, float] = {0: 0.0}
         for pi in self.aig.pis:
             flow[pi] = 0.0
-        for node in self.topo:
+        for index, node in enumerate(self.topo):
+            self.poll_budget(index)
             node_required = required.get(node, _INFINITY)
             best_cut: Cut | None = None
             best_cost: tuple[float, int, int] | None = None
@@ -400,7 +419,8 @@ class _Mapper:
                 ref_cut(node)
             refs[node] = refs.get(node, 0) + 1
 
-        for node in self.topo:
+        for index, node in enumerate(self.topo):
+            self.poll_budget(index)
             if refs.get(node, 0) == 0:
                 # Not in the cover: nothing to re-select, but the node's
                 # arrival must track its leaves' (legally) re-timed
@@ -511,6 +531,7 @@ def technology_map(
     area_rounds: int = 2,
     cache: CutFunctionCache | None = None,
     use_choices: bool | None = None,
+    budget: "Budget | None" = None,
 ) -> MappingResult:
     """Map an AIG into a k-LUT network with the multi-pass mapper.
 
@@ -529,6 +550,12 @@ def technology_map(
     passes and is guarded by a plain fallback run, so its result never
     has more LUTs or a larger depth than plain mapping (the emitted
     k-LUT network is always choice-free).
+
+    ``budget`` (:class:`repro.resilience.Budget`) makes the run
+    deadline-aware: cut enumeration and every selection pass poll the
+    deadline cooperatively (strided) and raise
+    :class:`~repro.resilience.BudgetExceeded` on expiry.  The input
+    network is never mutated, so an aborted map leaves no trace.
     """
     if k < 2:
         raise ValueError("LUT size k must be at least 2")
@@ -543,7 +570,7 @@ def technology_map(
     stats = MappingStats(k=k, cut_limit=cut_limit)
     stats.passes.extend(["depth", "area-flow", "exact-area"][: area_rounds + 1])
     if not with_choices:
-        mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=False)
+        mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=False, budget=budget)
         stats.cuts_enumerated = sum(len(cuts) for cuts in mapper.all_cuts.values())
         selection, pass_luts = _map_passes(mapper, area_rounds)
     else:
@@ -555,9 +582,9 @@ def technology_map(
         # choice run's required times are relaxed to the plain depth --
         # a choice-rich depth pass often lands *below* it, and the
         # tighter required times would starve area recovery of slack).
-        plain_mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=False)
+        plain_mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=False, budget=budget)
         plain_selection, plain_pass_luts = _map_passes(plain_mapper, area_rounds)
-        mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=True)
+        mapper = _Mapper(aig, k, cut_limit, shared_cache, use_choices=True, budget=budget)
         stats.cuts_enumerated = sum(len(cuts) for cuts in mapper.all_cuts.values())
         selection, pass_luts = _map_passes(mapper, area_rounds, relax_depth=plain_selection.depth)
         # Ship the choice selection only when it regresses neither LUTs

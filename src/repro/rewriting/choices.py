@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..networks.aig import Aig
 from ..sweeping.fraig import FraigSweeper
@@ -47,6 +48,9 @@ from .balance import balance
 from .library import RewriteLibrary
 from .refactor import refactor
 from .rewrite import rewrite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..resilience import Budget
 
 __all__ = ["ChoiceReport", "compute_choices"]
 
@@ -134,6 +138,7 @@ def compute_choices(
     with_refactor: bool = True,
     with_snapshots: bool = False,
     with_fraig: bool = True,
+    budget: "Budget | None" = None,
 ) -> tuple[Aig, ChoiceReport]:
     """Augment (a copy of) the network with structural choice classes.
 
@@ -151,14 +156,20 @@ def compute_choices(
     report = ChoiceReport(gates_before=aig.num_ands)
     work = aig
     if with_rewrite:
+        if budget is not None:
+            budget.checkpoint("choice")
         work, rewrite_report = rewrite(work, record_choices=True, library=library)
         report.rewrite_recorded = rewrite_report.choices_recorded
     if with_refactor:
+        if budget is not None:
+            budget.checkpoint("choice")
         work, refactor_report = refactor(work, record_choices=True)
         report.refactor_recorded = refactor_report.choices_recorded
     if work is aig:
         work = aig.clone()
     if with_snapshots and with_fraig:
+        if budget is not None:
+            budget.checkpoint("choice")
         balanced, _balance_report = balance(aig)
         report.snapshot_gates += _append_snapshot(work, balanced)
         report.snapshot_gates += _append_snapshot(work, _resyn2(aig, library))
@@ -169,6 +180,7 @@ def compute_choices(
             seed=seed,
             conflict_limit=conflict_limit,
             record_choices=True,
+            budget=budget,
         ).run()
         report.fraig_recorded = int(sweep_stats.extra.get("choices_recorded", 0.0))
         report.fraig_skipped = int(sweep_stats.extra.get("choice_skipped", 0.0))

@@ -59,19 +59,45 @@ AIG-to-AIG steps are checked with the combinational equivalence checker
 (complete).  As soon as a flow crosses into the mapped network, the
 check against the AIG-typed reference is word-parallel simulation --
 exhaustive for networks of up to 10 inputs, 256 random patterns
-otherwise -- mirroring how the mapper itself is verified.
+otherwise -- mirroring how the mapper itself is verified.  A CEC that
+gives up at its conflict limit is reported as *unknown*
+(``verify_status``), never as a failure or a pass.
+
+Transactional execution
+-----------------------
+
+Every pass runs against a :class:`~repro.resilience.NetworkCheckpoint`
+when the flow is transactional (``on_error="rollback"`` or
+``verify_commit=True``): a pass that raises, exceeds its
+:class:`~repro.resilience.Budget`, or fails the verification-gated
+commit is rolled back to the last good network, marked ``failed`` in
+its :class:`PassStatistics` with the reason, and the flow continues --
+except on flow-deadline exhaustion, where the remaining passes are
+marked ``skipped`` and the last good network is returned immediately.
+With the default ``on_error="raise"`` the error propagates to the
+caller instead (current behaviour).  ``pass_timeout`` gives every pass
+its own wall-clock sub-budget; a per-pass timeout aborts only that
+pass.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, Union
+from typing import Any, Callable, ContextManager, Sequence, Union
 
 from ..networks.aig import Aig
 from ..networks.klut import KLutNetwork
 from ..networks.protocol import network_kind
 from ..networks.transforms import cleanup_dangling
+from ..resilience import (
+    Budget,
+    BudgetExceeded,
+    NetworkCheckpoint,
+    VerificationFailed,
+    simulation_equivalent,
+)
 from ..sat.circuit import CircuitSolver
 from ..simulation.patterns import PatternSet
 from ..sweeping.cec import check_combinational_equivalence
@@ -215,7 +241,14 @@ class PassStatistics:
     ``gates_before`` / ``gates_after`` count the network's internal
     gates in its own representation -- AND nodes on an AIG, LUTs on a
     mapped network; ``kind`` records the representation the pass
-    produced.
+    produced.  ``status`` is ``"ok"`` for a committed pass, ``"failed"``
+    for one that raised / exceeded its budget / failed verification and
+    was rolled back, and ``"skipped"`` for one never run (flow budget
+    already exhausted, or its required network kind unavailable after an
+    earlier rollback); ``failure`` carries the human-readable reason.
+    ``verify_status`` is ``"ok"`` / ``"fail"`` / ``"unknown"`` when a
+    per-pass verification ran (``unknown`` = the CEC gave up at its
+    conflict limit -- explicitly not a failure).
     """
 
     name: str
@@ -226,6 +259,9 @@ class PassStatistics:
     total_time: float = 0.0
     verified: bool | None = None
     kind: str = "aig"
+    status: str = "ok"
+    failure: str | None = None
+    verify_status: str | None = None
     details: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -235,13 +271,37 @@ class PassStatistics:
             return 0.0
         return 1.0 - self.gates_after / self.gates_before
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable view (for the future service layer)."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "failure": self.failure,
+            "kind": self.kind,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+            "total_time": self.total_time,
+            "verified": self.verified,
+            "verify_status": self.verify_status,
+            "details": dict(self.details),
+        }
+
     def __str__(self) -> str:
-        verified = "" if self.verified is None else f"  cec={'ok' if self.verified else 'FAIL'}"
+        if self.verify_status is not None:
+            labels = {"ok": "ok", "fail": "FAIL", "unknown": "unknown"}
+            verified = f"  cec={labels.get(self.verify_status, self.verify_status)}"
+        elif self.verified is not None:
+            verified = f"  cec={'ok' if self.verified else 'FAIL'}"
+        else:
+            verified = ""
         unit = "" if self.kind == "aig" else f" {self.kind}"
+        state = "" if self.status == "ok" else f"  [{self.status}: {self.failure}]"
         return (
             f"{self.name:<8} gates {self.gates_before:>6} -> {self.gates_after:<6} "
             f"depth {self.depth_before:>3} -> {self.depth_after:<3} "
-            f"{self.total_time:7.3f}s{unit}{verified}"
+            f"{self.total_time:7.3f}s{unit}{verified}{state}"
         )
 
 
@@ -257,8 +317,12 @@ class FlowStatistics:
     depth_after: int = 0
     total_time: float = 0.0
     verified: bool | None = None
+    verify_status: str | None = None
     kind_before: str = "aig"
     kind_after: str = "aig"
+    #: True when the flow's wall-clock budget ran out and the remaining
+    #: passes were skipped (the returned network is the last good one).
+    budget_exhausted: bool = False
 
     @property
     def gate_reduction(self) -> float:
@@ -266,6 +330,33 @@ class FlowStatistics:
         if self.gates_before == 0:
             return 0.0
         return 1.0 - self.gates_after / self.gates_before
+
+    @property
+    def failed_passes(self) -> list[PassStatistics]:
+        """The passes that failed and were rolled back."""
+        return [stats for stats in self.passes if stats.status == "failed"]
+
+    @property
+    def skipped_passes(self) -> list[PassStatistics]:
+        """The passes that never ran."""
+        return [stats for stats in self.passes if stats.status == "skipped"]
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serializable view (for the future service layer)."""
+        return {
+            "script": self.script,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+            "total_time": self.total_time,
+            "verified": self.verified,
+            "verify_status": self.verify_status,
+            "kind_before": self.kind_before,
+            "kind_after": self.kind_after,
+            "budget_exhausted": self.budget_exhausted,
+            "passes": [stats.as_dict() for stats in self.passes],
+        }
 
     def __str__(self) -> str:
         crossing = "" if self.kind_before == self.kind_after else f" [{self.kind_before} -> {self.kind_after}]"
@@ -275,7 +366,12 @@ class FlowStatistics:
             f"{self.depth_after}, total {self.total_time:.3f}s{crossing}"
         ]
         lines.extend(f"  {stats}" for stats in self.passes)
-        if self.verified is not None:
+        if self.budget_exhausted:
+            lines.append("  flow budget exhausted: remaining passes skipped")
+        if self.verify_status is not None:
+            labels = {"ok": "ok", "fail": "FAIL", "unknown": "unknown"}
+            lines.append(f"  equivalence vs input: {labels.get(self.verify_status, self.verify_status)}")
+        elif self.verified is not None:
             lines.append(f"  equivalence vs input: {'ok' if self.verified else 'FAIL'}")
         return "\n".join(lines)
 
@@ -294,15 +390,21 @@ def _po_signatures(network: Network, patterns: PatternSet) -> list[int]:
     return aig_po_signatures(network, simulate_aig(network, patterns))
 
 
-def _networks_equivalent(reference: Network, candidate: Network) -> bool:
+def _networks_equivalent(reference: Network, candidate: Network) -> bool | None:
     """Kind-generic equivalence verdict between two pipeline networks.
 
     Two AIGs go through the (complete) CEC miter; any pair involving a
     mapped network is compared by word-parallel simulation, exhaustively
     when the input count allows it and on 256 random patterns otherwise.
+    Returns ``True`` / ``False`` for a definite verdict and ``None``
+    when the CEC gave up at its conflict limit -- "unknown" must never
+    be conflated with "not equivalent".
     """
     if isinstance(reference, Aig) and isinstance(candidate, Aig):
-        return bool(check_combinational_equivalence(reference, candidate))
+        outcome = check_combinational_equivalence(reference, candidate)
+        if outcome.status == "undetermined":
+            return None
+        return outcome.equivalent
     if reference.num_pis != candidate.num_pis:
         return False
     if reference.num_pis <= 10:
@@ -310,6 +412,13 @@ def _networks_equivalent(reference: Network, candidate: Network) -> bool:
     else:
         patterns = PatternSet.random(reference.num_pis, 256, seed=1)
     return _po_signatures(reference, patterns) == _po_signatures(candidate, patterns)
+
+
+def _verify_status(verdict: bool | None) -> str:
+    """Map a tri-state equivalence verdict onto its status label."""
+    if verdict is None:
+        return "unknown"
+    return "ok" if verdict else "fail"
 
 
 class PassManager:
@@ -339,6 +448,22 @@ class PassManager:
     library:
         Shared :class:`~repro.rewriting.library.RewriteLibrary`; defaults
         to the process-wide library.
+    on_error:
+        ``"raise"`` (default) propagates a failing pass's error to the
+        caller; ``"rollback"`` restores the last good network, records
+        the pass as ``failed`` with the reason, and continues the flow
+        (see the module docstring).
+    verify_commit:
+        Gate every pass's commit on a word-parallel simulation
+        cross-check against its input (exhaustive for up to 10 PIs, 256
+        random patterns otherwise); a mismatch rolls the pass back (with
+        ``on_error="rollback"``) or raises
+        :class:`~repro.resilience.VerificationFailed`.
+    pass_timeout:
+        Per-pass wall-clock ceiling in seconds; implemented as a
+        deadline sub-budget, so it composes with a flow
+        :class:`~repro.resilience.Budget` (the tighter deadline wins)
+        and exceeding it aborts only the offending pass.
     """
 
     def __init__(
@@ -351,6 +476,9 @@ class PassManager:
         cut_limit: int = 8,
         verify_each: bool = False,
         library: RewriteLibrary | None = None,
+        on_error: str = "raise",
+        verify_commit: bool = False,
+        pass_timeout: float | None = None,
     ) -> None:
         self.script = script if isinstance(script, str) else "; ".join(script)
         self.passes = parse_script(script)
@@ -367,6 +495,8 @@ class PassManager:
                 validate_script(self.passes, "klut")
             except ValueError:
                 raise aig_error from None
+        if on_error not in ("raise", "rollback"):
+            raise ValueError(f"on_error must be 'raise' or 'rollback', got {on_error!r}")
         self.seed = seed
         self.num_patterns = num_patterns
         self.conflict_limit = conflict_limit
@@ -374,10 +504,19 @@ class PassManager:
         self.cut_limit = cut_limit
         self.verify_each = verify_each
         self.library = library
+        self.on_error = on_error
+        self.verify_commit = verify_commit
+        self.pass_timeout = pass_timeout
 
     # ------------------------------------------------------------------
 
-    def run(self, network: Network, verify: bool = False) -> tuple[Network, FlowStatistics]:
+    def run(
+        self,
+        network: Network,
+        verify: bool = False,
+        budget: Budget | None = None,
+        on_error: str | None = None,
+    ) -> tuple[Network, FlowStatistics]:
         """Run every pass of the script on (a copy of) ``network``.
 
         The input may be an :class:`Aig` (the usual case) or an already
@@ -385,8 +524,19 @@ class PassManager:
         is re-validated against the actual input kind.  With ``verify``
         the final result is checked against the input network (see the
         module docstring for the verification semantics) and the verdict
-        recorded in ``FlowStatistics.verified``.
+        recorded in ``FlowStatistics.verified`` / ``verify_status``.
+
+        ``budget`` bounds the whole flow (deadline, shared conflict
+        pool, mutation cap); ``on_error`` overrides the constructor's
+        error policy for this run.  With ``on_error="rollback"`` the
+        returned network is always derived from committed passes only --
+        a failing pass is rolled back and the flow continues (or, on
+        flow-deadline exhaustion, returns early with the remaining
+        passes marked ``skipped``).
         """
+        policy = self.on_error if on_error is None else on_error
+        if policy not in ("raise", "rollback"):
+            raise ValueError(f"on_error must be 'raise' or 'rollback', got {policy!r}")
         start_kind = network_kind(network)
         validate_script(self.passes, start_kind)
         flow = FlowStatistics(
@@ -396,77 +546,156 @@ class PassManager:
             kind_before=start_kind,
         )
         start = time.perf_counter()
+        transactional = policy == "rollback" or self.verify_commit
+        runners = self._runners()
         current: Network = network
         for name in self.passes:
-            result, pass_stats = self._run_pass(name, current)
-            if self.verify_each:
-                pass_stats.verified = _networks_equivalent(current, result)
-            flow.passes.append(pass_stats)
-            current = result
+            input_kind = network_kind(current)
+            stats = PassStatistics(
+                name=name,
+                kind=input_kind,
+                gates_before=current.num_gates,
+                gates_after=current.num_gates,
+                depth_before=current.depth(),
+                depth_after=current.depth(),
+            )
+            if flow.budget_exhausted:
+                stats.status = "skipped"
+                stats.failure = "flow budget exhausted by an earlier pass"
+                flow.passes.append(stats)
+                continue
+            required_kind = PASS_KINDS[name][0]
+            if required_kind != "any" and required_kind != input_kind:
+                stats.status = "skipped"
+                stats.failure = (
+                    f"requires a {required_kind} network but the flow holds a "
+                    f"{input_kind} network (an earlier pass was rolled back)"
+                )
+                flow.passes.append(stats)
+                continue
+            pass_budget = budget
+            if self.pass_timeout is not None:
+                pass_budget = (
+                    budget.with_deadline(self.pass_timeout)
+                    if budget is not None
+                    else Budget(wall_clock=self.pass_timeout)
+                )
+            checkpoint = NetworkCheckpoint(current) if transactional else None
+            started = time.perf_counter()
+            try:
+                if pass_budget is not None:
+                    pass_budget.checkpoint(name)
+                observe: ContextManager[object] = (
+                    pass_budget.observe_mutations() if pass_budget is not None else nullcontext()
+                )
+                with observe:
+                    result, details = runners[name](current, pass_budget)
+                stats.details = details
+                stats.kind = network_kind(result)
+                stats.gates_after = result.num_gates
+                stats.depth_after = result.depth()
+                if self.verify_each:
+                    verdict = _networks_equivalent(current, result)
+                    stats.verified = verdict
+                    stats.verify_status = _verify_status(verdict)
+                if self.verify_commit and not simulation_equivalent(
+                    current, result, num_patterns=max(256, self.num_patterns), seed=self.seed
+                ):
+                    stats.verified = False
+                    stats.verify_status = "fail"
+                    raise VerificationFailed(
+                        f"pass {name!r}: result is not simulation-equivalent to its input"
+                    )
+            except Exception as error:
+                stats.total_time = time.perf_counter() - started
+                stats.status = "failed"
+                if isinstance(error, BudgetExceeded):
+                    stats.failure = f"budget: {error}"
+                elif isinstance(error, VerificationFailed):
+                    stats.failure = f"verification: {error}"
+                else:
+                    stats.failure = f"{type(error).__name__}: {error}"
+                if checkpoint is not None:
+                    current = checkpoint.restore()
+                if policy == "raise":
+                    flow.passes.append(stats)
+                    raise
+                # Rolled back: the pass had no effect on the network.
+                stats.kind = network_kind(current)
+                stats.gates_after = current.num_gates
+                stats.depth_after = current.depth()
+                if isinstance(error, BudgetExceeded) and budget is not None and budget.expired:
+                    # The *flow* deadline is gone (not just a per-pass
+                    # timeout or the conflict pool): stop running passes.
+                    flow.budget_exhausted = True
+                flow.passes.append(stats)
+                continue
+            else:
+                if checkpoint is not None:
+                    checkpoint.commit()
+                stats.total_time = time.perf_counter() - started
+                flow.passes.append(stats)
+                current = result
         flow.gates_after = current.num_gates
         flow.depth_after = current.depth()
         flow.kind_after = network_kind(current)
         flow.total_time = time.perf_counter() - start
         if verify:
-            flow.verified = _networks_equivalent(network, current)
+            verdict = _networks_equivalent(network, current)
+            flow.verified = verdict
+            flow.verify_status = _verify_status(verdict)
         return current, flow
 
     # ------------------------------------------------------------------
 
-    def _run_pass(self, name: str, network: Network) -> tuple[Network, PassStatistics]:
-        runner = self._runners()[name]
-        gates_before = network.num_gates
-        depth_before = network.depth()
-        started = time.perf_counter()
-        result, details = runner(network)
-        elapsed = time.perf_counter() - started
-        stats = PassStatistics(
-            name=name,
-            gates_before=gates_before,
-            gates_after=result.num_gates,
-            depth_before=depth_before,
-            depth_after=result.depth(),
-            total_time=elapsed,
-            kind=network_kind(result),
-            details=details,
-        )
-        return result, stats
-
-    def _runners(self) -> dict[str, Callable[[Network], tuple[Network, dict[str, float]]]]:
+    def _runners(
+        self,
+    ) -> dict[str, Callable[[Network, Budget | None], tuple[Network, dict[str, float]]]]:
         return {
-            "rw": lambda network: self._rewrite(network, zero_gain=False),
-            "rwz": lambda network: self._rewrite(network, zero_gain=True),
-            "rf": lambda network: self._refactor(network, zero_gain=False),
-            "rfz": lambda network: self._refactor(network, zero_gain=True),
-            "b": self._balance,
+            "rw": lambda network, budget: self._rewrite(network, zero_gain=False),
+            "rwz": lambda network, budget: self._rewrite(network, zero_gain=True),
+            "rf": lambda network, budget: self._refactor(network, zero_gain=False),
+            "rfz": lambda network, budget: self._refactor(network, zero_gain=True),
+            "b": lambda network, budget: self._balance(network),
             "fraig": self._fraig,
             "stp": self._stp,
             "cp": self._constant_prop,
             "choice": self._choice,
             "map": self._map,
-            "lutmffc": lambda network: self._lut_resyn(network, zero_gain=False),
-            "lutmffcz": lambda network: self._lut_resyn(network, zero_gain=True),
-            "cleanup": self._cleanup,
+            "lutmffc": lambda network, budget: self._lut_resyn(network, zero_gain=False),
+            "lutmffcz": lambda network, budget: self._lut_resyn(network, zero_gain=True),
+            "cleanup": lambda network, budget: self._cleanup(network),
         }
 
-    def _rewrite(self, aig: Aig, zero_gain: bool) -> tuple[Aig, dict[str, float]]:
-        result, report = rewrite(aig, zero_gain=zero_gain, library=self.library)
+    @staticmethod
+    def _as_aig(network: Network) -> Aig:
+        assert isinstance(network, Aig), "kind-checked script guarantees an AIG here"
+        return network
+
+    @staticmethod
+    def _as_klut(network: Network) -> KLutNetwork:
+        assert isinstance(network, KLutNetwork), "kind-checked script guarantees a k-LUT network here"
+        return network
+
+    def _rewrite(self, network: Network, zero_gain: bool) -> tuple[Network, dict[str, float]]:
+        result, report = rewrite(self._as_aig(network), zero_gain=zero_gain, library=self.library)
         return result, report.as_details()
 
-    def _refactor(self, aig: Aig, zero_gain: bool) -> tuple[Aig, dict[str, float]]:
-        result, report = refactor(aig, zero_gain=zero_gain)
+    def _refactor(self, network: Network, zero_gain: bool) -> tuple[Network, dict[str, float]]:
+        result, report = refactor(self._as_aig(network), zero_gain=zero_gain)
         return result, report.as_details()
 
-    def _balance(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
-        result, report = balance(aig)
+    def _balance(self, network: Network) -> tuple[Network, dict[str, float]]:
+        result, report = balance(self._as_aig(network))
         return result, report.as_details()
 
-    def _fraig(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+    def _fraig(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
         swept, stats = FraigSweeper(
-            aig,
+            self._as_aig(network),
             num_patterns=self.num_patterns,
             seed=self.seed,
             conflict_limit=self.conflict_limit,
+            budget=budget,
         ).run()
         return swept, {
             "merges": float(stats.merges),
@@ -474,12 +703,13 @@ class PassManager:
             "sat_time": stats.sat_time,
         }
 
-    def _stp(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+    def _stp(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
         swept, stats = StpSweeper(
-            aig,
+            self._as_aig(network),
             num_patterns=self.num_patterns,
             seed=self.seed,
             conflict_limit=self.conflict_limit,
+            budget=budget,
         ).run()
         return swept, {
             "merges": float(stats.merges),
@@ -487,9 +717,9 @@ class PassManager:
             "sat_time": stats.sat_time,
         }
 
-    def _constant_prop(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
-        work = aig.clone()
-        solver = CircuitSolver(work, conflict_limit=self.conflict_limit)
+    def _constant_prop(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
+        work = self._as_aig(network).clone()
+        solver = CircuitSolver(work, conflict_limit=self.conflict_limit, budget=budget)
         patterns = PatternSet.random(work.num_pis, self.num_patterns, self.seed)
         report = propagate_constant_candidates(
             work, patterns, solver, conflict_limit=self.conflict_limit
@@ -501,27 +731,32 @@ class PassManager:
             "sat_calls": float(report.sat_calls),
         }
 
-    def _choice(self, aig: Aig) -> tuple[Aig, dict[str, float]]:
+    def _choice(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
         from .choices import compute_choices
 
         result, report = compute_choices(
-            aig,
+            self._as_aig(network),
             num_patterns=self.num_patterns,
             seed=self.seed,
             conflict_limit=self.conflict_limit,
             library=self.library,
+            budget=budget,
         )
         return result, report.as_details()
 
-    def _map(self, aig: Aig) -> tuple[KLutNetwork, dict[str, float]]:
+    def _map(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
         from ..networks.mapping import technology_map
 
         k = self.lut_size if self.lut_size is not None else 6
-        result = technology_map(aig, k=k, cut_limit=self.cut_limit)
+        result = technology_map(
+            self._as_aig(network), k=k, cut_limit=self.cut_limit, budget=budget
+        )
         return result.network, result.stats.as_details()
 
-    def _lut_resyn(self, network: KLutNetwork, zero_gain: bool) -> tuple[KLutNetwork, dict[str, float]]:
-        result, report = lut_resynthesize(network, k=self.lut_size, zero_gain=zero_gain)
+    def _lut_resyn(self, network: Network, zero_gain: bool) -> tuple[Network, dict[str, float]]:
+        result, report = lut_resynthesize(
+            self._as_klut(network), k=self.lut_size, zero_gain=zero_gain
+        )
         return result, report.as_details()
 
     def _cleanup(self, network: Network) -> tuple[Network, dict[str, float]]:
@@ -533,7 +768,7 @@ def optimize(
     network: Network,
     script: str | Sequence[str] = "resyn2",
     verify: bool = False,
-    **manager_options,
+    **manager_options: Any,
 ) -> tuple[Network, FlowStatistics]:
     """Convenience wrapper: run one script on a network.
 

@@ -31,9 +31,12 @@ import heapq
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .cnf import CnfFormula
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..resilience import Budget
 
 __all__ = ["CdclSolver", "SolverResult", "SolverStatistics"]
 
@@ -221,16 +224,43 @@ class CdclSolver:
         self,
         assumptions: Sequence[int] = (),
         conflict_limit: int | None = None,
+        budget: "Budget | None" = None,
     ) -> SolverResult:
         """Run the CDCL loop.
 
         ``assumptions`` are literals assumed true for this call only.  When
         ``conflict_limit`` conflicts are exceeded the solver gives up and
-        returns :attr:`SolverResult.UNKNOWN`.
+        returns :attr:`SolverResult.UNKNOWN` -- distinct from
+        :attr:`SolverResult.UNSATISFIABLE`, which is only ever a proof.
+
+        ``budget`` (:class:`repro.resilience.Budget`) makes the conflict
+        loop deadline-aware: the deadline is polled at every conflict
+        and every 128 decisions, raising
+        :class:`~repro.resilience.BudgetExceeded` (after backtracking to
+        level 0, so the solver stays reusable).  The budget's shared
+        conflict pool tightens the effective conflict limit, and the
+        conflicts this call consumed are charged back to the pool on
+        every exit path.
         """
         self.statistics.solve_calls += 1
         if not self._ok:
             return SolverResult.UNSATISFIABLE
+        if budget is not None:
+            budget.checkpoint("cdcl")
+            conflict_limit = budget.conflict_allowance(conflict_limit, "cdcl")
+        conflicts_at_start = self.statistics.conflicts
+        try:
+            return self._solve_loop(assumptions, conflict_limit, budget)
+        finally:
+            if budget is not None:
+                budget.spend_conflicts(self.statistics.conflicts - conflicts_at_start)
+
+    def _solve_loop(
+        self,
+        assumptions: Sequence[int],
+        conflict_limit: int | None,
+        budget: "Budget | None",
+    ) -> SolverResult:
         self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
@@ -238,6 +268,7 @@ class CdclSolver:
             return SolverResult.UNSATISFIABLE
 
         conflicts_at_start = self.statistics.conflicts
+        decisions_since_poll = 0
         restart_cursor = 0
         restart_budget = 64 * _luby(restart_cursor + 1)
         conflicts_since_restart = 0
@@ -262,6 +293,9 @@ class CdclSolver:
                 if conflict_limit is not None and self.statistics.conflicts - conflicts_at_start >= conflict_limit:
                     self._backtrack(0)
                     return SolverResult.UNKNOWN
+                if budget is not None and budget.expired:
+                    self._backtrack(0)
+                    budget.checkpoint("cdcl")
                 continue
 
             if conflicts_since_restart >= restart_budget and self._decision_level() > len(assumptions):
@@ -296,6 +330,12 @@ class CdclSolver:
             if literal is None:
                 return SolverResult.SATISFIABLE
             self.statistics.decisions += 1
+            decisions_since_poll += 1
+            if budget is not None and decisions_since_poll >= 128:
+                decisions_since_poll = 0
+                if budget.expired:
+                    self._backtrack(0)
+                    budget.checkpoint("cdcl")
             self._new_decision_level()
             self._enqueue(literal, None)
 

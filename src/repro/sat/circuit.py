@@ -36,10 +36,14 @@ import time
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..networks.aig import Aig
+from ..resilience import BudgetExceeded
 from .cdcl import CdclSolver, SolverResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..resilience import Budget
 
 __all__ = ["CircuitSolver", "EquivalenceOutcome", "EquivalenceStatus"]
 
@@ -68,9 +72,21 @@ class EquivalenceOutcome:
 class CircuitSolver:
     """Incremental circuit SAT solver over one AIG."""
 
-    def __init__(self, aig: Aig, conflict_limit: int | None = 10_000) -> None:
+    def __init__(
+        self,
+        aig: Aig,
+        conflict_limit: int | None = 10_000,
+        budget: "Budget | None" = None,
+    ) -> None:
         self.aig = aig
         self.conflict_limit = conflict_limit
+        #: Optional :class:`repro.resilience.Budget` threaded into every
+        #: ``solve`` call: the shared conflict pool tightens per-query
+        #: limits (an empty pool raises ``BudgetExceeded`` before the
+        #: query starts) and the CDCL loop polls the deadline.  A query
+        #: that gives up at its limit stays ``UNDETERMINED`` -- budget
+        #: exhaustion is never reported as (not-)equivalence.
+        self.budget = budget
         self.solver = CdclSolver()
         self._variables: dict[int, int] = {}
         self._encoded: set[int] = set()
@@ -166,8 +182,20 @@ class CircuitSolver:
         self.solver.add_clause([-activator, -cnf_a, -cnf_b])
         limit = conflict_limit if conflict_limit is not None else self.conflict_limit
         solve_start = time.perf_counter()
-        result = self.solver.solve(assumptions=[activator], conflict_limit=limit)
-        self.sat_time += time.perf_counter() - solve_start
+        try:
+            result = self.solver.solve(
+                assumptions=[activator], conflict_limit=limit, budget=self.budget
+            )
+        except BudgetExceeded:
+            # Budget abort mid-query: permanently deactivate the miter
+            # clauses so the solver instance stays reusable, then let the
+            # typed error propagate -- the query is neither proved nor
+            # disproved.
+            self.num_undetermined += 1
+            self.solver.add_clause([-activator])
+            raise
+        finally:
+            self.sat_time += time.perf_counter() - solve_start
         if result is SolverResult.UNSATISFIABLE:
             self.num_unsatisfiable += 1
             # Deactivate the miter clauses and record the proven equality,
@@ -199,8 +227,12 @@ class CircuitSolver:
         assumption = -cnf_literal if value else cnf_literal
         limit = conflict_limit if conflict_limit is not None else self.conflict_limit
         solve_start = time.perf_counter()
-        result = self.solver.solve(assumptions=[assumption], conflict_limit=limit)
-        self.sat_time += time.perf_counter() - solve_start
+        try:
+            result = self.solver.solve(
+                assumptions=[assumption], conflict_limit=limit, budget=self.budget
+            )
+        finally:
+            self.sat_time += time.perf_counter() - solve_start
         if result is SolverResult.UNSATISFIABLE:
             self.num_unsatisfiable += 1
             self.solver.add_clause([cnf_literal if value else -cnf_literal])

@@ -21,7 +21,7 @@ Pairs already sharing a choice class are skipped without a SAT call.
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..networks.aig import Aig, LIT_FALSE
 from ..sat.circuit import CircuitSolver, EquivalenceStatus
@@ -30,6 +30,9 @@ from ..simulation.patterns import PatternSet
 from .equivalence import EquivalenceClasses, refine_with_counterexample
 from .stats import SweepStatistics
 from .tfi import TfiManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..resilience import Budget
 
 __all__ = ["FraigSweeper", "fraig_sweep"]
 
@@ -45,6 +48,7 @@ class FraigSweeper:
         conflict_limit: int | None = 10_000,
         tfi_limit: int = 1000,
         record_choices: bool = False,
+        budget: "Budget | None" = None,
     ) -> None:
         self.original = aig
         self.num_patterns = num_patterns
@@ -52,6 +56,12 @@ class FraigSweeper:
         self.conflict_limit = conflict_limit
         self.tfi_limit = tfi_limit
         self.record_choices = record_choices
+        #: Optional :class:`repro.resilience.Budget`: the candidate loop
+        #: polls the deadline per candidate and the SAT layer draws from
+        #: the shared conflict pool; exhaustion raises ``BudgetExceeded``
+        #: out of :meth:`run` (the input network is never mutated -- the
+        #: sweep works on a clone).
+        self.budget = budget
 
     def run(self) -> tuple[Aig, SweepStatistics]:
         """Sweep a copy of the network; returns the swept AIG and statistics."""
@@ -64,7 +74,7 @@ class FraigSweeper:
             gates_before=aig.num_ands,
         )
         start = time.perf_counter()
-        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit)
+        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit, budget=self.budget)
         tfi = TfiManager(aig, self.tfi_limit)
 
         # ---- initial random simulation --------------------------------
@@ -82,7 +92,10 @@ class FraigSweeper:
         record = self.record_choices
 
         # ---- sweep in topological order --------------------------------
+        budget = self.budget
         for candidate in aig.topological_order():
+            if budget is not None:
+                budget.checkpoint("fraig")
             if candidate in merged or classes.is_dont_touch(candidate):
                 continue
             cls = classes.class_of(candidate)

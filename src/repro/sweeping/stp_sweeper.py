@@ -23,7 +23,7 @@ paper calls out:
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..networks.aig import Aig, LIT_FALSE
 from ..sat.circuit import CircuitSolver, EquivalenceStatus
@@ -40,6 +40,9 @@ from .constant_prop import propagate_constant_candidates
 from .equivalence import EquivalenceClasses, refine_with_counterexample
 from .stats import SweepStatistics
 from .tfi import TfiManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..resilience import Budget
 
 __all__ = ["StpSweeper", "stp_sweep"]
 
@@ -58,6 +61,7 @@ class StpSweeper:
         use_sat_guided_patterns: bool = True,
         use_exhaustive_refinement: bool = True,
         pattern_queries: int = 8,
+        budget: "Budget | None" = None,
     ) -> None:
         self.original = aig
         self.num_patterns = num_patterns
@@ -68,6 +72,9 @@ class StpSweeper:
         self.use_sat_guided_patterns = use_sat_guided_patterns
         self.use_exhaustive_refinement = use_exhaustive_refinement
         self.pattern_queries = pattern_queries
+        #: Optional :class:`repro.resilience.Budget`, polled per candidate
+        #: and threaded into the SAT layer (shared conflict pool, deadline).
+        self.budget = budget
 
     # ------------------------------------------------------------------
 
@@ -82,7 +89,7 @@ class StpSweeper:
             gates_before=aig.num_ands,
         )
         start = time.perf_counter()
-        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit)
+        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit, budget=self.budget)
         tfi = TfiManager(aig, self.tfi_limit)
 
         # Structural PI supports and per-node local functions, computed once
@@ -127,6 +134,8 @@ class StpSweeper:
         # substituted gate's cone dangles and is removed by the final cleanup.
         order = aig.topological_order()
         for candidate in reversed(order):
+            if self.budget is not None:
+                self.budget.checkpoint("stp")
             # lines 7-9: skip checks.
             if candidate in merged or classes.is_dont_touch(candidate):
                 continue

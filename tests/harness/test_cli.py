@@ -211,3 +211,79 @@ class TestCombinedEntryPoint:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "unknown subcommand" in captured.err
+
+
+class TestResilienceFlags:
+    """Budget/rollback flags and the shared exit-code scheme."""
+
+    @pytest.fixture()
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.aag"
+        path.write_text("aag 3 1 0 1 x\n")
+        return path
+
+    def test_parse_error_prints_cleanly_and_exits_2(self, broken_file, capsys):
+        exit_code = optimize_main([str(broken_file)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "parse error:" in captured.err
+        assert "line 1" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_parse_error_on_sweep_and_map(self, broken_file, capsys):
+        assert sweep_main([str(broken_file)]) == 2
+        assert map_main([str(broken_file)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.count("parse error:") == 2
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        exit_code = optimize_main([str(tmp_path / "absent.aag")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.strip()
+
+    def test_generous_timeout_flags_succeed(self, adder_file, capsys):
+        exit_code = optimize_main(
+            [
+                str(adder_file),
+                "--script",
+                "rw; b",
+                "--timeout",
+                "120",
+                "--pass-timeout",
+                "60",
+                "--on-error",
+                "rollback",
+                "--verify-commit",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "script 'rw; b'" in captured.out
+
+    def test_exhausted_timeout_exits_4_under_raise(self, adder_file, capsys):
+        exit_code = optimize_main([str(adder_file), "--script", "rw", "--timeout", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 4
+        assert "aborted:" in captured.err
+
+    def test_exhausted_timeout_exits_3_under_rollback(self, adder_file, capsys):
+        exit_code = optimize_main(
+            [str(adder_file), "--script", "rw; b", "--timeout", "0", "--on-error", "rollback"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 3
+        assert "rolled-back passes" in captured.err
+
+    def test_map_timeout_exits_4(self, adder_file, capsys):
+        exit_code = map_main([str(adder_file), "--timeout", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 4
+        assert "aborted:" in captured.err
+
+    def test_sweep_timeout_exits_4(self, workload_file, capsys):
+        path, _workload = workload_file
+        exit_code = sweep_main([str(path), "--timeout", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 4
+        assert "aborted:" in captured.err

@@ -1,0 +1,96 @@
+"""ParseError: every reader reports malformed input with location context."""
+
+import pytest
+
+from repro.io import ParseError, read_aiger, read_aiger_file, read_bench, read_blif
+
+
+def test_parse_error_is_a_value_error_with_location():
+    error = ParseError("bad token", line=3, column=7, source="x.aag")
+    assert isinstance(error, ValueError)
+    assert str(error) == "x.aag, line 3, column 7: bad token"
+    assert ParseError("bad token").message == "bad token"
+    assert str(ParseError("bad", line=2)) == "line 2: bad"
+
+
+def test_aiger_header_errors():
+    with pytest.raises(ParseError, match="line 1"):
+        read_aiger("nonsense\n")
+    with pytest.raises(ParseError, match="non-numeric field"):
+        read_aiger("aag x 1 0 1 1\n")
+    with pytest.raises(ParseError):
+        read_aiger("")
+
+
+def test_aiger_truncated_body():
+    excerpt = "aag 3 2 0 1 1\n2\n4\n"  # missing the output and AND lines
+    with pytest.raises(ParseError, match="truncated"):
+        read_aiger(excerpt)
+
+
+def test_aiger_non_numeric_body_points_at_line():
+    document = "aag 3 1 0 1 1\n2\n6\n6 2 oops\n"
+    with pytest.raises(ParseError) as info:
+        read_aiger(document)
+    assert info.value.line == 4
+
+
+def test_aiger_binary_truncated():
+    with pytest.raises(ParseError, match="truncated"):
+        read_aiger(b"aig 2 1 0 1 1\n4\n")  # missing the AND delta bytes
+
+
+def test_aiger_file_error_carries_path(tmp_path):
+    path = tmp_path / "broken.aag"
+    path.write_text("aag 1 1 0 0\n")  # five header fields only
+    with pytest.raises(ParseError) as info:
+        read_aiger_file(path)
+    assert info.value.source == str(path)
+    assert str(path) in str(info.value)
+
+
+def test_bench_unrecognised_line_number():
+    text = "INPUT(a)\nOUTPUT(f)\nf = AND(a, a)\nthis is not bench\n"
+    with pytest.raises(ParseError) as info:
+        read_bench(text)
+    assert info.value.line == 4
+
+
+def test_bench_unsupported_gate_points_at_its_line():
+    text = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = FROB(a, b)\n"
+    with pytest.raises(ParseError) as info:
+        read_bench(text)
+    assert info.value.line == 4
+    assert "FROB" in str(info.value)
+
+
+def test_bench_undefined_output():
+    with pytest.raises(ParseError, match="never defined"):
+        read_bench("INPUT(a)\nOUTPUT(f)\n")
+
+
+def test_blif_cover_outside_names_block():
+    text = ".model m\n.inputs a\n.outputs f\n1 1\n"
+    with pytest.raises(ParseError) as info:
+        read_blif(text)
+    assert info.value.line == 4
+
+
+def test_blif_malformed_cover_row():
+    text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n111 1\n.end\n"
+    with pytest.raises(ParseError) as info:
+        read_blif(text)
+    assert info.value.line == 6
+
+
+def test_blif_unsupported_construct():
+    text = ".model m\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end\n"
+    with pytest.raises(ParseError, match="combinational subset"):
+        read_blif(text)
+
+
+def test_blif_continuation_line_reports_first_physical_line():
+    text = ".model m\n.inputs a \\\nb\n.outputs f\n.names a b f\nbogus-cover 1\n.end\n"
+    with pytest.raises(ParseError) as info:
+        read_blif(text)
+    assert info.value.line == 6

@@ -1,0 +1,122 @@
+"""Unit tests of the :class:`repro.resilience.Budget` pools.
+
+All deadline behaviour is driven by an injected fake clock, so these
+tests are fully deterministic -- no sleeps, no real wall-clock reads.
+"""
+
+import pytest
+
+from repro.resilience import Budget, BudgetExceeded
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_unlimited_budget_never_raises():
+    budget = Budget()
+    for _ in range(100):
+        budget.checkpoint("anywhere")
+        budget.note_mutation()
+    assert budget.conflict_allowance(123) == 123
+    assert budget.conflict_allowance(None) is None
+    assert budget.time_remaining() is None
+    assert not budget.expired
+
+
+def test_deadline_checkpoint_raises_typed_error():
+    clock = FakeClock()
+    budget = Budget(wall_clock=10.0, clock=clock)
+    budget.checkpoint("early")
+    clock.advance(9.999)
+    budget.checkpoint("still ok")
+    assert budget.time_remaining() == pytest.approx(0.001)
+    clock.advance(0.002)
+    assert budget.expired
+    with pytest.raises(BudgetExceeded) as info:
+        budget.checkpoint("cdcl")
+    assert info.value.resource == "deadline"
+    assert info.value.where == "cdcl"
+    assert "deadline budget exhausted at cdcl" in str(info.value)
+
+
+def test_conflict_pool_is_shared_and_floors_at_zero():
+    budget = Budget(conflicts=100)
+    assert budget.conflict_allowance(40) == 40
+    budget.spend_conflicts(40)
+    # The pool tightens a larger request to the remainder.
+    assert budget.conflict_allowance(1000) == 60
+    assert budget.conflict_allowance(None) == 60
+    budget.spend_conflicts(75)  # overshoot: floors at zero, counts all spending
+    assert budget.conflicts_spent == 115
+    with pytest.raises(BudgetExceeded) as info:
+        budget.conflict_allowance(1, "fraig")
+    assert info.value.resource == "conflicts"
+
+
+def test_mutation_cap_raises_after_cap_crossed():
+    budget = Budget(mutations=3)
+    budget.note_mutation()
+    budget.note_mutation()
+    budget.note_mutation()
+    with pytest.raises(BudgetExceeded) as info:
+        budget.note_mutation("rw")
+    assert info.value.resource == "mutations"
+    assert budget.mutations_seen == 4
+
+
+def test_sub_budget_tightens_deadline_but_shares_pools():
+    clock = FakeClock()
+    flow = Budget(wall_clock=100.0, conflicts=50, clock=clock)
+    child = flow.with_deadline(5.0)
+    clock.advance(6.0)
+    # The child deadline has passed, the flow deadline has not.
+    with pytest.raises(BudgetExceeded):
+        child.checkpoint("pass")
+    flow.checkpoint("flow")
+    assert not flow.expired
+    # Conflicts spent through the child drain the shared root pool.
+    child.spend_conflicts(50)
+    with pytest.raises(BudgetExceeded):
+        flow.conflict_allowance(1)
+
+
+def test_sub_budget_never_extends_parent_deadline():
+    clock = FakeClock()
+    flow = Budget(wall_clock=10.0, clock=clock)
+    child = flow.with_deadline(1000.0)
+    clock.advance(11.0)
+    with pytest.raises(BudgetExceeded):
+        child.checkpoint("pass")
+
+
+def test_observe_mutations_counts_real_network_mutations():
+    from repro.circuits.random_logic import random_aig
+    from repro.rewriting import rewrite
+
+    aig = random_aig(num_pis=6, num_gates=40, num_pos=4, seed=7)
+    budget = Budget()
+    with budget.observe_mutations():
+        rewrite(aig)
+    assert budget.mutations_seen > 0
+
+
+def test_observe_mutations_cap_aborts_a_pass():
+    from repro.circuits.random_logic import random_aig
+    from repro.rewriting import rewrite
+
+    aig = random_aig(num_pis=6, num_gates=40, num_pos=4, seed=7)
+    budget = Budget(mutations=2)
+    with pytest.raises(BudgetExceeded) as info:
+        with budget.observe_mutations():
+            rewrite(aig)
+    assert info.value.resource == "mutations"

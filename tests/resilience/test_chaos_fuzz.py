@@ -1,0 +1,99 @@
+"""Chaos fuzz: every injected fault surfaces as a typed error or rolls back.
+
+For each of 40 seeds a redundant random workload runs a rotating
+optimization script under a rotating injected fault (a raise at the Nth
+mutation event, a drained SAT-conflict pool, or a corrupted
+mutation-listener payload).  Under ``on_error="rollback"`` the flow must
+never raise, must record every failed pass with a reason, and must
+return a network that is exhaustively simulation-equivalent to its
+input-modulo-committed-passes -- which we check against the input
+directly, since every script here is equivalence-preserving.
+"""
+
+import pytest
+
+from repro.circuits.random_logic import random_aig
+from repro.circuits.sweep_workloads import inject_redundancy
+from repro.networks import Aig
+from repro.resilience import Budget, FaultInjector, simulation_equivalent
+from repro.rewriting.passes import PassManager
+
+SEEDS = list(range(40))
+
+#: Rotating scripts: pure AIG restructuring, SAT-backed sweeping and a
+#: mapped flow, so faults hit every layer of the stack.
+SCRIPTS = [
+    "rw; b; rf; rwz",
+    "fraig; rw; cp",
+    "choice; map",
+    "rw; map; lutmffc; cleanup",
+]
+
+
+def _workload(seed: int) -> Aig:
+    base = random_aig(num_pis=6, num_gates=40, num_pos=4, seed=seed)
+    workload, _report = inject_redundancy(
+        base,
+        duplication_fraction=0.2,
+        constant_cones=1,
+        near_miss_count=1,
+        cut_size=3,
+        seed=seed + 1,
+    )
+    return workload
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_fault_rolls_back_or_surfaces_typed(seed: int):
+    aig = _workload(seed)
+    script = SCRIPTS[seed % len(SCRIPTS)]
+    manager = PassManager(script, num_patterns=32, on_error="rollback")
+    fault_mode = seed % 3
+    budget = None
+    injector = None
+    if fault_mode == 0:
+        injector = FaultInjector(raise_at=1 + seed % 7)
+    elif fault_mode == 1:
+        budget = Budget(conflicts=seed % 3)  # drained or near-drained pool
+    else:
+        injector = FaultInjector(corrupt_at=1 + seed % 5)
+
+    if injector is not None:
+        with injector.inject():
+            result, flow = manager.run(aig, budget=budget)
+    else:
+        result, flow = manager.run(aig, budget=budget)
+
+    # Every script here preserves equivalence pass by pass, so whatever
+    # mix of committed and rolled-back passes happened, the result must
+    # simulate identically to the input (exhaustive: 6 PIs).
+    assert simulation_equivalent(aig, result, exhaustive_limit=6), (seed, script)
+
+    # Fault accounting: a raise-mode injector that fired must show up as
+    # exactly the rolled-back pass it killed, with a typed reason.
+    for stats in flow.passes:
+        assert stats.status in ("ok", "failed", "skipped"), (seed, stats.name)
+        if stats.status != "ok":
+            assert stats.failure, (seed, stats.name)
+    if fault_mode == 0 and injector.fired:
+        failed = flow.failed_passes
+        assert failed, (seed, script)
+        assert any("InjectedFault" in stats.failure for stats in failed)
+    if fault_mode == 1 and any("budget" in (s.failure or "") for s in flow.passes):
+        assert any("conflicts" in s.failure for s in flow.failed_passes)
+
+
+@pytest.mark.parametrize("seed", [0, 13, 27])
+def test_chaos_fault_under_raise_policy_is_always_typed(seed: int):
+    """With on_error='raise' the same faults escape as typed errors, never
+    as internal corruption (IndexError, KeyError, ...)."""
+    aig = _workload(seed)
+    manager = PassManager("rw; fraig; b", num_patterns=32, on_error="raise")
+    injector = FaultInjector(raise_at=1 + seed % 7)
+    with injector.inject():
+        try:
+            manager.run(aig)
+        except Exception as error:  # noqa: BLE001 - the assertion is the point
+            from repro.resilience import InjectedFault, ResilienceError
+
+            assert isinstance(error, (InjectedFault, ResilienceError)), type(error)

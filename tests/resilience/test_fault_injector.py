@@ -1,0 +1,78 @@
+"""The deterministic fault injector itself: triggers, payloads, cleanup."""
+
+import pytest
+
+from repro.networks import Aig
+from repro.resilience import FaultInjector, InjectedFault
+
+
+def _mutating_network() -> Aig:
+    """An AIG with two redundant gates we can substitute step by step."""
+    aig = Aig()
+    a = aig.add_pi("a")
+    b = aig.add_pi("b")
+    g1 = aig.add_and(a, b)
+    # A structurally distinct but equivalent gate: and(b, a) strashes to
+    # the same node, so build and(and(a,b), 1)-style redundancy by hand.
+    g2 = aig.add_and(g1, 1)
+    g3 = aig.add_and(g1, a)
+    aig.add_po(g2, "f")
+    aig.add_po(g3, "g")
+    return aig
+
+
+def test_exactly_one_trigger_mode_required():
+    with pytest.raises(ValueError):
+        FaultInjector()
+    with pytest.raises(ValueError):
+        FaultInjector(raise_at=1, corrupt_at=2)
+    with pytest.raises(ValueError):
+        FaultInjector(raise_at=0)
+
+
+def test_raises_at_exact_nth_event():
+    aig = _mutating_network()
+    injector = FaultInjector(raise_at=2)
+    with injector.inject():
+        aig.substitute(aig.node_of(aig.pos[0]), 1)  # event 1
+        with pytest.raises(InjectedFault):
+            aig.substitute(aig.node_of(aig.pos[1]), 0)  # event 2
+    assert injector.fired
+    assert injector.events_seen == 2
+
+
+def test_does_not_fire_before_trigger_and_deactivates_after_context():
+    aig = _mutating_network()
+    injector = FaultInjector(raise_at=99)
+    with injector.inject():
+        aig.substitute(aig.node_of(aig.pos[0]), 1)
+    assert not injector.fired
+    assert injector.events_seen == 1
+    # Outside the context the observer is detached: no more counting.
+    aig.substitute(aig.node_of(aig.pos[1]), 0)
+    assert injector.events_seen == 1
+
+
+def test_corrupt_mode_delivers_bogus_payload_to_listeners():
+    aig = _mutating_network()
+    received = []
+    aig.add_mutation_listener(lambda old, new, gates: received.append((old, new, gates)))
+    injector = FaultInjector(corrupt_at=1)
+    with injector.inject():
+        aig.substitute(aig.node_of(aig.pos[0]), 1)
+    assert injector.fired
+    # The listener saw the genuine event plus one corrupted re-delivery.
+    assert len(received) == 2
+    genuine, corrupted = received
+    assert corrupted != genuine
+    assert corrupted[1] == 1  # the bogus replacement literal
+
+
+def test_corrupt_mode_does_not_raise():
+    aig = _mutating_network()
+    injector = FaultInjector(corrupt_at=1)
+    with injector.inject():
+        aig.substitute(aig.node_of(aig.pos[0]), 1)
+        aig.substitute(aig.node_of(aig.pos[1]), 0)
+    assert injector.fired
+    assert injector.events_seen == 2

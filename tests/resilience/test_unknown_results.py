@@ -1,0 +1,90 @@
+"""UNKNOWN must be distinct from UNSAT end-to-end.
+
+A conflict-limited solver that gives up must never be read as a proof:
+the CDCL layer returns ``UNKNOWN``, the circuit layer ``UNDETERMINED``,
+the fraig sweeper refuses to merge the pair, and CEC reports
+``undetermined`` instead of ``equivalent``.
+"""
+
+from repro.circuits.random_logic import random_aig
+from repro.circuits.sweep_workloads import inject_redundancy
+from repro.networks import Aig
+from repro.resilience import simulation_equivalent
+from repro.sat.cdcl import CdclSolver, SolverResult
+from repro.sat.circuit import CircuitSolver, EquivalenceStatus
+from repro.sweeping import FraigSweeper, check_combinational_equivalence
+
+
+def _hard_unsat_clauses(n: int = 5) -> list[list[int]]:
+    """Pigeonhole PHP(n+1, n): UNSAT, needs real search to prove."""
+    clauses = []
+    # variable p*n + h + 1 <-> pigeon p sits in hole h
+    for p in range(n + 1):
+        clauses.append([p * n + h + 1 for h in range(n)])
+    for h in range(n):
+        for p1 in range(n + 1):
+            for p2 in range(p1 + 1, n + 1):
+                clauses.append([-(p1 * n + h + 1), -(p2 * n + h + 1)])
+    return clauses
+
+
+def test_cdcl_conflict_limit_returns_unknown_not_unsat():
+    clauses = _hard_unsat_clauses()
+    limited = CdclSolver()
+    for clause in clauses:
+        limited.add_clause(clause)
+    result = limited.solve(conflict_limit=1)
+    assert result is SolverResult.UNKNOWN
+    assert result is not SolverResult.UNSATISFIABLE
+    # The same formula with room to search is a genuine proof.
+    unlimited = CdclSolver()
+    for clause in clauses:
+        unlimited.add_clause(clause)
+    assert unlimited.solve() is SolverResult.UNSATISFIABLE
+
+
+def _redundant_workload(seed: int = 11) -> Aig:
+    base = random_aig(num_pis=6, num_gates=40, num_pos=4, seed=seed)
+    workload, _report = inject_redundancy(
+        base,
+        duplication_fraction=0.3,
+        constant_cones=1,
+        near_miss_count=1,
+        cut_size=3,
+        seed=seed + 1,
+    )
+    return workload
+
+
+def test_circuit_solver_conflict_limit_yields_undetermined():
+    aig = _redundant_workload()
+    solver = CircuitSolver(aig, conflict_limit=0)
+    candidates = [node for node in aig.topological_order()][:8]
+    outcomes = [
+        solver.prove_equivalence(Aig.literal(a), Aig.literal(b))
+        for a, b in zip(candidates, candidates[1:])
+    ]
+    assert all(o.status is not EquivalenceStatus.EQUIVALENT for o in outcomes)
+    assert any(o.status is EquivalenceStatus.UNDETERMINED for o in outcomes)
+    assert solver.num_undetermined > 0
+
+
+def test_fraig_with_zero_conflicts_never_merges_unsoundly():
+    aig = _redundant_workload()
+    swept, stats = FraigSweeper(aig, num_patterns=32, seed=5, conflict_limit=0).run()
+    # With no conflicts allowed nothing can be *proved*; UNKNOWN pairs
+    # must be treated as non-equivalent, so the result stays correct.
+    assert simulation_equivalent(aig, swept, exhaustive_limit=6)
+    assert stats.undetermined_sat_calls > 0 or stats.merges == 0
+
+
+def test_cec_conflict_limit_reports_undetermined_not_equivalent():
+    aig = _redundant_workload()
+    # Same function, different structure: forces real SAT proofs.
+    swept, _stats = FraigSweeper(aig, num_patterns=32, seed=5).run()
+    verdict = check_combinational_equivalence(aig, swept, conflict_limit=0)
+    assert verdict.status in ("undetermined", "equivalent")
+    if verdict.status == "undetermined":
+        assert not bool(verdict)
+    unlimited = check_combinational_equivalence(aig, swept)
+    assert unlimited.status == "equivalent"
