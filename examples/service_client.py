@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Synthesis service walkthrough: boot a server, submit jobs, watch the cache.
+
+The whole loop in one file:
+
+1. start an in-process `SynthesisServer` on an ephemeral port (thread
+   mode here so the example is instant; `repro serve --workers N` gives
+   you the process pool with warmed shared libraries);
+2. submit an optimize+map job and stream its per-pass NDJSON progress;
+3. resubmit the *same circuit re-serialized* — different node numbers,
+   the script spelled as its expansion — and watch the structural-hash
+   cache answer it without re-running a single pass;
+4. submit a job with a microscopic budget and see it fail *typed*
+   (status `budget`, exit code 4) while the service stays healthy;
+5. read `/metrics`: job counters, cache hit rate, per-pass wall-clock.
+
+Run with:  python examples/service_client.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.circuits.arithmetic import ripple_carry_adder
+from repro.io import read_aiger, write_aiger
+from repro.service import JobRequest, SynthesisServer, fetch_json, submit
+
+
+def start_server_thread(server: SynthesisServer) -> tuple[threading.Thread, "asyncio.AbstractEventLoop", "asyncio.Event"]:
+    """Run the server's event loop in a daemon thread; wait until bound."""
+    ready = threading.Event()
+    holder: dict = {}
+
+    async def amain() -> None:
+        await server.start()
+        holder["loop"] = asyncio.get_running_loop()
+        holder["stop"] = asyncio.Event()
+        ready.set()
+        try:
+            await holder["stop"].wait()
+        finally:
+            await server.close()
+
+    thread = threading.Thread(target=lambda: asyncio.run(amain()), daemon=True)
+    thread.start()
+    ready.wait(30)
+    return thread, holder["loop"], holder["stop"]
+
+
+def main() -> None:
+    server = SynthesisServer(port=0, workers=0)
+    thread, loop, stop = start_server_thread(server)
+    port = server.port
+    print(f"server up on 127.0.0.1:{port} ({server.mode} mode)\n")
+
+    # -- 1. submit and stream ------------------------------------------------
+    adder = ripple_carry_adder(8)
+    circuit = write_aiger(adder, binary=False).decode("ascii")
+    request = JobRequest(circuit=circuit, script="resyn2; map", lut_size=6)
+
+    print("submitting resyn2; map ...")
+    outcome = submit(
+        request,
+        port=port,
+        on_event=lambda e: e.get("event") == "pass"
+        and print(f"  {e['name']:<8} {e['gates_before']:>4} -> {e['gates_after']:<4} gates"),
+    )
+    assert outcome.ok, outcome.message
+    print(
+        f"done: status={outcome.status}, {outcome.flow['gates_before']} AND gates"
+        f" -> {outcome.flow['gates_after']} LUT6s, output is {outcome.output_format}\n"
+    )
+
+    # -- 2. the structural cache ---------------------------------------------
+    # Re-serialize the circuit (fresh node numbering) and spell the
+    # script as its canonical expansion: textually different, same job.
+    reserialized = write_aiger(read_aiger(circuit).clone(), binary=False).decode("ascii")
+    respelled = JobRequest(
+        circuit=reserialized, script=request.canonical_script(), lut_size=6
+    )
+    again = submit(respelled, port=port)
+    print(f"resubmission: status={again.status}, served from cache: {again.cached}")
+    assert again.cached and again.output == outcome.output
+
+    # -- 3. typed failure under budget ---------------------------------------
+    doomed = submit(JobRequest(circuit=circuit, script="resyn2", timeout=1e-6), port=port)
+    print(f"budgeted job: status={doomed.status} (exit code {doomed.exit_code})\n")
+
+    # -- 4. metrics -----------------------------------------------------------
+    metrics = fetch_json("/metrics", port=port)
+    print("metrics:")
+    print(f"  jobs:  {metrics['jobs']}")
+    print(f"  cache: {metrics['cache']}")
+    for name, entry in metrics["passes"]["by_name"].items():
+        print(f"  pass {name:<8} runs={entry['runs']:<3} wall={entry['wall_clock']:.3f}s")
+
+    loop.call_soon_threadsafe(stop.set)
+    thread.join(timeout=30)
+    print("\nserver stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,14 @@ Besides the table-regeneration entry points (``repro-table1`` and
   / cut-cache hit rate, verify the mapping against the source AIG by
   word-parallel simulation and write BLIF.
 
+The combined entry point additionally exposes the synthesis service:
+``repro serve`` runs the persistent optimization server
+(:mod:`repro.service`) and ``repro submit`` sends a circuit file to it,
+streaming per-pass progress and exiting with the same code scheme as the
+local tools.  ``optimize`` / ``sweep`` / ``map`` accept ``--stats-json
+PATH`` to write the run's ``FlowStatistics.as_dict()`` serialization --
+the exact format the server streams -- to a file.
+
 All tools work purely on files, so they can be dropped into existing
 shell-based synthesis flows the way ``abc`` commands are; :func:`main`
 additionally exposes them as subcommands of one ``repro`` entry point
@@ -31,8 +39,10 @@ additionally exposes them as subcommands of one ``repro`` entry point
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import time
 
 from ..io import (
     ParseError,
@@ -53,7 +63,7 @@ from ..simulation import (
     simulate_klut_per_pattern,
     simulate_klut_stp,
 )
-from ..rewriting import NAMED_SCRIPTS, PassManager
+from ..rewriting import FlowStatistics, NAMED_SCRIPTS, PassManager, PassStatistics
 from ..sweeping import FraigSweeper, StpSweeper, check_combinational_equivalence
 
 __all__ = [
@@ -117,6 +127,25 @@ def write_network(aig: Aig, path: str, lut_size: int = 6) -> None:
         raise ValueError(f"unsupported output format {extension!r} (expected .aag, .aig, .bench, .blif or .v)")
 
 
+def _write_stats_json(path: str, flow: FlowStatistics) -> bool:
+    """Write a flow's ``as_dict()`` serialization to ``path``.
+
+    One format serves both front ends: this is byte-for-byte the object
+    the synthesis service's ``done`` events carry under ``"flow"``.
+    Returns ``False`` (after printing a diagnostic) when the file cannot
+    be written.
+    """
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(flow.as_dict(), handle, indent=2)
+            handle.write("\n")
+    except OSError as error:
+        print(str(error), file=sys.stderr)
+        return False
+    print(f"wrote {path}")
+    return True
+
+
 # ---------------------------------------------------------------------------
 # repro-simulate
 # ---------------------------------------------------------------------------
@@ -141,6 +170,9 @@ def simulate_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", default=None, help="write per-output signatures to this CSV file")
     arguments = parser.parse_args(argv)
 
+    if arguments.patterns < 1:
+        print(f"--patterns must be >= 1, got {arguments.patterns}", file=sys.stderr)
+        return EXIT_USAGE
     aig = _load_network(arguments.input)
     if aig is None:
         return EXIT_USAGE
@@ -148,16 +180,21 @@ def simulate_main(argv: list[str] | None = None) -> int:
     print(f"{os.path.basename(arguments.input)}: {stats}")
     patterns = PatternSet.random(aig.num_pis, arguments.patterns, arguments.seed)
 
-    if arguments.engine == "aig":
-        result = simulate_aig(aig, patterns)
-        signatures = aig_po_signatures(aig, result)
-    else:
-        klut, _ = map_aig_to_klut(aig, k=arguments.lut_size)
-        if arguments.engine == "lut":
-            result = simulate_klut_per_pattern(klut, patterns)
+    try:
+        if arguments.engine == "aig":
+            result = simulate_aig(aig, patterns)
+            signatures = aig_po_signatures(aig, result)
         else:
-            result = simulate_klut_stp(klut, patterns)
-        signatures = klut_po_signatures(klut, result)
+            klut, _ = map_aig_to_klut(aig, k=arguments.lut_size)
+            if arguments.engine == "lut":
+                result = simulate_klut_per_pattern(klut, patterns)
+            else:
+                result = simulate_klut_stp(klut, patterns)
+            signatures = klut_po_signatures(klut, result)
+    except ValueError as error:
+        # e.g. an unmappable --lut-size: a usage error, not a crash.
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
 
     width = max((len(name) for name in aig.po_names), default=4)
     print(f"simulated {patterns.num_patterns} patterns with engine {arguments.engine!r}")
@@ -167,12 +204,16 @@ def simulate_main(argv: list[str] | None = None) -> int:
         rows.append((name, ones, signature))
         print(f"  {name:{width}}  ones={ones:6d}/{patterns.num_patterns}  signature=0x{signature:x}")
     if arguments.csv:
-        with open(arguments.csv, "w", encoding="ascii") as handle:
-            handle.write("output,ones,patterns,signature_hex\n")
-            for name, ones, signature in rows:
-                handle.write(f"{name},{ones},{patterns.num_patterns},{signature:x}\n")
+        try:
+            with open(arguments.csv, "w", encoding="ascii") as handle:
+                handle.write("output,ones,patterns,signature_hex\n")
+                for name, ones, signature in rows:
+                    handle.write(f"{name},{ones},{patterns.num_patterns},{signature:x}\n")
+        except OSError as error:
+            print(str(error), file=sys.stderr)
+            return EXIT_USAGE
         print(f"wrote {arguments.csv}")
-    return 0
+    return EXIT_OK
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +238,9 @@ def sweep_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-verify", action="store_true", help="skip the CEC verification")
     parser.add_argument(
         "--timeout", type=float, default=None, help="wall-clock budget in seconds (exit 4 when exceeded)"
+    )
+    parser.add_argument(
+        "--stats-json", default=None, help="write the run's flow statistics as JSON to this file"
     )
     arguments = parser.parse_args(argv)
 
@@ -232,13 +276,48 @@ def sweep_main(argv: list[str] | None = None) -> int:
         return EXIT_BUDGET
     print(stats)
 
+    verified: bool | None = None
     if not arguments.no_verify:
         verdict = check_combinational_equivalence(aig, swept)
         print(f"equivalence check: {verdict.status}")
-        if not verdict:
-            print("refusing to write a non-equivalent result", file=sys.stderr)
-            return EXIT_VERIFY_FAILED
+        verified = bool(verdict)
 
+    if arguments.stats_json:
+        flow = FlowStatistics(
+            script=arguments.engine,
+            gates_before=stats.gates_before,
+            gates_after=stats.gates_after,
+            depth_before=aig.depth(),
+            depth_after=swept.depth(),
+            total_time=stats.total_time,
+            verified=verified,
+        )
+        flow.passes.append(
+            PassStatistics(
+                name=arguments.engine,
+                gates_before=stats.gates_before,
+                gates_after=stats.gates_after,
+                depth_before=flow.depth_before,
+                depth_after=flow.depth_after,
+                total_time=stats.total_time,
+                verified=verified,
+                details={
+                    "merges": float(stats.merges),
+                    "constant_merges": float(stats.constant_merges),
+                    "total_sat_calls": float(stats.total_sat_calls),
+                    "satisfiable_sat_calls": float(stats.satisfiable_sat_calls),
+                    "sat_time": stats.sat_time,
+                    "simulation_time": stats.simulation_time,
+                    "patterns_used": float(stats.patterns_used),
+                },
+            )
+        )
+        if not _write_stats_json(arguments.stats_json, flow):
+            return EXIT_USAGE
+
+    if verified is False:
+        print("refusing to write a non-equivalent result", file=sys.stderr)
+        return EXIT_VERIFY_FAILED
     if arguments.output:
         write_network(swept, arguments.output)
         print(f"wrote {arguments.output}")
@@ -286,6 +365,9 @@ def optimize_main(argv: list[str] | None = None) -> int:
         "--verify-commit", action="store_true",
         help="simulation cross-check every pass before committing it (rolls back on mismatch)",
     )
+    parser.add_argument(
+        "--stats-json", default=None, help="write the flow statistics as JSON to this file"
+    )
     arguments = parser.parse_args(argv)
 
     aig = _load_network(arguments.input)
@@ -316,6 +398,8 @@ def optimize_main(argv: list[str] | None = None) -> int:
         return EXIT_BUDGET
     print(flow)
 
+    if arguments.stats_json and not _write_stats_json(arguments.stats_json, flow):
+        return EXIT_USAGE
     if flow.verified is False:
         print("refusing to write a non-equivalent result", file=sys.stderr)
         return EXIT_VERIFY_FAILED
@@ -373,6 +457,9 @@ def map_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--timeout", type=float, default=None, help="wall-clock budget in seconds (exit 4 when exceeded)"
     )
+    parser.add_argument(
+        "--stats-json", default=None, help="write the mapping statistics as JSON to this file"
+    )
     arguments = parser.parse_args(argv)
 
     aig = _load_network(arguments.input)
@@ -397,6 +484,7 @@ def map_main(argv: list[str] | None = None) -> int:
             f"(rw {choice_report.rewrite_recorded} / rf {choice_report.refactor_recorded} / "
             f"fraig {choice_report.fraig_recorded}), {choice_report.total_time:.3f}s"
         )
+    map_start = time.perf_counter()
     try:
         result = technology_map(
             subject,
@@ -411,6 +499,7 @@ def map_main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return EXIT_USAGE
+    map_time = time.perf_counter() - map_start
     stats = result.stats
     print(stats)
     print(
@@ -423,25 +512,56 @@ def map_main(argv: list[str] | None = None) -> int:
         f"({stats.cache_hit_rate:.1%} hit rate, {stats.cuts_enumerated} cuts enumerated)"
     )
 
+    verified: bool | None = None
     if not arguments.no_verify:
         patterns = PatternSet.random(aig.num_pis, arguments.patterns, arguments.seed)
         aig_signatures = aig_po_signatures(aig, simulate_aig(aig, patterns))
         klut_signatures = klut_po_signatures(
             result.network, simulate_klut_per_pattern(result.network, patterns)
         )
-        if aig_signatures != klut_signatures:
-            print("mapping verification FAILED: signatures differ", file=sys.stderr)
-            return 1
-        print(f"verification: {patterns.num_patterns} word-parallel patterns agree on all outputs")
+        verified = aig_signatures == klut_signatures
+        if verified:
+            print(f"verification: {patterns.num_patterns} word-parallel patterns agree on all outputs")
+
+    if arguments.stats_json:
+        flow = FlowStatistics(
+            script="map",
+            gates_before=aig.num_gates,
+            gates_after=stats.num_luts,
+            depth_before=aig.depth(),
+            depth_after=stats.depth,
+            total_time=map_time,
+            verified=verified,
+            kind_after="klut",
+        )
+        flow.passes.append(
+            PassStatistics(
+                name="map",
+                gates_before=flow.gates_before,
+                gates_after=flow.gates_after,
+                depth_before=flow.depth_before,
+                depth_after=flow.depth_after,
+                total_time=map_time,
+                verified=verified,
+                kind="klut",
+                details=stats.as_details(),
+            )
+        )
+        if not _write_stats_json(arguments.stats_json, flow):
+            return EXIT_USAGE
+
+    if verified is False:
+        print("mapping verification FAILED: signatures differ", file=sys.stderr)
+        return EXIT_VERIFY_FAILED
 
     if arguments.output:
         extension = os.path.splitext(arguments.output)[1].lower()
         if extension != ".blif":
             print(f"unsupported mapping output format {extension!r} (expected .blif)", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         write_blif_file(result.network, arguments.output)
         print(f"wrote {arguments.output}")
-    return 0
+    return EXIT_OK
 
 
 # ---------------------------------------------------------------------------
@@ -455,6 +575,8 @@ _SUBCOMMANDS = {
     "sweep": "repro-sweep: SAT-sweep a circuit file",
     "optimize": "repro-optimize: run an optimization script on a circuit file",
     "map": "repro-map: map a circuit file to k-LUTs and write BLIF",
+    "serve": "repro-serve: run the persistent synthesis service",
+    "submit": "repro-submit: submit a circuit to a running service",
     "table1": "regenerate Table I (simulation comparison)",
     "table2": "regenerate Table II (sweeper comparison)",
 }
@@ -477,6 +599,14 @@ def main(argv: list[str] | None = None) -> int:
         return optimize_main(rest)
     if command == "map":
         return map_main(rest)
+    if command == "serve":
+        from ..service.cli import serve_main
+
+        return serve_main(rest)
+    if command == "submit":
+        from ..service.cli import submit_main
+
+        return submit_main(rest)
     if command == "table1":
         from .table1 import main as table1_main
 

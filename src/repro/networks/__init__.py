@@ -27,7 +27,7 @@ engine and is re-exported here for compatibility.
 """
 
 from .aig import Aig, AigNode, LIT_FALSE, LIT_TRUE
-from .incremental import IncrementalNetworkMixin
+from .incremental import IncrementalNetworkMixin, scoped_mutation_observer
 from .klut import KLutNetwork, LutNode
 from .protocol import LogicNetwork, MutableNetwork, MutationListener, network_kind
 from .traversal import (
@@ -45,6 +45,7 @@ from .mapping import (
     map_aig_to_klut,
     technology_map,
 )
+from .structural_hash import structural_digest, structural_hash
 from .transforms import (
     cleanup_dangling,
     cleanup_dangling_klut,
@@ -65,6 +66,7 @@ __all__ = [
     "MutableNetwork",
     "MutationListener",
     "IncrementalNetworkMixin",
+    "scoped_mutation_observer",
     "network_kind",
     "topological_sort",
     "levelize",
@@ -81,6 +83,8 @@ __all__ = [
     "MappingResult",
     "MappingStats",
     "aig_node_truth_table",
+    "structural_hash",
+    "structural_digest",
     "cleanup_dangling",
     "cleanup_dangling_klut",
     "rebuild_strashed",

@@ -68,6 +68,8 @@ read surface.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from .protocol import ChoiceListener, MutationListener
@@ -78,31 +80,67 @@ __all__ = [
     "AmbientMutationObserver",
     "add_ambient_mutation_observer",
     "remove_ambient_mutation_observer",
+    "scoped_mutation_observer",
+    "ambient_mutation_observers",
 ]
 
-#: Process-wide mutation observer: ``observer(network, old_node,
-#: replacement, rewired_gates)``.  Unlike per-network listeners, ambient
-#: observers see every mutation on *every* network in the process --
-#: including the private working copies optimization passes clone
-#: internally, which per-network listeners never reach (``clone`` does
-#: not copy listeners).  This is the hook the resilience layer uses for
-#: mutation budgets and fault injection.  Single-threaded by design.
+#: Ambient mutation observer: ``observer(network, old_node, replacement,
+#: rewired_gates)``.  Unlike per-network listeners, ambient observers see
+#: every mutation on *every* network **in the current execution
+#: context** -- including the private working copies optimization passes
+#: clone internally, which per-network listeners never reach (``clone``
+#: does not copy listeners).  This is the hook the resilience layer uses
+#: for mutation budgets and fault injection.
+#:
+#: Observers are *context-scoped*, not process-global: the registry
+#: lives in a :class:`contextvars.ContextVar`, so an observer registered
+#: in one thread (or one ``contextvars.copy_context()`` scope) is
+#: invisible to every other thread.  Concurrent service jobs therefore
+#: cannot observe -- or fault-inject into -- each other's mutations,
+#: while the single-threaded CLI behaviour is unchanged.
 AmbientMutationObserver = Callable[["IncrementalNetworkMixin", int, int, "tuple[int, ...]"], None]
 
-_AMBIENT_MUTATION_OBSERVERS: list[AmbientMutationObserver] = []
+#: Context-local observer registry.  The value is an immutable tuple so
+#: registration replaces it atomically in the current context without
+#: mutating a list another context might be iterating.
+_AMBIENT_MUTATION_OBSERVERS: ContextVar[tuple[AmbientMutationObserver, ...]] = ContextVar(
+    "ambient_mutation_observers", default=()
+)
+
+
+def ambient_mutation_observers() -> tuple[AmbientMutationObserver, ...]:
+    """The observers registered in the current execution context."""
+    return _AMBIENT_MUTATION_OBSERVERS.get()
 
 
 def add_ambient_mutation_observer(observer: AmbientMutationObserver) -> None:
-    """Register a process-wide mutation observer (see :data:`AmbientMutationObserver`)."""
-    _AMBIENT_MUTATION_OBSERVERS.append(observer)
+    """Register a context-scoped mutation observer (see :data:`AmbientMutationObserver`)."""
+    _AMBIENT_MUTATION_OBSERVERS.set(_AMBIENT_MUTATION_OBSERVERS.get() + (observer,))
 
 
 def remove_ambient_mutation_observer(observer: AmbientMutationObserver) -> None:
-    """Unregister a process-wide mutation observer (no-op if absent)."""
+    """Unregister a context-scoped mutation observer (no-op if absent)."""
+    current = _AMBIENT_MUTATION_OBSERVERS.get()
+    if observer in current:
+        filtered = list(current)
+        filtered.remove(observer)
+        _AMBIENT_MUTATION_OBSERVERS.set(tuple(filtered))
+
+
+@contextmanager
+def scoped_mutation_observer(observer: AmbientMutationObserver) -> Iterator[AmbientMutationObserver]:
+    """Register ``observer`` for the duration of the ``with`` block.
+
+    The registration is bounded both in time (removed on exit, even on
+    error) and in space (visible only to code running in the current
+    thread / context) -- the form the service's per-job tracers and the
+    fault injector use.
+    """
+    add_ambient_mutation_observer(observer)
     try:
-        _AMBIENT_MUTATION_OBSERVERS.remove(observer)
-    except ValueError:
-        pass
+        yield observer
+    finally:
+        remove_ambient_mutation_observer(observer)
 
 
 class IncrementalNetworkMixin:
@@ -313,7 +351,7 @@ class IncrementalNetworkMixin:
             pass
 
     def _notify_mutation(self, old_node: int, replacement: int, rewired_gates: tuple[int, ...]) -> None:
-        for observer in _AMBIENT_MUTATION_OBSERVERS:
+        for observer in _AMBIENT_MUTATION_OBSERVERS.get():
             observer(self, old_node, replacement, rewired_gates)
         for listener in self._mutation_listeners:
             listener(old_node, replacement, rewired_gates)
@@ -325,7 +363,7 @@ class IncrementalNetworkMixin:
         ``replace_fanin`` so mutation events reach ambient observers even
         on networks (e.g. pass-internal clones) with no listeners.
         """
-        return bool(self._mutation_listeners) or bool(_AMBIENT_MUTATION_OBSERVERS)
+        return bool(self._mutation_listeners) or bool(_AMBIENT_MUTATION_OBSERVERS.get())
 
     # ------------------------------------------------------------------
     # Choice classes

@@ -1,0 +1,99 @@
+"""Canonical structural hashing of logic networks.
+
+:func:`structural_hash` digests a network into a hex string that depends
+only on the *structure reachable from the primary outputs* -- which PI
+feeds which gate through which phase, gate functions (implicit AND on an
+AIG, the explicit truth table on a k-LUT network) and the PO order/phase
+-- and **not** on node numbering, construction order, names or dead
+logic.  Two networks that are isomorphic as PI/PO-labelled DAGs hash
+equal; in particular the hash is stable across ``clone()`` and across
+any permutation of the construction (topological) order.  Non-isomorphic
+networks collide only with cryptographic-hash probability (blake2b).
+
+This is the key of the synthesis service's job cache
+(:mod:`repro.service.cache`): a resubmitted circuit hashes identically
+no matter how the client's writer numbered the nodes, so the cached
+result is served without re-running a single pass.
+
+The hash is computed bottom-up in topological order -- each node's
+digest is a blake2b over its fanin digests -- so it runs in O(nodes)
+with no recursion.  AND fanins are sorted by digest (AND is
+commutative); LUT fanins keep their order, which the truth table gives
+meaning to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Union
+
+from .aig import Aig
+from .klut import KLutNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only alias
+    Network = Union[Aig, KLutNetwork]
+
+__all__ = ["structural_hash", "structural_digest"]
+
+_DIGEST_SIZE = 16
+
+
+def _h(tag: bytes, *parts: bytes) -> bytes:
+    digest = hashlib.blake2b(tag, digest_size=_DIGEST_SIZE)
+    for part in parts:
+        digest.update(part)
+    return digest.digest()
+
+
+def _edge(node_digest: bytes, complemented: bool) -> bytes:
+    return node_digest + (b"\x01" if complemented else b"\x00")
+
+
+def _aig_digest(aig: Aig) -> bytes:
+    node_digest: dict[int, bytes] = {0: _h(b"const0")}
+    for pi in aig.pis:
+        node_digest[pi] = _h(b"pi", aig.pi_index(pi).to_bytes(4, "big"))
+    for gate in aig.topological_order():
+        a, b = aig.fanins(gate)
+        edges = sorted(
+            _edge(node_digest[aig.node_of(lit)], aig.is_complemented(lit)) for lit in (a, b)
+        )
+        node_digest[gate] = _h(b"and", *edges)
+    po_edges = [
+        _edge(node_digest[aig.node_of(lit)], aig.is_complemented(lit)) for lit in aig.pos
+    ]
+    return _h(b"aig", aig.num_pis.to_bytes(4, "big"), *po_edges)
+
+
+def _klut_digest(klut: KLutNetwork) -> bytes:
+    node_digest: dict[int, bytes] = {}
+    for node in klut.nodes():
+        if klut.is_constant(node):
+            node_digest[node] = _h(b"const", b"\x01" if klut.constant_value(node) else b"\x00")
+        elif klut.is_pi(node):
+            node_digest[node] = _h(b"pi", klut.pi_index(node).to_bytes(4, "big"))
+    for lut in klut.topological_order():
+        function = klut.lut_function(lut)
+        bits = function.bits.to_bytes((1 << function.num_vars) // 8 + 1, "big")
+        fanin_digests = [node_digest[fanin] for fanin in klut.lut_fanins(lut)]
+        node_digest[lut] = _h(b"lut", bits, b"|", *fanin_digests)
+    po_edges = [_edge(node_digest[node], negated) for node, negated in klut.pos]
+    return _h(b"klut", klut.num_pis.to_bytes(4, "big"), *po_edges)
+
+
+def structural_digest(network: "Network") -> bytes:
+    """Raw 16-byte canonical digest of ``network`` (see module docstring)."""
+    if isinstance(network, KLutNetwork):
+        return _klut_digest(network)
+    return _aig_digest(network)
+
+
+def structural_hash(network: "Network") -> str:
+    """Canonical structural hash of a network as a 32-char hex string.
+
+    Invariant under node renumbering, construction order, ``clone()``,
+    names and dead (PO-unreachable) logic; sensitive to the function and
+    structure visible from the POs, the PI indices feeding it, edge
+    phases, PO order and the PI count.
+    """
+    return structural_digest(network).hex()

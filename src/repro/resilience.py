@@ -18,12 +18,15 @@ alone do not give:
    over-budget or verification-failing pass never leaks a half-mutated
    network to the caller.
 3. **Fault injection** -- a deterministic :class:`FaultInjector` drives
-   the chaos fuzz suite: it raises at the Nth mutation event anywhere in
-   the process or corrupts a mutation-listener payload, exercising the
-   rollback machinery on demand.
+   the chaos fuzz suite: it raises at the Nth mutation event observed in
+   the current execution context or corrupts a mutation-listener
+   payload, exercising the rollback machinery on demand.
 
-Everything here is single-threaded by design; the ambient mutation
-observers (:mod:`repro.networks.incremental`) are process-global.
+The ambient mutation observers (:mod:`repro.networks.incremental`) are
+**context-scoped** (a :class:`contextvars.ContextVar` registry): a
+budget's mutation counter or a fault injector activated inside one
+service job observes that job's mutations only, never a concurrent
+job's, while single-threaded flows behave exactly as before.
 """
 
 from __future__ import annotations
@@ -199,12 +202,13 @@ class Budget:
 
     @contextmanager
     def observe_mutations(self) -> Iterator["Budget"]:
-        """Context manager counting every network mutation in the process.
+        """Context manager counting every network mutation in this context.
 
         Registers an ambient mutation observer
         (:func:`~repro.networks.incremental.add_ambient_mutation_observer`)
-        so mutations inside pass-internal working clones are seen too.
-        Nested activations register the observer once.
+        so mutations inside pass-internal working clones are seen too --
+        but only those of the current thread/context, never a concurrent
+        job's.  Nested activations register the observer once.
         """
 
         def _observer(
@@ -343,8 +347,9 @@ class FaultInjector:
     Exactly one mode is active per injector:
 
     * ``raise_at=n`` -- raise :class:`InjectedFault` on the *n*-th
-      (1-based) mutation event observed anywhere in the process,
-      simulating a pass crashing mid-flight after ``n - 1`` mutations.
+      (1-based) mutation event observed in the current execution
+      context, simulating a pass crashing mid-flight after ``n - 1``
+      mutations.
     * ``corrupt_at=n`` -- on the *n*-th event, re-deliver a corrupted
       payload (a bogus ``(old_node, replacement, rewired_gates)``
       triple) to the mutating network's own listeners, simulating a

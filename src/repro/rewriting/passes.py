@@ -516,6 +516,7 @@ class PassManager:
         verify: bool = False,
         budget: Budget | None = None,
         on_error: str | None = None,
+        progress: Callable[[PassStatistics], None] | None = None,
     ) -> tuple[Network, FlowStatistics]:
         """Run every pass of the script on (a copy of) ``network``.
 
@@ -533,6 +534,12 @@ class PassManager:
         a failing pass is rolled back and the flow continues (or, on
         flow-deadline exhaustion, returns early with the remaining
         passes marked ``skipped``).
+
+        ``progress`` is invoked with each pass's finalized
+        :class:`PassStatistics` as soon as the pass settles (committed,
+        failed or skipped) -- the hook the synthesis service streams its
+        per-pass NDJSON events from.  Exceptions raised by the callback
+        propagate to the caller.
         """
         policy = self.on_error if on_error is None else on_error
         if policy not in ("raise", "rollback"):
@@ -549,6 +556,11 @@ class PassManager:
         transactional = policy == "rollback" or self.verify_commit
         runners = self._runners()
         current: Network = network
+
+        def settle(stats: PassStatistics) -> None:
+            flow.passes.append(stats)
+            if progress is not None:
+                progress(stats)
         for name in self.passes:
             input_kind = network_kind(current)
             stats = PassStatistics(
@@ -562,7 +574,7 @@ class PassManager:
             if flow.budget_exhausted:
                 stats.status = "skipped"
                 stats.failure = "flow budget exhausted by an earlier pass"
-                flow.passes.append(stats)
+                settle(stats)
                 continue
             required_kind = PASS_KINDS[name][0]
             if required_kind != "any" and required_kind != input_kind:
@@ -571,7 +583,7 @@ class PassManager:
                     f"requires a {required_kind} network but the flow holds a "
                     f"{input_kind} network (an earlier pass was rolled back)"
                 )
-                flow.passes.append(stats)
+                settle(stats)
                 continue
             pass_budget = budget
             if self.pass_timeout is not None:
@@ -618,7 +630,7 @@ class PassManager:
                 if checkpoint is not None:
                     current = checkpoint.restore()
                 if policy == "raise":
-                    flow.passes.append(stats)
+                    settle(stats)
                     raise
                 # Rolled back: the pass had no effect on the network.
                 stats.kind = network_kind(current)
@@ -628,14 +640,14 @@ class PassManager:
                     # The *flow* deadline is gone (not just a per-pass
                     # timeout or the conflict pool): stop running passes.
                     flow.budget_exhausted = True
-                flow.passes.append(stats)
+                settle(stats)
                 continue
             else:
                 if checkpoint is not None:
                     checkpoint.commit()
                 stats.total_time = time.perf_counter() - started
-                flow.passes.append(stats)
                 current = result
+                settle(stats)
         flow.gates_after = current.num_gates
         flow.depth_after = current.depth()
         flow.kind_after = network_kind(current)

@@ -1,0 +1,54 @@
+"""Synthesis-as-a-service: the persistent ``repro serve`` subsystem.
+
+The caches that dominate a cold CLI invocation -- the NPN structure
+library, the cut-function caches, choice libraries -- are rebuilt and
+thrown away by every one-shot run.  This package keeps them warm in a
+long-lived service:
+
+* :mod:`~repro.service.server` -- the asyncio HTTP front end
+  (``POST /jobs`` with NDJSON progress streaming, ``GET /healthz``,
+  ``GET /metrics``), dispatching jobs to a warmed worker pool;
+* :mod:`~repro.service.worker` -- per-job execution under a
+  :class:`~repro.resilience.Budget` deadline with a transactional
+  :class:`~repro.rewriting.passes.PassManager`, libraries warmed once
+  per worker;
+* :mod:`~repro.service.cache` -- the structural-hash job cache:
+  resubmitting an identical (network, script, parameters) job is
+  answered without re-running a single pass;
+* :mod:`~repro.service.jobs` -- the wire model: requests, typed status
+  codes shared with the CLI exit codes, NDJSON events;
+* :mod:`~repro.service.metrics` -- job/cache/per-pass counters behind
+  ``/metrics``;
+* :mod:`~repro.service.client` -- the synchronous stdlib client
+  (``repro submit`` and the tests use it);
+* :mod:`~repro.service.cli` -- the ``repro serve`` / ``repro submit``
+  entry points.
+"""
+
+from .cache import JobCache, job_cache_key
+from .client import JobOutcome, ServiceError, fetch_json, submit
+from .jobs import (
+    STATUS_EXIT_CODES,
+    JobRequest,
+    JobValidationError,
+)
+from .metrics import ServiceMetrics
+from .server import SynthesisServer, run_server
+from .worker import execute_job, warm_worker
+
+__all__ = [
+    "JobCache",
+    "job_cache_key",
+    "JobOutcome",
+    "ServiceError",
+    "fetch_json",
+    "submit",
+    "STATUS_EXIT_CODES",
+    "JobRequest",
+    "JobValidationError",
+    "ServiceMetrics",
+    "SynthesisServer",
+    "run_server",
+    "execute_job",
+    "warm_worker",
+]

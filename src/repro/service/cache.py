@@ -1,0 +1,112 @@
+"""Structural-hash job cache: identical resubmissions are free.
+
+The cache key is *semantic*, not textual: it digests the parsed
+network's canonical :func:`~repro.networks.structural_hash` together
+with the canonical (expanded) pass list and every knob that can change
+the result network (LUT size, seed, pattern count, conflict limit,
+commit verification).  A client that renumbers nodes, reorders lines,
+renames signals or spells the script ``"resyn2"`` instead of its
+expansion therefore still hits; a different seed or LUT size misses.
+Budget fields (``timeout`` / ``pass_timeout``) and the error policy are
+deliberately **excluded**: only clean, fully-committed results are ever
+stored, and those are budget-independent.
+
+The store is a bounded LRU guarded by a lock -- the server touches it
+from the asyncio thread and the metrics endpoint may race a drain
+thread.  Entries are the worker's JSON-ready result payloads, so a hit
+is served by echoing the stored object without touching a worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping, Union
+
+from ..networks.aig import Aig
+from ..networks.klut import KLutNetwork
+from ..networks.structural_hash import structural_digest
+from .jobs import JobRequest
+
+__all__ = ["job_cache_key", "JobCache"]
+
+Network = Union[Aig, KLutNetwork]
+
+
+def job_cache_key(network: Network, request: JobRequest) -> str:
+    """Cache key of ``request`` submitted with the parsed ``network``."""
+    parameters = "|".join(
+        (
+            request.canonical_script(),
+            str(request.lut_size),
+            str(request.seed),
+            str(request.num_patterns),
+            str(request.conflict_limit),
+            str(request.verify_commit),
+            str(request.verify),
+        )
+    )
+    digest = hashlib.blake2b(structural_digest(network), digest_size=16)
+    digest.update(parameters.encode("ascii"))
+    return digest.hexdigest()
+
+
+class JobCache:
+    """Bounded, thread-safe LRU cache of completed job results.
+
+    ``get`` counts a hit or a miss; ``put`` inserts (or refreshes) an
+    entry, evicting the least recently used one beyond ``capacity``.
+    Stored values are treated as immutable JSON payloads -- callers must
+    not mutate what they get back.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Mapping[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Mapping[str, Any] | None:
+        """The cached result for ``key``, or ``None`` (counts hit/miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, result: Mapping[str, Any]) -> None:
+        """Store ``result`` under ``key``, evicting the LRU tail if full."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready snapshot for the ``/metrics`` endpoint."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,198 @@
+"""Command-line front ends of the synthesis service.
+
+``repro serve``
+    Start the persistent server (see
+    :class:`~repro.service.server.SynthesisServer`).  ``--workers N``
+    selects an ``N``-process worker pool with warmed shared libraries;
+    ``--workers 0`` runs jobs in server-process threads (debugging).
+
+``repro submit``
+    Submit one circuit file to a running server, stream per-pass
+    progress to stdout, optionally write the result network and the
+    flow-statistics JSON, and exit with the same code scheme as the
+    local ``repro optimize`` (0 ok / 1 verify-fail / 2 usage-parse /
+    3 pass rolled back / 4 budget-abort; 5 = internal service error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Mapping
+
+from ..rewriting import NAMED_SCRIPTS
+from .client import ServiceError, fetch_json, submit
+from .jobs import JobRequest, JobValidationError
+from .server import run_server
+
+__all__ = ["serve_main", "submit_main"]
+
+_FORMAT_BY_EXTENSION = {
+    ".aag": "aag",
+    ".bench": "bench",
+    ".blif": "blif",
+}
+
+
+def serve_main(argv: "list[str] | None" = None) -> int:
+    """Entry point of ``repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Run the persistent synthesis service (HTTP + NDJSON streaming)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8390, help="TCP port (default: 8390; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=max(1, min(4, (os.cpu_count() or 2) - 1)),
+        help="worker processes (0 = run jobs in server threads; default: cpu-based)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256, help="job-cache capacity (default: 256)"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.workers < 0 or arguments.cache_size < 1:
+        parser.error("--workers must be >= 0 and --cache-size >= 1")
+    return run_server(
+        host=arguments.host,
+        port=arguments.port,
+        workers=arguments.workers,
+        cache_capacity=arguments.cache_size,
+    )
+
+
+def _print_event(event: Mapping[str, Any]) -> None:
+    """One human-readable progress line per streamed event."""
+    kind = event.get("event")
+    if kind == "accepted":
+        print(f"job {event.get('job')}: accepted (cache {event.get('cache')})")
+    elif kind == "pass":
+        status = event.get("status", "ok")
+        line = (
+            f"  {str(event.get('name', '?')):<8} "
+            f"gates {event.get('gates_before', 0):>6} -> {event.get('gates_after', 0):<6} "
+            f"{float(event.get('total_time') or 0.0):7.3f}s"
+        )
+        if status != "ok":
+            line += f"  [{status}: {event.get('failure')}]"
+        print(line, flush=True)
+
+
+def submit_main(argv: "list[str] | None" = None) -> int:
+    """Entry point of ``repro submit``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-submit",
+        description="Submit a circuit to a running `repro serve` and stream its progress",
+        epilog=(
+            "Scripts are the `repro optimize` pass names and named flows: "
+            + ", ".join(sorted(NAMED_SCRIPTS))
+        ),
+    )
+    parser.add_argument("input", help="input circuit (.aag, .bench or .blif)")
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, default=8390, help="server port")
+    parser.add_argument("--script", default="resyn2", help="optimization script (default: resyn2)")
+    parser.add_argument("--lut-size", "-k", type=int, default=None, help="LUT size of the map passes")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument("--patterns", type=int, default=64, help="pattern count of the SAT passes")
+    parser.add_argument("--conflict-limit", type=int, default=10_000, help="SAT conflict limit")
+    parser.add_argument("--timeout", type=float, default=None, help="job wall-clock budget (seconds)")
+    parser.add_argument("--pass-timeout", type=float, default=None, help="per-pass budget (seconds)")
+    parser.add_argument(
+        "--on-error", choices=["raise", "rollback"], default="rollback",
+        help="failing-pass policy on the server (default: rollback)",
+    )
+    parser.add_argument(
+        "--verify-commit", action="store_true",
+        help="simulation cross-check every pass before committing it",
+    )
+    parser.add_argument("--no-verify", action="store_true", help="skip the final verification")
+    parser.add_argument("--output", "-o", default=None, help="write the result network here")
+    parser.add_argument(
+        "--stats-json", default=None, help="write the flow statistics JSON to this file"
+    )
+    parser.add_argument("--quiet", "-q", action="store_true", help="suppress progress lines")
+    arguments = parser.parse_args(argv)
+
+    try:
+        with open(arguments.input, encoding="utf-8") as handle:
+            circuit = handle.read()
+    except OSError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    extension = os.path.splitext(arguments.input)[1].lower()
+    try:
+        request = JobRequest(
+            circuit=circuit,
+            format=_FORMAT_BY_EXTENSION.get(extension, "auto"),
+            script=arguments.script,
+            lut_size=arguments.lut_size,
+            seed=arguments.seed,
+            num_patterns=arguments.patterns,
+            conflict_limit=arguments.conflict_limit,
+            timeout=arguments.timeout,
+            pass_timeout=arguments.pass_timeout,
+            on_error=arguments.on_error,
+            verify_commit=arguments.verify_commit,
+            verify=not arguments.no_verify,
+        )
+        request.validate()
+    except JobValidationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    on_event = None if arguments.quiet else _print_event
+    try:
+        outcome = submit(request, host=arguments.host, port=arguments.port, on_event=on_event)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    if outcome.flow is not None:
+        print(
+            f"job {outcome.job_id}: {outcome.status}"
+            + (" (served from cache)" if outcome.cached else "")
+            + f" -- gates {outcome.flow.get('gates_before')} -> {outcome.flow.get('gates_after')},"
+            + f" {float(outcome.flow.get('total_time') or 0.0):.3f}s"
+        )
+    else:
+        print(f"job {outcome.job_id or '?'}: {outcome.status}: {outcome.message}")
+
+    if arguments.stats_json and outcome.flow is not None:
+        try:
+            with open(arguments.stats_json, "w", encoding="utf-8") as handle:
+                json.dump(outcome.flow, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote {arguments.stats_json}")
+        except OSError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    if arguments.output and outcome.output is not None:
+        expected = {"blif": ".blif", "aag": ".aag"}.get(outcome.output_format or "", "")
+        out_extension = os.path.splitext(arguments.output)[1].lower()
+        if expected and out_extension != expected:
+            print(
+                f"result is {outcome.output_format}; unsupported output format "
+                f"{out_extension!r} (expected {expected!r})",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with open(arguments.output, "w", encoding="utf-8") as handle:
+                handle.write(outcome.output)
+            print(f"wrote {arguments.output}")
+        except OSError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    if not outcome.ok and outcome.message:
+        print(f"{outcome.status}: {outcome.message}", file=sys.stderr)
+    return outcome.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(serve_main())

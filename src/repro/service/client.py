@@ -1,0 +1,166 @@
+"""Synchronous client for the synthesis service (stdlib ``http.client``).
+
+:func:`submit` posts one :class:`~repro.service.jobs.JobRequest` to a
+running ``repro serve`` and consumes the NDJSON event stream as it
+arrives -- an optional ``on_event`` callback sees every event live (the
+CLI prints per-pass progress lines from it) -- and folds the stream into
+a :class:`JobOutcome`: the typed status, its CLI exit code, the settled
+pass events, the flow statistics and the output network text.
+
+:func:`fetch_json` reads the ``/healthz`` and ``/metrics`` endpoints.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .jobs import STATUS_EXIT_CODES, JobRequest
+
+__all__ = ["ServiceError", "JobOutcome", "submit", "fetch_json"]
+
+
+class ServiceError(RuntimeError):
+    """The service could not be reached or answered with garbage."""
+
+
+@dataclass
+class JobOutcome:
+    """Folded view of one job's event stream."""
+
+    status: str
+    message: str = ""
+    job_id: str = ""
+    cached: bool = False
+    cache_key: str = ""
+    flow: dict[str, Any] | None = None
+    output: str | None = None
+    output_format: str | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code of :attr:`status` (0/1/2/3/4, 5 = internal)."""
+        return STATUS_EXIT_CODES.get(self.status, STATUS_EXIT_CODES["internal"])
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def pass_events(self) -> list[dict[str, Any]]:
+        """The per-pass progress events, in arrival order."""
+        return [event for event in self.events if event.get("event") == "pass"]
+
+
+def _fold(events: list[dict[str, Any]]) -> JobOutcome:
+    """Collapse a full event stream into its outcome."""
+    outcome = JobOutcome(status="internal", message="stream ended without a terminal event")
+    outcome.events = events
+    for event in events:
+        kind = event.get("event")
+        if kind == "accepted":
+            outcome.job_id = str(event.get("job", ""))
+            outcome.cache_key = str(event.get("key", ""))
+        elif kind == "done":
+            outcome.status = str(event.get("status", "ok"))
+            outcome.cached = bool(event.get("cached", False))
+            flow = event.get("flow")
+            outcome.flow = flow if isinstance(flow, dict) else None
+            outcome.output = event.get("output")
+            outcome.output_format = event.get("output_format")
+            outcome.message = str(event.get("message", ""))
+        elif kind == "error":
+            outcome.status = str(event.get("status", "internal"))
+            outcome.message = str(event.get("message", ""))
+            flow = event.get("flow")
+            outcome.flow = flow if isinstance(flow, dict) else None
+            outcome.output = event.get("output")
+            outcome.output_format = event.get("output_format")
+    return outcome
+
+
+def submit(
+    request: JobRequest,
+    host: str = "127.0.0.1",
+    port: int = 8390,
+    timeout: float | None = 600.0,
+    on_event: Callable[[Mapping[str, Any]], None] | None = None,
+) -> JobOutcome:
+    """Submit one job and consume its event stream (blocking).
+
+    ``on_event`` is invoked with each event as its NDJSON line arrives;
+    the folded :class:`JobOutcome` is returned once the stream closes.
+    Connection-level failures raise :class:`ServiceError`; job-level
+    failures come back as the outcome's typed status.
+    """
+    body = json.dumps(request.as_payload()).encode("utf-8")
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        try:
+            connection.request(
+                "POST", "/jobs", body, {"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+        except (ConnectionError, OSError) as error:
+            raise ServiceError(f"cannot reach the service at {host}:{port}: {error}") from None
+        if response.status != 200:
+            # Rejected before scheduling: the body is one JSON error event.
+            raw = response.read().decode("utf-8", "replace")
+            try:
+                event = json.loads(raw)
+            except json.JSONDecodeError:
+                raise ServiceError(
+                    f"service answered HTTP {response.status} with a non-JSON body"
+                ) from None
+            if on_event is not None:
+                on_event(event)
+            return _fold([event])
+        events: list[dict[str, Any]] = []
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            events.append(event)
+            if on_event is not None:
+                on_event(event)
+        return _fold(events)
+    finally:
+        connection.close()
+
+
+def fetch_json(
+    path: str,
+    host: str = "127.0.0.1",
+    port: int = 8390,
+    timeout: float | None = 30.0,
+) -> dict[str, Any]:
+    """GET a JSON endpoint (``/healthz``, ``/metrics``)."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            raw = response.read().decode("utf-8", "replace")
+        except (ConnectionError, OSError) as error:
+            raise ServiceError(f"cannot reach the service at {host}:{port}: {error}") from None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            raise ServiceError(f"{path} answered a non-JSON body") from None
+        if response.status != 200:
+            raise ServiceError(f"{path} answered HTTP {response.status}: {payload}")
+        if not isinstance(payload, dict):
+            raise ServiceError(f"{path} answered a non-object JSON body")
+        return payload
+    finally:
+        connection.close()

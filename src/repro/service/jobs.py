@@ -1,0 +1,249 @@
+"""Job model of the synthesis service: requests, status codes, events.
+
+A *job* is one optimization request: a circuit (AIGER ASCII, BENCH or
+BLIF text), a flow script for the
+:class:`~repro.rewriting.passes.PassManager`, and its knobs (LUT size,
+seed, budgets, verification policy).  :class:`JobRequest` carries the
+job over the wire as a flat JSON object, validates it **up front**
+(script names and kind-composition via
+:func:`~repro.rewriting.passes.validate_script`, before any work is
+scheduled) and knows how to parse its circuit into a network.
+
+Job outcomes use one typed status vocabulary shared with the CLI's exit
+codes, so a script wrapping ``repro submit`` sees exactly the codes
+``repro optimize`` would produce:
+
+=================  ====  ==================================================
+``ok``             0     flow completed, result verified (when requested)
+``verify_failed``  1     result not equivalent to the input; not returned
+``invalid``        2     malformed request, unknown pass, or parse error
+``pass_failed``    3     >= 1 pass failed and was rolled back (or raised)
+``budget``         4     the job's wall-clock budget aborted the flow
+``internal``       5     unexpected service-side failure (worker crash)
+=================  ====  ==================================================
+
+Progress streams to the client as NDJSON *events* -- one JSON object per
+line -- built by the ``event_*`` helpers here: an ``accepted`` event
+(with the cache verdict), one ``pass`` event per settled pass (the
+serialized :meth:`~repro.rewriting.passes.PassStatistics.as_dict`), and
+a terminal ``done`` or ``error`` event (``done`` carries the serialized
+:meth:`~repro.rewriting.passes.FlowStatistics.as_dict` plus the output
+network text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Union
+
+from ..io import ParseError, read_aiger, read_bench, read_blif
+from ..networks.aig import Aig
+from ..networks.klut import KLutNetwork
+from ..rewriting.passes import parse_script, validate_script
+
+__all__ = [
+    "JobValidationError",
+    "JobRequest",
+    "STATUS_EXIT_CODES",
+    "TERMINAL_EVENTS",
+    "event_accepted",
+    "event_pass",
+    "event_done",
+    "event_error",
+]
+
+Network = Union[Aig, KLutNetwork]
+
+#: Typed job status -> process exit code (the CLI scheme, plus 5).
+STATUS_EXIT_CODES: dict[str, int] = {
+    "ok": 0,
+    "verify_failed": 1,
+    "invalid": 2,
+    "pass_failed": 3,
+    "budget": 4,
+    "internal": 5,
+}
+
+#: Event names that end a job's stream.
+TERMINAL_EVENTS = ("done", "error")
+
+#: Formats accepted for the ``format`` field (``auto`` sniffs the text).
+_FORMATS = ("auto", "aag", "bench", "blif")
+
+
+class JobValidationError(ValueError):
+    """A job request is malformed; rejected before any work is scheduled."""
+
+
+@dataclass
+class JobRequest:
+    """One synthesis job as submitted over the wire.
+
+    ``circuit`` is the circuit text (AIGER ASCII, BENCH or BLIF;
+    ``format="auto"`` sniffs it).  The remaining fields mirror the
+    ``repro optimize`` options; ``on_error`` defaults to ``rollback`` so
+    one crashing pass degrades the job instead of killing it.
+    """
+
+    circuit: str
+    format: str = "auto"
+    script: str = "resyn2"
+    lut_size: int | None = None
+    seed: int = 1
+    num_patterns: int = 64
+    conflict_limit: int | None = 10_000
+    timeout: float | None = None
+    pass_timeout: float | None = None
+    on_error: str = "rollback"
+    verify_commit: bool = False
+    verify: bool = True
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "JobRequest":
+        """Build and validate a request from a decoded JSON object."""
+        if not isinstance(payload, Mapping):
+            raise JobValidationError("job payload must be a JSON object")
+        schema: dict[str, tuple[type, ...]] = {
+            "circuit": (str,),
+            "format": (str,),
+            "script": (str,),
+            "lut_size": (int, type(None)),
+            "seed": (int,),
+            "num_patterns": (int,),
+            "conflict_limit": (int, type(None)),
+            "timeout": (int, float, type(None)),
+            "pass_timeout": (int, float, type(None)),
+            "on_error": (str,),
+            "verify_commit": (bool,),
+            "verify": (bool,),
+        }
+        unknown = sorted(set(payload) - set(schema))
+        if unknown:
+            raise JobValidationError(f"unknown job field(s): {', '.join(unknown)}")
+        if "circuit" not in payload:
+            raise JobValidationError("job payload is missing the 'circuit' field")
+        kwargs: dict[str, Any] = {}
+        for name, types in schema.items():
+            if name not in payload:
+                continue
+            value = payload[name]
+            # bool is an int subclass; reject True where an int is meant.
+            if isinstance(value, bool) and bool not in types:
+                raise JobValidationError(f"job field {name!r} has the wrong type")
+            if not isinstance(value, types):
+                raise JobValidationError(f"job field {name!r} has the wrong type")
+            kwargs[name] = value
+        request = cls(**kwargs)
+        request.validate()
+        return request
+
+    def as_payload(self) -> dict[str, Any]:
+        """The wire form of this request (a flat JSON-serializable dict)."""
+        return {
+            "circuit": self.circuit,
+            "format": self.format,
+            "script": self.script,
+            "lut_size": self.lut_size,
+            "seed": self.seed,
+            "num_patterns": self.num_patterns,
+            "conflict_limit": self.conflict_limit,
+            "timeout": self.timeout,
+            "pass_timeout": self.pass_timeout,
+            "on_error": self.on_error,
+            "verify_commit": self.verify_commit,
+            "verify": self.verify,
+        }
+
+    # ------------------------------------------------------------------
+
+    def sniffed_format(self) -> str:
+        """The concrete circuit format (resolves ``auto`` from the text)."""
+        if self.format != "auto":
+            return self.format
+        stripped = self.circuit.lstrip()
+        if stripped.startswith(("aag ", "aig ")):
+            return "aag"
+        if any(line.lstrip().startswith((".model", ".inputs", ".names")) for line in stripped.splitlines()[:5]):
+            return "blif"
+        return "bench"
+
+    def start_kind(self) -> str:
+        """Network kind the flow starts from (``blif`` inputs are mapped)."""
+        return "klut" if self.sniffed_format() == "blif" else "aig"
+
+    def validate(self) -> None:
+        """Reject malformed fields and un-composable scripts up front.
+
+        Raises :class:`JobValidationError` with a message naming the
+        offending field; nothing has been scheduled when it fires.
+        """
+        if not self.circuit.strip():
+            raise JobValidationError("'circuit' is empty")
+        if self.format not in _FORMATS:
+            raise JobValidationError(
+                f"unknown circuit format {self.format!r} (expected one of {', '.join(_FORMATS)})"
+            )
+        if self.on_error not in ("raise", "rollback"):
+            raise JobValidationError(f"on_error must be 'raise' or 'rollback', got {self.on_error!r}")
+        if self.lut_size is not None and not 2 <= self.lut_size <= 16:
+            raise JobValidationError(f"lut_size must be in [2, 16], got {self.lut_size}")
+        if self.num_patterns < 1:
+            raise JobValidationError("num_patterns must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise JobValidationError("timeout must be positive")
+        if self.pass_timeout is not None and self.pass_timeout <= 0:
+            raise JobValidationError("pass_timeout must be positive")
+        try:
+            validate_script(parse_script(self.script), self.start_kind())
+        except ValueError as error:
+            raise JobValidationError(f"invalid script: {error}") from None
+
+    def canonical_script(self) -> str:
+        """The script as the flat canonical pass list (cache-key form)."""
+        return "; ".join(parse_script(self.script))
+
+    def parse_network(self) -> Network:
+        """Parse the circuit text into its network.
+
+        Raises :class:`~repro.io.ParseError` (or ``ValueError``) on
+        malformed text -- the caller maps it to the ``invalid`` status.
+        """
+        fmt = self.sniffed_format()
+        if fmt == "aag":
+            return read_aiger(self.circuit)
+        if fmt == "bench":
+            return read_bench(self.circuit)
+        if fmt == "blif":
+            return read_blif(self.circuit)
+        raise ParseError(f"unknown circuit format {fmt!r}")
+
+
+# ---------------------------------------------------------------------------
+# NDJSON events
+# ---------------------------------------------------------------------------
+
+
+def event_accepted(job_id: str, cache: str, key: str) -> dict[str, Any]:
+    """First event of every stream: the job id and the cache verdict."""
+    return {"event": "accepted", "job": job_id, "cache": cache, "key": key}
+
+
+def event_pass(job_id: str, pass_stats: Mapping[str, Any]) -> dict[str, Any]:
+    """One settled pass (``pass_stats`` = ``PassStatistics.as_dict()``)."""
+    return {"event": "pass", "job": job_id, **pass_stats}
+
+
+def event_done(job_id: str, result: Mapping[str, Any], cached: bool = False) -> dict[str, Any]:
+    """Terminal success event carrying the worker's result payload."""
+    return {"event": "done", "job": job_id, "cached": cached, **result}
+
+
+def event_error(job_id: str, status: str, message: str) -> dict[str, Any]:
+    """Terminal failure event with the typed status and a message."""
+    return {
+        "event": "error",
+        "job": job_id,
+        "status": status,
+        "exit_code": STATUS_EXIT_CODES.get(status, STATUS_EXIT_CODES["internal"]),
+        "message": message,
+    }

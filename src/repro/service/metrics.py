@@ -1,0 +1,113 @@
+"""Service metrics: job counters, per-pass wall-clock, budget aborts.
+
+One :class:`ServiceMetrics` instance per server, updated from the job
+lifecycle (accept / complete / cache hit) and from every completed
+flow's serialized statistics.  All updates take a lock -- the asyncio
+loop and the event-drain threads both touch it -- and
+:meth:`as_dict` returns the JSON the ``/metrics`` endpoint serves.
+
+The counters are chosen to make the service's externally observable
+claims checkable:
+
+* ``passes.executed`` only moves when a pass actually runs, so a
+  cache-hit resubmission provably re-executes nothing;
+* ``jobs.budget_aborts`` counts both whole-job budget aborts and
+  rolled-back over-budget passes;
+* ``passes.by_name`` carries cumulative wall-clock per pass name, the
+  per-pass latency breakdown of the whole server lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Mapping
+
+from .cache import JobCache
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe counters backing the ``/metrics`` endpoint."""
+
+    def __init__(self, cache: JobCache) -> None:
+        self._cache = cache
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.jobs_accepted = 0
+        self.jobs_in_flight = 0
+        self.jobs_cached = 0
+        self.jobs_by_status: dict[str, int] = {}
+        self.budget_aborts = 0
+        self.passes_executed = 0
+        self.passes_failed = 0
+        self.passes_skipped = 0
+        self._pass_runs: dict[str, int] = {}
+        self._pass_wall_clock: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def job_accepted(self, cached: bool) -> None:
+        """Count one accepted job (``cached`` = served from the cache)."""
+        with self._lock:
+            self.jobs_accepted += 1
+            if cached:
+                self.jobs_cached += 1
+            else:
+                self.jobs_in_flight += 1
+
+    def job_finished(self, status: str, flow: Mapping[str, Any] | None) -> None:
+        """Fold one finished job (and its flow statistics) into the counters."""
+        with self._lock:
+            self.jobs_in_flight = max(0, self.jobs_in_flight - 1)
+            self.jobs_by_status[status] = self.jobs_by_status.get(status, 0) + 1
+            if status == "budget":
+                self.budget_aborts += 1
+            if flow is None:
+                return
+            for stats in flow.get("passes", ()):
+                name = str(stats.get("name", "?"))
+                pass_status = stats.get("status")
+                if pass_status == "ok":
+                    self.passes_executed += 1
+                    self._pass_runs[name] = self._pass_runs.get(name, 0) + 1
+                    self._pass_wall_clock[name] = self._pass_wall_clock.get(name, 0.0) + float(
+                        stats.get("total_time") or 0.0
+                    )
+                elif pass_status == "failed":
+                    self.passes_failed += 1
+                    if str(stats.get("failure") or "").startswith("budget"):
+                        self.budget_aborts += 1
+                elif pass_status == "skipped":
+                    self.passes_skipped += 1
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready snapshot served by ``GET /metrics``."""
+        with self._lock:
+            per_pass = {
+                name: {
+                    "runs": self._pass_runs[name],
+                    "wall_clock": self._pass_wall_clock.get(name, 0.0),
+                }
+                for name in sorted(self._pass_runs)
+            }
+            return {
+                "uptime": time.time() - self.started_at,
+                "jobs": {
+                    "accepted": self.jobs_accepted,
+                    "in_flight": self.jobs_in_flight,
+                    "cached": self.jobs_cached,
+                    "by_status": dict(self.jobs_by_status),
+                    "budget_aborts": self.budget_aborts,
+                },
+                "passes": {
+                    "executed": self.passes_executed,
+                    "failed": self.passes_failed,
+                    "skipped": self.passes_skipped,
+                    "by_name": per_pass,
+                },
+                "cache": self._cache.stats(),
+            }

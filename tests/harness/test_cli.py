@@ -287,3 +287,75 @@ class TestResilienceFlags:
         captured = capsys.readouterr()
         assert exit_code == 4
         assert "aborted:" in captured.err
+
+
+class TestStatsJson:
+    """--stats-json writes the FlowStatistics JSON on all three tools."""
+
+    def _load(self, path):
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def test_optimize_stats_json(self, adder_file, tmp_path, capsys):
+        stats_path = tmp_path / "flow.json"
+        code = optimize_main([str(adder_file), "--script", "rw; b", "--stats-json", str(stats_path)])
+        assert code == 0
+        stats = self._load(stats_path)
+        assert [p["name"] for p in stats["passes"]] == ["rw", "b"]
+        assert stats["verified"] is True
+        assert stats["gates_after"] <= stats["gates_before"]
+
+    def test_sweep_stats_json(self, workload_file, tmp_path, capsys):
+        path, _ = workload_file
+        stats_path = tmp_path / "sweep.json"
+        code = sweep_main([str(path), "--engine", "stp", "--stats-json", str(stats_path)])
+        assert code == 0
+        stats = self._load(stats_path)
+        assert stats["script"] == "stp"
+        assert len(stats["passes"]) == 1
+        assert "total_sat_calls" in stats["passes"][0]["details"]
+
+    def test_map_stats_json(self, adder_file, tmp_path, capsys):
+        stats_path = tmp_path / "map.json"
+        code = map_main([str(adder_file), "-k", "4", "--stats-json", str(stats_path)])
+        assert code == 0
+        stats = self._load(stats_path)
+        assert stats["kind_after"] == "klut"
+        assert stats["passes"][0]["details"]["num_luts"] == stats["gates_after"]
+
+    def test_unwritable_stats_json_exits_2(self, adder_file, tmp_path, capsys):
+        bad = tmp_path / "missing-dir" / "flow.json"
+        code = optimize_main([str(adder_file), "--script", "b", "--stats-json", str(bad)])
+        assert code == 2
+
+
+class TestSimulateExitCodes:
+    """The uniform exit-code scheme reaches repro simulate too."""
+
+    def test_bad_pattern_count_exits_2(self, adder_file, capsys):
+        assert simulate_main([str(adder_file), "--patterns", "0"]) == 2
+
+    def test_unwritable_csv_exits_2(self, adder_file, tmp_path, capsys):
+        bad = tmp_path / "nope" / "out.csv"
+        assert simulate_main([str(adder_file), "--csv", str(bad)]) == 2
+
+    def test_success_exits_0(self, adder_file, capsys):
+        assert simulate_main([str(adder_file)]) == 0
+
+
+class TestServiceSubcommands:
+    """serve/submit are dispatched from the combined entry point."""
+
+    def test_help_lists_serve_and_submit(self, capsys):
+        assert main(["--help"]) == 0
+        printed = capsys.readouterr().out
+        assert "serve" in printed and "submit" in printed
+
+    def test_submit_without_server_exits_2(self, adder_file, capsys):
+        # Port 1 is never listening; the connection error is a typed
+        # usage-level failure, not a traceback.
+        code = main(["submit", str(adder_file), "--port", "1", "--quiet"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err

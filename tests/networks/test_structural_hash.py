@@ -1,0 +1,159 @@
+"""Unit tests of the canonical structural hash (the job-cache key)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits import ripple_carry_adder
+from repro.io import read_aiger, write_aiger
+from repro.networks import (
+    Aig,
+    map_aig_to_klut,
+    structural_digest,
+    structural_hash,
+)
+from repro.networks.transforms import cleanup_dangling
+
+
+def _xor_tree(order: list[int], swap_operands: bool = False) -> Aig:
+    """An XOR chain over 4 PIs, combined in the given PI order."""
+    aig = Aig("xor-tree")
+    pis = [aig.add_pi(f"x{i}") for i in range(4)]
+    acc = pis[order[0]]
+    for index in order[1:]:
+        acc = aig.add_xor(pis[index], acc) if swap_operands else aig.add_xor(acc, pis[index])
+    aig.add_po(acc, "f")
+    return aig
+
+
+def test_hash_is_stable_across_clone_and_reserialization() -> None:
+    aig = ripple_carry_adder(8)
+    reference = structural_hash(aig)
+    assert structural_hash(aig.clone()) == reference
+    reparsed = read_aiger(write_aiger(aig, binary=False).decode("ascii"))
+    assert structural_hash(reparsed) == reference
+    assert len(reference) == 32
+    assert structural_digest(aig) == structural_digest(reparsed)
+
+
+def test_hash_ignores_commutated_and_fanins() -> None:
+    left = Aig("l")
+    a, b = left.add_pi("a"), left.add_pi("b")
+    left.add_po(left.add_and(a, b), "f")
+
+    right = Aig("r")
+    a, b = right.add_pi("a"), right.add_pi("b")
+    right.add_po(right.add_and(b, a), "f")
+
+    assert structural_hash(left) == structural_hash(right)
+
+
+def test_hash_ignores_construction_order_of_independent_cones() -> None:
+    def build(first: str) -> Aig:
+        aig = Aig("two-cones")
+        a, b, c, d = (aig.add_pi(n) for n in "abcd")
+        if first == "left":
+            left = aig.add_and(a, b)
+            right = aig.add_or(c, d)
+        else:
+            right = aig.add_or(c, d)
+            left = aig.add_and(a, b)
+        aig.add_po(left, "f")
+        aig.add_po(right, "g")
+        return aig
+
+    assert structural_hash(build("left")) == structural_hash(build("right"))
+
+
+def test_hash_ignores_dead_logic() -> None:
+    aig = ripple_carry_adder(4)
+    reference = structural_hash(aig)
+    dirty = aig.clone()
+    extra = dirty.add_and(dirty.pis[0] << 1, dirty.pis[1] << 1)
+    dirty.add_and(extra, dirty.pis[2] << 1)  # dangling cone, feeds no PO
+    cleaned, _ = cleanup_dangling(dirty)
+    assert structural_hash(cleaned) == reference
+
+
+def test_hash_distinguishes_structure_function_and_interface() -> None:
+    base = _xor_tree([0, 1, 2, 3])
+    # Swapping each gate's operands is the same DAG (AND is commutative
+    # under the sorted-edge digest) ...
+    assert structural_hash(_xor_tree([0, 1, 2, 3], swap_operands=True)) == structural_hash(base)
+    # ... but re-associating the chain is a *different structure*, even
+    # though XOR associativity makes the function identical: this is a
+    # structural hash, not a functional one.
+    assert structural_hash(_xor_tree([2, 0, 3, 1])) != structural_hash(base)
+
+    # Different function: AND chain instead of XOR chain.
+    ands = Aig("ands")
+    pis = [ands.add_pi(f"x{i}") for i in range(4)]
+    acc = pis[0]
+    for literal in pis[1:]:
+        acc = ands.add_and(acc, literal)
+    ands.add_po(acc, "f")
+    assert structural_hash(ands) != structural_hash(base)
+
+    # Different PO phase.
+    negated = Aig("negated-xor-tree")
+    pis = [negated.add_pi(f"x{i}") for i in range(4)]
+    acc = pis[0]
+    for literal in pis[1:]:
+        acc = negated.add_xor(acc, literal)
+    negated.add_po(acc ^ 1, "f")
+    assert structural_hash(negated) != structural_hash(base)
+
+    # Different sizes.
+    assert structural_hash(ripple_carry_adder(8)) != structural_hash(ripple_carry_adder(9))
+
+
+def test_hash_depends_on_po_order() -> None:
+    def build(swapped: bool) -> Aig:
+        aig = Aig("po-order")
+        a, b = aig.add_pi("a"), aig.add_pi("b")
+        both = aig.add_and(a, b)
+        either = aig.add_or(a, b)
+        outputs = [(both, "f"), (either, "g")]
+        if swapped:
+            outputs.reverse()
+        for literal, name in outputs:
+            aig.add_po(literal, name)
+        return aig
+
+    assert structural_hash(build(False)) != structural_hash(build(True))
+
+
+def test_hash_ignores_names() -> None:
+    def build(prefix: str) -> Aig:
+        aig = Aig(prefix)
+        a, b = aig.add_pi(f"{prefix}_a"), aig.add_pi(f"{prefix}_b")
+        aig.add_po(aig.add_and(a, b), f"{prefix}_f")
+        return aig
+
+    assert structural_hash(build("x")) == structural_hash(build("verbose"))
+
+
+def test_klut_hash_stable_and_discriminating() -> None:
+    aig = ripple_carry_adder(6)
+    klut, _ = map_aig_to_klut(aig, k=4)
+    reference = structural_hash(klut)
+    assert structural_hash(klut.clone()) == reference
+
+    other, _ = map_aig_to_klut(aig, k=3)
+    assert structural_hash(other) != reference
+    assert structural_hash(klut) != structural_hash(aig)
+
+
+def test_hash_randomized_clone_stability() -> None:
+    rng = random.Random(7)
+    for width in (2, 5, 9):
+        aig = ripple_carry_adder(width)
+        reference = structural_hash(aig)
+        for _ in range(3):
+            clone = aig.clone()
+            assert structural_hash(clone) == reference
+            # Mutating the clone must not disturb the original's hash.
+            pi_literal = clone.pis[rng.randrange(clone.num_pis)] << 1
+            clone.add_po(pi_literal, "extra")
+            assert structural_hash(clone) != reference
+        assert structural_hash(aig) == reference

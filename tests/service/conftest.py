@@ -1,0 +1,66 @@
+"""Fixtures of the service tests: an in-process server on an ephemeral port."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.circuits import ripple_carry_adder
+from repro.io import write_aiger
+from repro.service import SynthesisServer
+
+
+class ServerThread:
+    """A :class:`SynthesisServer` running its own event loop in a thread.
+
+    Thread mode (``workers=0``): jobs execute in threads of this test
+    process, so the full request path -- socket, NDJSON streaming, cache,
+    metrics -- is exercised without process-pool spawn latency.
+    """
+
+    def __init__(self, **kwargs: object) -> None:
+        self.server = SynthesisServer(port=0, **kwargs)  # type: ignore[arg-type]
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.close()
+
+    def start(self) -> int:
+        self._thread.start()
+        assert self._ready.wait(30), "server did not come up"
+        return self.server.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+@pytest.fixture
+def service():
+    """A running thread-mode server; yields the ``ServerThread``."""
+    thread = ServerThread(workers=0)
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+@pytest.fixture
+def adder_text() -> str:
+    """An 8-bit ripple-carry adder as AIGER ASCII text."""
+    return write_aiger(ripple_carry_adder(8), binary=False).decode("ascii")

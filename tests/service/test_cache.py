@@ -1,0 +1,123 @@
+"""Unit tests of the structural-hash job cache and its key."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.circuits import ripple_carry_adder
+from repro.io import read_aiger, write_aiger
+from repro.service import JobCache, JobRequest, job_cache_key
+
+
+def _request(text: str, **overrides: object) -> JobRequest:
+    return JobRequest(circuit=text, **overrides)  # type: ignore[arg-type]
+
+
+def test_key_survives_reserialization(adder_text: str) -> None:
+    # Writing and re-reading renumbers literals; the structural key must
+    # not care.
+    network = read_aiger(adder_text)
+    rewritten = write_aiger(network.clone(), binary=False).decode("ascii")
+    request = _request(adder_text)
+    assert job_cache_key(network, request) == job_cache_key(
+        read_aiger(rewritten), _request(rewritten)
+    )
+
+
+def test_key_ignores_script_spelling(adder_text: str) -> None:
+    network = read_aiger(adder_text)
+    named = _request(adder_text, script="resyn2")
+    spelled = _request(adder_text, script=named.canonical_script())
+    assert job_cache_key(network, named) == job_cache_key(network, spelled)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"script": "rw; b"},
+        {"seed": 2},
+        {"lut_size": 4},
+        {"num_patterns": 128},
+        {"conflict_limit": 500},
+        {"verify_commit": True},
+        {"verify": False},
+    ],
+)
+def test_key_discriminates_result_changing_knobs(adder_text: str, overrides: dict) -> None:
+    network = read_aiger(adder_text)
+    base = _request(adder_text)
+    assert job_cache_key(network, base) != job_cache_key(
+        network, _request(adder_text, **overrides)
+    )
+
+
+def test_key_excludes_budget_fields(adder_text: str) -> None:
+    # Only clean results are cached and those are budget-independent, so
+    # a budgeted resubmission of a cached job must still hit.
+    network = read_aiger(adder_text)
+    base = _request(adder_text)
+    budgeted = _request(adder_text, timeout=5.0, pass_timeout=1.0, on_error="raise")
+    assert job_cache_key(network, base) == job_cache_key(network, budgeted)
+
+
+def test_key_differs_for_different_networks(adder_text: str) -> None:
+    other = write_aiger(ripple_carry_adder(9), binary=False).decode("ascii")
+    request = _request(adder_text)
+    assert job_cache_key(read_aiger(adder_text), request) != job_cache_key(
+        read_aiger(other), _request(other)
+    )
+
+
+def test_lru_eviction_and_refresh() -> None:
+    cache = JobCache(capacity=2)
+    cache.put("a", {"n": 1})
+    cache.put("b", {"n": 2})
+    assert cache.get("a") == {"n": 1}  # refreshes "a"; "b" is now LRU
+    cache.put("c", {"n": 3})
+    assert cache.get("b") is None
+    assert cache.get("a") == {"n": 1}
+    assert cache.get("c") == {"n": 3}
+    assert len(cache) == 2
+
+
+def test_hit_rate_and_stats() -> None:
+    cache = JobCache(capacity=4)
+    assert cache.hit_rate == 0.0
+    cache.put("k", {})
+    assert cache.get("k") is not None
+    assert cache.get("nope") is None
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["size"] == 1 and stats["capacity"] == 4
+
+
+def test_rejects_degenerate_capacity() -> None:
+    with pytest.raises(ValueError):
+        JobCache(capacity=0)
+
+
+def test_cache_is_thread_safe_under_contention() -> None:
+    cache = JobCache(capacity=8)
+    errors: list[BaseException] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(200):
+                key = f"{worker_id}-{i % 16}"
+                cache.put(key, {"worker": worker_id, "i": i})
+                cache.get(key)
+                cache.get(f"{(worker_id + 1) % 4}-{i % 16}")
+                len(cache)
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= 8

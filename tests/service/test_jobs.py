@@ -1,0 +1,117 @@
+"""Unit tests of the job wire model: validation, sniffing, events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import STATUS_EXIT_CODES, JobRequest, JobValidationError
+from repro.service.jobs import event_accepted, event_done, event_error, event_pass
+
+
+BENCH = "INPUT(a)\nINPUT(b)\nOUTPUT(f)\nf = AND(a, b)\n"
+BLIF = ".model tiny\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n"
+
+
+def test_from_payload_roundtrip(adder_text: str) -> None:
+    request = JobRequest(circuit=adder_text, script="rw; b", seed=7)
+    rebuilt = JobRequest.from_payload(request.as_payload())
+    assert rebuilt == request
+
+
+def test_from_payload_rejects_unknown_fields(adder_text: str) -> None:
+    payload = JobRequest(circuit=adder_text).as_payload()
+    payload["priority"] = 3
+    with pytest.raises(JobValidationError, match="priority"):
+        JobRequest.from_payload(payload)
+
+
+def test_from_payload_rejects_missing_circuit() -> None:
+    with pytest.raises(JobValidationError, match="circuit"):
+        JobRequest.from_payload({"script": "rw"})
+
+
+def test_from_payload_rejects_bool_where_int_is_meant(adder_text: str) -> None:
+    payload = JobRequest(circuit=adder_text).as_payload()
+    payload["seed"] = True
+    with pytest.raises(JobValidationError, match="seed"):
+        JobRequest.from_payload(payload)
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("circuit", "   "),
+        ("format", "verilog"),
+        ("on_error", "retry"),
+        ("lut_size", 1),
+        ("lut_size", 99),
+        ("num_patterns", 0),
+        ("timeout", -1.0),
+        ("pass_timeout", 0.0),
+        ("script", "definitely-not-a-pass"),
+    ],
+)
+def test_validate_rejects_bad_fields(adder_text: str, field: str, value: object) -> None:
+    payload = JobRequest(circuit=adder_text).as_payload()
+    payload[field] = value
+    with pytest.raises(JobValidationError):
+        JobRequest.from_payload(payload)
+
+
+def test_sniffing_resolves_all_three_formats(adder_text: str) -> None:
+    assert JobRequest(circuit=adder_text).sniffed_format() == "aag"
+    assert JobRequest(circuit=BENCH).sniffed_format() == "bench"
+    assert JobRequest(circuit=BLIF).sniffed_format() == "blif"
+
+
+def test_blif_inputs_start_from_klut_kind() -> None:
+    request = JobRequest(circuit=BLIF, script="lutmffc; cleanup")
+    assert request.start_kind() == "klut"
+    request.validate()  # klut-only script is legal on a BLIF input
+    network = request.parse_network()
+    assert network.num_pis == 2
+
+
+def test_aig_script_on_blif_input_is_rejected_up_front() -> None:
+    with pytest.raises(JobValidationError, match="script"):
+        JobRequest(circuit=BLIF, script="rw").validate()
+
+
+def test_canonical_script_expands_named_flows(adder_text: str) -> None:
+    named = JobRequest(circuit=adder_text, script="resyn2")
+    spelled = JobRequest(circuit=adder_text, script=named.canonical_script())
+    assert named.canonical_script() == spelled.canonical_script()
+    assert ";" in named.canonical_script()
+
+
+def test_exit_code_scheme_matches_cli() -> None:
+    from repro.harness.cli import (
+        EXIT_BUDGET,
+        EXIT_OK,
+        EXIT_PASS_FAILED,
+        EXIT_USAGE,
+        EXIT_VERIFY_FAILED,
+    )
+
+    assert STATUS_EXIT_CODES["ok"] == EXIT_OK
+    assert STATUS_EXIT_CODES["verify_failed"] == EXIT_VERIFY_FAILED
+    assert STATUS_EXIT_CODES["invalid"] == EXIT_USAGE
+    assert STATUS_EXIT_CODES["pass_failed"] == EXIT_PASS_FAILED
+    assert STATUS_EXIT_CODES["budget"] == EXIT_BUDGET
+    assert STATUS_EXIT_CODES["internal"] == 5
+    assert len(set(STATUS_EXIT_CODES.values())) == len(STATUS_EXIT_CODES)
+
+
+def test_events_are_json_ready() -> None:
+    import json
+
+    events = [
+        event_accepted("job-1", "miss", "abc"),
+        event_pass("job-1", {"name": "rw", "status": "ok"}),
+        event_done("job-1", {"status": "ok"}, cached=True),
+        event_error("job-1", "budget", "out of time"),
+    ]
+    for event in events:
+        json.dumps(event)
+    assert event_error("job-1", "budget", "x")["exit_code"] == 4
+    assert event_error("job-1", "no-such-status", "x")["exit_code"] == 5

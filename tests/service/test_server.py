@@ -1,0 +1,152 @@
+"""End-to-end tests of the running service over a real local socket.
+
+The server runs in thread mode (``workers=0``) inside the test process:
+the whole request path -- HTTP parsing, validation, the structural-hash
+cache, NDJSON streaming, metrics -- is the production one; only the
+process-pool spawn is skipped (that path is covered by the subprocess
+smoke test).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.io import read_aiger, read_blif
+from repro.rewriting import PassManager
+from repro.service import JobRequest, fetch_json, submit
+from repro.simulation import (
+    PatternSet,
+    aig_po_signatures,
+    klut_po_signatures,
+    simulate_aig,
+    simulate_klut_per_pattern,
+)
+
+
+def test_job_result_is_equivalent_to_the_local_cli_flow(service, adder_text: str) -> None:
+    request = JobRequest(circuit=adder_text, script="resyn2; map", lut_size=4)
+    outcome = submit(request, port=service.server.port, timeout=120)
+    assert outcome.status == "ok" and outcome.exit_code == 0
+    assert outcome.output_format == "blif"
+
+    # Same flow run locally (what `repro optimize --script "resyn2; map"`
+    # executes): identical LUT count ...
+    manager = PassManager("resyn2; map", lut_size=4, on_error="rollback")
+    local, flow = manager.run(read_aiger(adder_text))
+    assert outcome.flow is not None
+    assert outcome.flow["gates_after"] == flow.gates_after
+
+    # ... and the returned BLIF simulates identically to the input.
+    original = read_aiger(adder_text)
+    mapped = read_blif(outcome.output or "")
+    patterns = PatternSet.random(original.num_pis, 256, seed=3)
+    assert aig_po_signatures(original, simulate_aig(original, patterns)) == klut_po_signatures(
+        mapped, simulate_klut_per_pattern(mapped, patterns)
+    )
+
+
+def test_every_pass_streams_one_event(service, adder_text: str) -> None:
+    request = JobRequest(circuit=adder_text, script="resyn2")
+    live: list[dict] = []
+    outcome = submit(request, port=service.server.port, timeout=120, on_event=live.append)
+    assert outcome.status == "ok"
+    assert outcome.flow is not None
+    flow_passes = [stats["name"] for stats in outcome.flow["passes"]]
+    streamed = [event["name"] for event in outcome.pass_events]
+    assert streamed == flow_passes and len(streamed) > 0
+    # The callback saw the same stream, live, terminated by `done`.
+    assert [e for e in live if e.get("event") == "pass"] == outcome.pass_events
+    assert live[-1]["event"] == "done"
+
+
+def test_identical_resubmission_is_served_from_the_cache(service, adder_text: str) -> None:
+    port = service.server.port
+    request = JobRequest(circuit=adder_text, script="resyn2")
+    first = submit(request, port=port, timeout=120)
+    assert first.status == "ok" and not first.cached
+
+    executed_before = fetch_json("/metrics", port=port)["passes"]["executed"]
+    assert executed_before > 0
+
+    # Same job, different textual spelling: re-serialize the network and
+    # name the script by its expansion.  Still a cache hit.
+    respelled = JobRequest(circuit=adder_text, script=request.canonical_script())
+    second = submit(respelled, port=port, timeout=120)
+    assert second.status == "ok" and second.cached
+    assert second.cache_key == first.cache_key
+    assert second.output == first.output
+
+    metrics = fetch_json("/metrics", port=port)
+    assert metrics["passes"]["executed"] == executed_before  # nothing re-ran
+    assert metrics["jobs"]["cached"] == 1
+    assert metrics["cache"]["hits"] == 1
+
+
+def test_aborted_job_is_typed_while_concurrent_jobs_complete(service, adder_text: str) -> None:
+    port = service.server.port
+    outcomes: dict[str, object] = {}
+
+    def run(name: str, request: JobRequest) -> None:
+        outcomes[name] = submit(request, port=port, timeout=120)
+
+    threads = [
+        threading.Thread(
+            target=run,
+            args=("doomed", JobRequest(circuit=adder_text, script="resyn2", timeout=1e-6)),
+        ),
+        threading.Thread(
+            target=run, args=("healthy-1", JobRequest(circuit=adder_text, script="rw; b"))
+        ),
+        threading.Thread(
+            target=run, args=("healthy-2", JobRequest(circuit=adder_text, script="rf; b", seed=5))
+        ),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+
+    doomed = outcomes["doomed"]
+    assert doomed.status == "budget" and doomed.exit_code == 4  # type: ignore[attr-defined]
+    for name in ("healthy-1", "healthy-2"):
+        assert outcomes[name].status == "ok"  # type: ignore[attr-defined]
+
+    metrics = fetch_json("/metrics", port=port)
+    assert metrics["jobs"]["budget_aborts"] >= 1
+    assert metrics["jobs"]["by_status"]["ok"] == 2
+    assert metrics["jobs"]["by_status"]["budget"] == 1
+
+
+def test_rolled_back_pass_degrades_the_job_to_pass_failed(service, adder_text: str) -> None:
+    # A microscopic per-pass budget fails every pass; rollback keeps the
+    # job alive and the result is the (unchanged) input with status
+    # pass_failed -- the same contract as `repro optimize --on-error
+    # rollback`.
+    request = JobRequest(
+        circuit=adder_text, script="rw; b", pass_timeout=1e-9, on_error="rollback", verify=False
+    )
+    outcome = submit(request, port=service.server.port, timeout=120)
+    assert outcome.status == "pass_failed" and outcome.exit_code == 3
+    assert outcome.message
+    # Nothing clean to reuse: failed jobs are never cached.
+    resubmit = submit(request, port=service.server.port, timeout=120)
+    assert not resubmit.cached
+
+
+def test_invalid_jobs_are_rejected_before_scheduling(service, adder_text: str) -> None:
+    port = service.server.port
+    bad_script = submit(JobRequest(circuit=adder_text, script="nope"), port=port)
+    assert bad_script.status == "invalid" and bad_script.exit_code == 2
+    bad_circuit = submit(JobRequest(circuit="aag 1 2 3"), port=port)
+    assert bad_circuit.status == "invalid"
+    metrics = fetch_json("/metrics", port=port)
+    assert metrics["passes"]["executed"] == 0
+
+
+def test_healthz_reports_mode_and_cache(service, adder_text: str) -> None:
+    port = service.server.port
+    health = fetch_json("/healthz", port=port)
+    assert health["status"] == "ok"
+    assert health["mode"] == "thread"
+    submit(JobRequest(circuit=adder_text, script="b"), port=port, timeout=120)
+    assert fetch_json("/healthz", port=port)["cache_size"] == 1

@@ -1,0 +1,75 @@
+"""Subprocess smoke test: `repro serve` with a real process worker pool.
+
+This is the one test that exercises the production pool path -- spawned
+worker processes warming their own libraries, manager-queue event
+streaming back across the process boundary -- end to end through the
+console entry point.  CI runs the same scenario as a workflow step.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+from repro.service import JobRequest, fetch_json, submit
+
+_BANNER = re.compile(r"http://[\w.]+:(\d+)")
+
+
+def test_serve_subprocess_with_process_workers(tmp_path, adder_text: str) -> None:
+    log_path = tmp_path / "serve.log"
+    environment = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    environment["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + environment.get(
+        "PYTHONPATH", ""
+    )
+    with open(log_path, "w") as log:
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.harness.cli",
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "1",
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=environment,
+        )
+    try:
+        port = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            match = _BANNER.search(log_path.read_text())
+            if match:
+                port = int(match.group(1))
+                break
+            assert process.poll() is None, f"server died:\n{log_path.read_text()}"
+            time.sleep(0.2)
+        assert port is not None, f"no listening banner:\n{log_path.read_text()}"
+
+        health = fetch_json("/healthz", port=port, timeout=30)
+        assert health["mode"] == "process" and health["workers"] == 1
+
+        request = JobRequest(circuit=adder_text, script="resyn2")
+        outcome = submit(request, port=port, timeout=120)
+        assert outcome.status == "ok", outcome.message
+        assert len(outcome.pass_events) == len(outcome.flow["passes"])
+
+        again = submit(request, port=port, timeout=120)
+        assert again.cached
+
+        metrics = fetch_json("/metrics", port=port, timeout=30)
+        assert metrics["cache"]["hits"] == 1
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:  # pragma: no cover - cleanup path
+            process.kill()
