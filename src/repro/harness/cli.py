@@ -329,6 +329,52 @@ def sweep_main(argv: list[str] | None = None) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _print_sat_profile(flow: FlowStatistics) -> None:
+    """Per-pass SAT breakdown of a flow (the ``--sat-profile`` report).
+
+    Only passes that ran SAT queries appear; the counters come from the
+    ``sat_``-prefixed details every sweeping pass reports (the CDCL
+    core's :class:`~repro.sat.cdcl.SolverStatistics` aggregated over all
+    solver windows of the pass).
+    """
+    rows = []
+    totals = {"calls": 0.0, "conflicts": 0.0, "propagations": 0.0, "reused": 0.0, "time": 0.0}
+    for stats in flow.passes:
+        details = stats.details
+        calls = float(details.get("sat_calls") or details.get("sat_solve_calls") or 0.0)
+        if calls <= 0:
+            continue
+        conflicts = float(details.get("sat_conflicts", 0.0))
+        propagations = float(details.get("sat_propagations", 0.0))
+        restarts = float(details.get("sat_restarts", 0.0))
+        windows = float(details.get("sat_windows_opened", 0.0))
+        reused = float(details.get("sat_window_reuses", 0.0))
+        reuse_rate = float(details.get("sat_window_reuse_rate", 0.0))
+        sat_time = float(details.get("sat_time", 0.0))
+        rows.append(
+            f"  {stats.name:<8} calls {int(calls):>6}  conflicts {int(conflicts):>8}  "
+            f"props {int(propagations):>10}  restarts {int(restarts):>4}  "
+            f"windows {int(windows):>3}  reuse {reuse_rate:6.1%}  sat {sat_time:7.3f}s"
+        )
+        totals["calls"] += calls
+        totals["conflicts"] += conflicts
+        totals["propagations"] += propagations
+        totals["reused"] += reused
+        totals["time"] += sat_time
+    print("SAT profile:")
+    if not rows:
+        print("  no SAT-backed passes ran")
+        return
+    for row in rows:
+        print(row)
+    overall_rate = totals["reused"] / totals["calls"] if totals["calls"] else 0.0
+    print(
+        f"  {'total':<8} calls {int(totals['calls']):>6}  conflicts {int(totals['conflicts']):>8}  "
+        f"props {int(totals['propagations']):>10}  reused-solver hit rate {overall_rate:6.1%}  "
+        f"sat {totals['time']:7.3f}s"
+    )
+
+
 def optimize_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-optimize``."""
     parser = argparse.ArgumentParser(
@@ -368,6 +414,11 @@ def optimize_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--stats-json", default=None, help="write the flow statistics as JSON to this file"
     )
+    parser.add_argument(
+        "--sat-profile",
+        action="store_true",
+        help="print a per-pass SAT breakdown (calls, conflicts, solver-window reuse)",
+    )
     arguments = parser.parse_args(argv)
 
     aig = _load_network(arguments.input)
@@ -397,6 +448,8 @@ def optimize_main(argv: list[str] | None = None) -> int:
         print(f"aborted: {error}", file=sys.stderr)
         return EXIT_BUDGET
     print(flow)
+    if arguments.sat_profile:
+        _print_sat_profile(flow)
 
     if arguments.stats_json and not _write_stats_json(arguments.stats_json, flow):
         return EXIT_USAGE

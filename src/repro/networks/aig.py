@@ -395,6 +395,50 @@ class Aig(IncrementalNetworkMixin):
             return [self.node_of(f) for f in self.fanins(node)]
         return []
 
+    def _choice_merge_creates_cycle(self, members: Sequence[int]) -> bool:
+        """AIG-specialised override of the collapsed-acyclicity walk.
+
+        Performs the exact same choice-closed TFI traversal as the
+        generic mixin version (same visit order, same outcome, same
+        ``CHOICE_TFI_LIMIT`` bound) but reads the fanin fields directly
+        instead of going through ``gate_fanin_nodes`` -- the walk is the
+        dominant cost of choice recording, and the per-visit method
+        calls and list allocations of the generic version triple it.
+        """
+        nodes = self._nodes
+        num_pis = len(self._pis)
+        num_nodes = len(nodes)
+        choice_repr = self._choice_repr
+        choice_members = self._choice_members
+        limit = self.CHOICE_TFI_LIMIT
+        targets = set(members)
+        visited: set[int] = set()
+        stack: list[int] = []
+        for member in members:
+            if num_pis < member < num_nodes:
+                entry = nodes[member]
+                stack.append(entry.fanin0 >> 1)
+                stack.append(entry.fanin1 >> 1)
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            if node in targets:
+                return True
+            if len(visited) > limit:
+                return True
+            if num_pis < node < num_nodes:
+                entry = nodes[node]
+                stack.append(entry.fanin0 >> 1)
+                stack.append(entry.fanin1 >> 1)
+            representative = choice_repr.get(node)
+            if representative is not None:
+                for other in choice_members[representative]:
+                    if other not in visited:
+                        stack.append(other)
+        return False
+
     def gate_fanin_nodes(self, node: int) -> list[int]:
         """Fanin node indices of ``node`` (empty for PIs and the constant)."""
         return self._gate_fanin_nodes(node)
@@ -416,26 +460,75 @@ class Aig(IncrementalNetworkMixin):
         """
         cache = self._topo_cache
         if cache is None:
-            roots = [self.node_of(po) for po in self._pos] + list(self.gates())
-            order = topological_sort(roots, self._gate_fanin_nodes)
-            cache = [n for n in order if self.is_and(n)]
+            # Specialised DFS producing exactly the order of
+            # topological_sort(po_nodes + gates, _gate_fanin_nodes): the
+            # generic helper's per-node callback, tuple stack and list
+            # allocations triple the cost of this rebuild, and sweeping
+            # re-sorts after every cache-invalidating merge.
+            nodes = self._nodes
+            num_pis = len(self._pis)
+            num_nodes = len(nodes)
+            visited = bytearray(num_nodes)
+            cache = []
+            append = cache.append
+            roots = [po >> 1 for po in self._pos]
+            roots.extend(range(num_pis + 1, num_nodes))
+            stack: list[int] = []
+            for root in roots:
+                if visited[root]:
+                    continue
+                # Expanded nodes are pushed one's-complemented.
+                stack.append(root)
+                while stack:
+                    node = stack.pop()
+                    if node < 0:
+                        append(~node)
+                        continue
+                    if visited[node]:
+                        continue
+                    visited[node] = 1
+                    if num_pis < node < num_nodes:
+                        stack.append(~node)
+                        entry = nodes[node]
+                        fanin0 = entry.fanin0 >> 1
+                        fanin1 = entry.fanin1 >> 1
+                        if not visited[fanin0]:
+                            stack.append(fanin0)
+                        if not visited[fanin1]:
+                            stack.append(fanin1)
             self._topo_cache = cache
             self._topo_pos = {node: i for i, node in enumerate(cache)}
         if include_pis:
             return [0] + list(self._pis) + list(cache)
         return list(cache)
 
+    def _level_array(self) -> list[int]:
+        """Logic level per node index (0 for PIs/constant and unused slots)."""
+        nodes = self._nodes
+        level = [0] * len(nodes)
+        for node in self.topological_order():
+            entry = nodes[node]
+            level0 = level[entry.fanin0 >> 1]
+            level1 = level[entry.fanin1 >> 1]
+            level[node] = (level0 if level0 >= level1 else level1) + 1
+        return level
+
     def levels(self) -> dict[int, int]:
         """Logic level of every node (PIs and constant are level 0)."""
-        sources = [0] + list(self._pis)
-        return levelize(self.topological_order(), self._gate_fanin_nodes, sources)
+        level = self._level_array()
+        result = {0: 0}
+        for pi in self._pis:
+            result[pi] = 0
+        for node in self.topological_order():
+            result[node] = level[node]
+        return result
 
     def depth(self) -> int:
         """Largest PO level (0 for a constant/PI-only network)."""
-        node_levels = self.levels()
         if not self._pos:
             return 0
-        return max(node_levels[self.node_of(po)] for po in self._pos)
+        level = self._level_array()
+        return max(level[po >> 1] for po in self._pos)
 
     def tfi(self, nodes: Iterable[int], limit: int | None = None) -> list[int]:
         """Transitive fanin cone of ``nodes`` (the nodes themselves included)."""

@@ -91,8 +91,10 @@ def transitive_fanin(
     seen: set[int] = set()
     cone: list[int] = []
     frontier: list[int] = list(roots)
-    while frontier:
-        node = frontier.pop(0)
+    cursor = 0
+    while cursor < len(frontier):
+        node = frontier[cursor]
+        cursor += 1
         if node in seen:
             continue
         seen.add(node)

@@ -39,7 +39,7 @@ and ``repro map --choices`` on the command line.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..networks.aig import Aig
@@ -112,10 +112,18 @@ class ChoiceReport:
     sat_calls: int = 0
     sat_time: float = 0.0
     total_time: float = 0.0
+    #: CDCL-core counters of the fraig stage's solver windows
+    #: (``SolverStatistics.as_dict()`` plus window bookkeeping), copied
+    #: from the sweep's :class:`~repro.sweeping.stats.SweepStatistics`.
+    solver_statistics: dict[str, int] = field(default_factory=dict)
+    window_reuse_rate: float = 0.0
 
     def as_details(self) -> dict[str, float]:
         """Flat numeric view for per-pass statistics."""
-        return {
+        details = {f"sat_{key}": float(value) for key, value in self.solver_statistics.items()}
+        if self.solver_statistics:
+            details["sat_window_reuse_rate"] = self.window_reuse_rate
+        return details | {
             "choice_classes": float(self.choice_classes),
             "choice_alternatives": float(self.choice_alternatives),
             "rewrite_recorded": float(self.rewrite_recorded),
@@ -139,6 +147,7 @@ def compute_choices(
     with_snapshots: bool = False,
     with_fraig: bool = True,
     budget: "Budget | None" = None,
+    window_size: int | None = None,
 ) -> tuple[Aig, ChoiceReport]:
     """Augment (a copy of) the network with structural choice classes.
 
@@ -150,7 +159,9 @@ def compute_choices(
     can be disabled individually (``with_rewrite`` / ``with_refactor`` /
     ``with_snapshots`` / ``with_fraig``); without the fraig stage the
     snapshot cones stay unlinked, so ``with_snapshots`` only pays off
-    together with ``with_fraig``.
+    together with ``with_fraig``.  ``window_size`` is the fraig stage's
+    solver-window policy (``None`` = one persistent incremental solver,
+    ``1`` = fresh-encode-per-query oracle).
     """
     start = time.perf_counter()
     report = ChoiceReport(gates_before=aig.num_ands)
@@ -181,11 +192,14 @@ def compute_choices(
             conflict_limit=conflict_limit,
             record_choices=True,
             budget=budget,
+            window_size=window_size,
         ).run()
         report.fraig_recorded = int(sweep_stats.extra.get("choices_recorded", 0.0))
         report.fraig_skipped = int(sweep_stats.extra.get("choice_skipped", 0.0))
         report.sat_calls = sweep_stats.total_sat_calls
         report.sat_time = sweep_stats.sat_time
+        report.solver_statistics = dict(sweep_stats.solver_statistics)
+        report.window_reuse_rate = sweep_stats.extra.get("window_reuse_rate", 0.0)
     report.gates_after = work.num_ands
     report.choice_classes = work.num_choice_classes
     report.choice_alternatives = work.num_choice_alternatives

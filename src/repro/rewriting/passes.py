@@ -103,6 +103,7 @@ from ..simulation.patterns import PatternSet
 from ..sweeping.cec import check_combinational_equivalence
 from ..sweeping.constant_prop import propagate_constant_candidates
 from ..sweeping.fraig import FraigSweeper
+from ..sweeping.stats import SweepStatistics
 from ..sweeping.stp_sweeper import StpSweeper
 from .balance import balance
 from .klut_resyn import lut_resynthesize
@@ -709,11 +710,7 @@ class PassManager:
             conflict_limit=self.conflict_limit,
             budget=budget,
         ).run()
-        return swept, {
-            "merges": float(stats.merges),
-            "sat_calls": float(stats.total_sat_calls),
-            "sat_time": stats.sat_time,
-        }
+        return swept, _sweep_details(stats)
 
     def _stp(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
         swept, stats = StpSweeper(
@@ -723,11 +720,7 @@ class PassManager:
             conflict_limit=self.conflict_limit,
             budget=budget,
         ).run()
-        return swept, {
-            "merges": float(stats.merges),
-            "sat_calls": float(stats.total_sat_calls),
-            "sat_time": stats.sat_time,
-        }
+        return swept, _sweep_details(stats)
 
     def _constant_prop(self, network: Network, budget: Budget | None) -> tuple[Network, dict[str, float]]:
         work = self._as_aig(network).clone()
@@ -774,6 +767,25 @@ class PassManager:
     def _cleanup(self, network: Network) -> tuple[Network, dict[str, float]]:
         cleaned, _node_map = cleanup_dangling(network)
         return cleaned, {"removed": float(network.num_gates - cleaned.num_gates)}
+
+
+def _sweep_details(stats: SweepStatistics) -> dict[str, float]:
+    """Flatten one sweep's counters into per-pass details.
+
+    The CDCL-core counters (restarts, propagations, learned-clause GC,
+    window reuse) are prefixed ``sat_`` so the service metrics can
+    aggregate them across passes without knowing the sweeper type.
+    """
+    details = {
+        "merges": float(stats.merges),
+        "sat_calls": float(stats.total_sat_calls),
+        "sat_time": stats.sat_time,
+    }
+    for key, value in stats.solver_statistics.items():
+        details[f"sat_{key}"] = float(value)
+    if "window_reuse_rate" in stats.extra:
+        details["sat_window_reuse_rate"] = stats.extra["window_reuse_rate"]
+    return details
 
 
 def optimize(

@@ -40,7 +40,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..networks.aig import Aig
 from ..resilience import BudgetExceeded
-from .cdcl import CdclSolver, SolverResult
+from .cdcl import CdclSolver, SolverResult, SolverStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from ..resilience import Budget
@@ -77,6 +77,7 @@ class CircuitSolver:
         aig: Aig,
         conflict_limit: int | None = 10_000,
         budget: "Budget | None" = None,
+        window_size: int | None = None,
     ) -> None:
         self.aig = aig
         self.conflict_limit = conflict_limit
@@ -87,6 +88,19 @@ class CircuitSolver:
         #: that gives up at its limit stays ``UNDETERMINED`` -- budget
         #: exhaustion is never reported as (not-)equivalence.
         self.budget = budget
+        #: Persistent-solver window policy.  ``None`` keeps one CDCL
+        #: instance (one *window*) alive for the solver's whole lifetime:
+        #: cones stay encoded, learned clauses and proven equalities
+        #: accumulate, and each proof's miter clauses are deactivated via
+        #: their activation literal (and garbage-collected by the
+        #: solver's level-0 simplification) rather than discarded with
+        #: the solver.  A positive value retires the window after that
+        #: many solver queries and starts a fresh one, bounding CNF and
+        #: heuristic-state growth on very long sweeps; ``window_size=1``
+        #: degenerates to the fresh-encode-per-query oracle (every query
+        #: pays a cold solver), which the fuzz suite uses as the
+        #: reference implementation.
+        self.window_size = window_size
         self.solver = CdclSolver()
         self._variables: dict[int, int] = {}
         self._encoded: set[int] = set()
@@ -95,9 +109,71 @@ class CircuitSolver:
         self.num_satisfiable = 0
         self.num_unsatisfiable = 0
         self.num_undetermined = 0
+        #: Number of solver windows opened so far (>= 1).
+        self.windows_opened = 1
+        #: Solver queries answered by an already-warm window (the
+        #: persistent-solver "hit rate" numerator).
+        self.window_reuses = 0
+        self._window_queries = 0
+        self._solver_queries = 0
+        self._retired_statistics = SolverStatistics()
         #: Wall-clock seconds spent inside the CDCL solver (directly
         #: measured around every ``solve`` call).
         self.sat_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Window management
+    # ------------------------------------------------------------------
+
+    def _open_window(self) -> None:
+        """Retire the current solver window and start a fresh one.
+
+        The retired solver's statistics are folded into the aggregate
+        before its clause database, cone encodings and variable map are
+        dropped.
+        """
+        self._retired_statistics.accumulate(self.solver.statistics)
+        self.solver = CdclSolver()
+        self._variables = {}
+        self._encoded = set()
+        self.windows_opened += 1
+        self._window_queries = 0
+
+    def _begin_solver_query(self) -> None:
+        """Window bookkeeping for one query that will touch the solver."""
+        if self.window_size is not None and self._window_queries >= self.window_size:
+            self._open_window()
+        if self._window_queries > 0:
+            self.window_reuses += 1
+        self._window_queries += 1
+        self._solver_queries += 1
+
+    def invalidate(self) -> None:
+        """Drop all cone encodings (assumption-invalidation for edits).
+
+        Equivalence-preserving merges never need this: a stale encoding
+        of a substituted-away node still models a function equal to its
+        replacement's, so accumulated clauses stay sound (that is why
+        the sweepers' TFI invalidation has no solver counterpart).  Any
+        *non*-equivalence-preserving structural edit must invalidate,
+        which retires the window -- clauses cannot be unasserted, only
+        abandoned with their solver.
+        """
+        self._open_window()
+
+    def solver_statistics(self) -> SolverStatistics:
+        """Aggregated CDCL statistics across all windows (retired + live)."""
+        total = SolverStatistics()
+        total.accumulate(self._retired_statistics)
+        total.accumulate(self.solver.statistics)
+        return total
+
+    @property
+    def window_reuse_rate(self) -> float:
+        """Fraction of solver queries served by an already-warm window."""
+        if self._solver_queries == 0:
+            return 0.0
+        return self.window_reuses / self._solver_queries
 
     # ------------------------------------------------------------------
     # Lazy cone encoding
@@ -123,22 +199,39 @@ class CircuitSolver:
         """
         aig = self.aig
         encoded = self._encoded
-        add_clause = self.solver.add_clause
+        variables = self._variables
+        solver = self.solver
+        add_clause = solver.add_clause_trusted
+        new_variable = solver.new_variable
+        is_and = aig.is_and
+        fanins = aig.fanins
         stack = [root for root in roots if root not in encoded]
         while stack:
             node = stack.pop()
-            if node in encoded or not aig.is_and(node):
+            if node in encoded or not is_and(node):
                 continue
             encoded.add(node)
-            variable = self._variable_of(node)
-            fanin0, fanin1 = aig.fanins(node)
-            literal0 = self._cnf_literal(fanin0)
-            literal1 = self._cnf_literal(fanin1)
-            add_clause([-variable, literal0])
-            add_clause([-variable, literal1])
-            add_clause([variable, -literal0, -literal1])
+            variable = variables.get(node)
+            if variable is None:
+                variable = variables[node] = new_variable()
+            fanin0, fanin1 = fanins(node)
             node0 = fanin0 >> 1
             node1 = fanin1 >> 1
+            variable0 = variables.get(node0)
+            if variable0 is None:
+                variable0 = variables[node0] = new_variable()
+                if node0 == 0:
+                    add_clause((-variable0,))
+            variable1 = variables.get(node1)
+            if variable1 is None:
+                variable1 = variables[node1] = new_variable()
+                if node1 == 0:
+                    add_clause((-variable1,))
+            literal0 = -variable0 if fanin0 & 1 else variable0
+            literal1 = -variable1 if fanin1 & 1 else variable1
+            add_clause((-variable, literal0))
+            add_clause((-variable, literal1))
+            add_clause((variable, -literal0, -literal1))
             if node0 not in encoded:
                 stack.append(node0)
             if node1 not in encoded:
@@ -173,6 +266,7 @@ class CircuitSolver:
             # literals: they are equivalent by structure, no SAT needed.
             self.num_unsatisfiable += 1
             return EquivalenceOutcome(EquivalenceStatus.EQUIVALENT)
+        self._begin_solver_query()
         self._encode_cone([Aig.node_of(literal_a), Aig.node_of(literal_b)])
         cnf_a = self._cnf_literal(literal_a)
         cnf_b = self._cnf_literal(literal_b)
@@ -221,6 +315,7 @@ class CircuitSolver:
     ) -> EquivalenceOutcome:
         """Decide whether an AIG literal is constantly ``value``."""
         self.num_queries += 1
+        self._begin_solver_query()
         self._encode_cone([Aig.node_of(literal)])
         cnf_literal = self._cnf_literal(literal)
         # Ask for a pattern where the literal takes the *other* value.

@@ -10,7 +10,7 @@ differ), the encoding used by combinational equivalence checking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..networks.aig import Aig
 from .cnf import CnfFormula
@@ -85,7 +85,7 @@ def tseitin_encode(
     return TseitinEncoding(formula, variables)
 
 
-def _cnf_literal(aig: Aig, aig_literal: int, variable_of) -> int:
+def _cnf_literal(aig: Aig, aig_literal: int, variable_of: Callable[[int], int]) -> int:
     variable = variable_of(Aig.node_of(aig_literal))
     return -variable if Aig.is_complemented(aig_literal) else variable
 

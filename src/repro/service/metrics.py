@@ -14,7 +14,10 @@ claims checkable:
 * ``jobs.budget_aborts`` counts both whole-job budget aborts and
   rolled-back over-budget passes;
 * ``passes.by_name`` carries cumulative wall-clock per pass name, the
-  per-pass latency breakdown of the whole server lifetime.
+  per-pass latency breakdown of the whole server lifetime;
+* ``sat`` carries the lifetime CDCL-core counters (conflicts, restarts,
+  propagations, learned-clause GC, solver-window reuse) folded from the
+  ``sat_``-prefixed details of every executed pass.
 """
 
 from __future__ import annotations
@@ -45,6 +48,10 @@ class ServiceMetrics:
         self.passes_skipped = 0
         self._pass_runs: dict[str, int] = {}
         self._pass_wall_clock: dict[str, float] = {}
+        #: Cumulative CDCL-core counters folded from every executed
+        #: pass's ``sat_``-prefixed details (conflicts, restarts,
+        #: propagations, learned-clause GC, solver-window reuse).
+        self._sat_counters: dict[str, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -75,6 +82,17 @@ class ServiceMetrics:
                     self._pass_wall_clock[name] = self._pass_wall_clock.get(name, 0.0) + float(
                         stats.get("total_time") or 0.0
                     )
+                    details = stats.get("details")
+                    if isinstance(details, Mapping):
+                        for key, value in details.items():
+                            # Rates do not sum; consumers derive the
+                            # lifetime rate from window_reuses / calls.
+                            if not str(key).startswith("sat_") or key == "sat_window_reuse_rate":
+                                continue
+                            counter = str(key)[4:]
+                            self._sat_counters[counter] = self._sat_counters.get(
+                                counter, 0.0
+                            ) + float(value or 0.0)
                 elif pass_status == "failed":
                     self.passes_failed += 1
                     if str(stats.get("failure") or "").startswith("budget"):
@@ -109,5 +127,6 @@ class ServiceMetrics:
                     "skipped": self.passes_skipped,
                     "by_name": per_pass,
                 },
+                "sat": dict(self._sat_counters),
                 "cache": self._cache.stats(),
             }

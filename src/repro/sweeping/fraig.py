@@ -49,6 +49,7 @@ class FraigSweeper:
         tfi_limit: int = 1000,
         record_choices: bool = False,
         budget: "Budget | None" = None,
+        window_size: int | None = None,
     ) -> None:
         self.original = aig
         self.num_patterns = num_patterns
@@ -56,6 +57,10 @@ class FraigSweeper:
         self.conflict_limit = conflict_limit
         self.tfi_limit = tfi_limit
         self.record_choices = record_choices
+        #: Solver-window policy forwarded to :class:`CircuitSolver`:
+        #: ``None`` keeps one persistent solver for the whole sweep,
+        #: ``1`` is the fresh-encode-per-query oracle.
+        self.window_size = window_size
         #: Optional :class:`repro.resilience.Budget`: the candidate loop
         #: polls the deadline per candidate and the SAT layer draws from
         #: the shared conflict pool; exhaustion raises ``BudgetExceeded``
@@ -74,7 +79,12 @@ class FraigSweeper:
             gates_before=aig.num_ands,
         )
         start = time.perf_counter()
-        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit, budget=self.budget)
+        solver = CircuitSolver(
+            aig,
+            conflict_limit=self.conflict_limit,
+            budget=self.budget,
+            window_size=self.window_size,
+        )
         tfi = TfiManager(aig, self.tfi_limit)
 
         # ---- initial random simulation --------------------------------

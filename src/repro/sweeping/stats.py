@@ -60,6 +60,11 @@ class SweepStatistics:
     sat_time: float = 0.0
     total_time: float = 0.0
     extra: dict[str, float] = field(default_factory=dict)
+    #: CDCL-core counters aggregated across all solver windows of the run
+    #: (``SolverStatistics.as_dict()`` plus ``windows_opened`` /
+    #: ``window_reuses``), surfaced through ``FlowStatistics`` and the
+    #: service ``/metrics`` endpoint.
+    solver_statistics: dict[str, int] = field(default_factory=dict)
 
     @property
     def gate_reduction(self) -> float:
@@ -91,6 +96,10 @@ class SweepStatistics:
         self.undetermined_sat_calls = solver.num_undetermined
         self.total_time = time.perf_counter() - start_time
         self.sat_time = solver.sat_time
+        self.solver_statistics = dict(solver.solver_statistics().as_dict())
+        self.solver_statistics["windows_opened"] = solver.windows_opened
+        self.solver_statistics["window_reuses"] = solver.window_reuses
+        self.extra["window_reuse_rate"] = solver.window_reuse_rate
         return swept
 
     def as_row(self) -> dict[str, object]:

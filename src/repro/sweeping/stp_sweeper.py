@@ -62,6 +62,7 @@ class StpSweeper:
         use_exhaustive_refinement: bool = True,
         pattern_queries: int = 8,
         budget: "Budget | None" = None,
+        window_size: int | None = None,
     ) -> None:
         self.original = aig
         self.num_patterns = num_patterns
@@ -72,6 +73,10 @@ class StpSweeper:
         self.use_sat_guided_patterns = use_sat_guided_patterns
         self.use_exhaustive_refinement = use_exhaustive_refinement
         self.pattern_queries = pattern_queries
+        #: Solver-window policy forwarded to :class:`CircuitSolver`:
+        #: ``None`` keeps one persistent solver for the whole sweep,
+        #: ``1`` is the fresh-encode-per-query oracle.
+        self.window_size = window_size
         #: Optional :class:`repro.resilience.Budget`, polled per candidate
         #: and threaded into the SAT layer (shared conflict pool, deadline).
         self.budget = budget
@@ -89,7 +94,12 @@ class StpSweeper:
             gates_before=aig.num_ands,
         )
         start = time.perf_counter()
-        solver = CircuitSolver(aig, conflict_limit=self.conflict_limit, budget=self.budget)
+        solver = CircuitSolver(
+            aig,
+            conflict_limit=self.conflict_limit,
+            budget=self.budget,
+            window_size=self.window_size,
+        )
         tfi = TfiManager(aig, self.tfi_limit)
 
         # Structural PI supports and per-node local functions, computed once

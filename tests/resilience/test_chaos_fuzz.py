@@ -83,6 +83,73 @@ def test_chaos_fault_rolls_back_or_surfaces_typed(seed: int):
         assert any("conflicts" in s.failure for s in flow.failed_passes)
 
 
+@pytest.mark.parametrize("seed", SEEDS[::4])
+def test_budget_abort_mid_window_leaves_solver_reusable(seed: int):
+    """A BudgetExceeded inside a persistent solver window must not poison it.
+
+    The persistent :class:`CircuitSolver` keeps one CDCL instance across
+    many queries; a conflict-pool exhaustion aborts a query mid-search.
+    Afterwards -- budget lifted -- the *same* solver instance must answer
+    every remaining query exactly like a fresh-encode oracle does.
+    """
+    from repro.networks import Aig
+    from repro.resilience import BudgetExceeded
+    from repro.sat.circuit import CircuitSolver, EquivalenceStatus
+
+    aig = _workload(seed)
+    gates = sorted(aig.gates())
+    pairs = [
+        (Aig.literal(gates[i % len(gates)]), Aig.literal(gates[(i * 7 + 3) % len(gates)]))
+        for i in range(12)
+    ]
+    budget = Budget(conflicts=1 + seed % 4)
+    solver = CircuitSolver(aig, budget=budget)
+    oracle = CircuitSolver(aig, window_size=1)
+    aborted = 0
+    for index, (a, b) in enumerate(pairs):
+        # A near-drained pool tightens the per-call conflict limit, so a
+        # query either gives up (UNDETERMINED -- explicitly not a proof)
+        # or, once the pool is empty, raises before starting.  Both are
+        # mid-window aborts; either way the same solver instance must
+        # then answer like a fresh oracle once the budget is lifted.
+        try:
+            outcome = solver.prove_equivalence(a, b)
+            if solver.budget is not None and outcome.status is EquivalenceStatus.UNDETERMINED:
+                aborted += 1
+                solver.budget = None
+                outcome = solver.prove_equivalence(a, b)
+        except BudgetExceeded:
+            aborted += 1
+            solver.budget = None
+            outcome = solver.prove_equivalence(a, b)
+        assert outcome.status is oracle.prove_equivalence(a, b).status, (seed, index)
+    # The drained pool must actually have fired at least once, or the
+    # test proves nothing (the workloads are redundant enough that some
+    # query needs more conflicts than the pool holds).
+    assert aborted >= 1, seed
+
+
+@pytest.mark.parametrize("seed", SEEDS[1::8])
+def test_budget_abort_mid_sweep_leaves_network_untouched(seed: int):
+    """BudgetExceeded escaping a sweeper never mutates the input network."""
+    from repro.resilience import BudgetExceeded
+    from repro.sweeping import FraigSweeper
+
+    aig = _workload(seed)
+    fingerprint = (
+        aig.num_pis,
+        tuple(aig.pos),
+        tuple((gate,) + tuple(aig.fanins(gate)) for gate in sorted(aig.gates())),
+    )
+    with pytest.raises(BudgetExceeded):
+        FraigSweeper(aig, num_patterns=32, budget=Budget(conflicts=0)).run()
+    assert fingerprint == (
+        aig.num_pis,
+        tuple(aig.pos),
+        tuple((gate,) + tuple(aig.fanins(gate)) for gate in sorted(aig.gates())),
+    ), seed
+
+
 @pytest.mark.parametrize("seed", [0, 13, 27])
 def test_chaos_fault_under_raise_policy_is_always_typed(seed: int):
     """With on_error='raise' the same faults escape as typed errors, never
