@@ -384,7 +384,10 @@ def optimize_main(argv: list[str] | None = None) -> int:
             "Scripts are semicolon-separated pass names (rw, rwz, rf, rfz, b, fraig, "
             "stp, cp, map, lutmffc, lutmffcz, cleanup) or named flows: "
             + ", ".join(sorted(NAMED_SCRIPTS))
-            + ".  Flows ending behind 'map' produce a k-LUT network and write BLIF."
+            + ".  Flows ending behind 'map' produce a k-LUT network and write BLIF.  "
+            "--jobs N partitions the network and runs the leading AIG passes across N "
+            "worker processes (equivalent to wrapping them in a ppart(..., jobs=N) "
+            "meta-pass in the script)."
         ),
     )
     parser.add_argument("input", help="input circuit (.aag, .aig or .bench)")
@@ -419,6 +422,22 @@ def optimize_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print a per-pass SAT breakdown (calls, conflicts, solver-window reuse)",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="partition the network and run the leading AIG passes across N worker processes",
+    )
+    parser.add_argument(
+        "--partition-max-gates", type=int, default=400,
+        help="gate-count cap per partition region (with --jobs; default: 400)",
+    )
+    parser.add_argument(
+        "--partition-strategy", choices=["window", "level"], default="window",
+        help="partition decomposition strategy (with --jobs; default: window)",
+    )
+    parser.add_argument(
+        "--partition-merge", choices=["substitute", "choice"], default="substitute",
+        help="merge-back mode: substitute boundary cones or record them as choices (with --jobs)",
+    )
     arguments = parser.parse_args(argv)
 
     aig = _load_network(arguments.input)
@@ -426,9 +445,26 @@ def optimize_main(argv: list[str] | None = None) -> int:
         return EXIT_USAGE
     print(f"{os.path.basename(arguments.input)}: {network_statistics(aig)}")
 
+    script = arguments.script
+    if arguments.jobs is not None:
+        from ..partition import wrap_script_with_jobs
+
+        try:
+            script, wrapped = wrap_script_with_jobs(
+                script,
+                arguments.jobs,
+                max_gates=arguments.partition_max_gates,
+                strategy=arguments.partition_strategy,
+                merge=arguments.partition_merge,
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return EXIT_USAGE
+        if wrapped:
+            print(f"partition-parallel script: {script}")
     try:
         manager = PassManager(
-            arguments.script,
+            script,
             seed=arguments.seed,
             num_patterns=arguments.patterns,
             conflict_limit=arguments.conflict_limit,
@@ -448,6 +484,17 @@ def optimize_main(argv: list[str] | None = None) -> int:
         print(f"aborted: {error}", file=sys.stderr)
         return EXIT_BUDGET
     print(flow)
+    for stats in flow.passes:
+        if stats.partitions is None:
+            continue
+        details = stats.details
+        print(
+            f"  partitions: {int(details.get('ppart_regions_built', 0))} built, "
+            f"{int(details.get('ppart_regions_merged', 0))} merged, "
+            f"{int(details.get('ppart_regions_rolled_back', 0))} rolled back, "
+            f"{int(details.get('ppart_regions_skipped', 0))} skipped, "
+            f"{int(details.get('ppart_worker_restarts', 0))} worker restarts"
+        )
     if arguments.sat_profile:
         _print_sat_profile(flow)
 

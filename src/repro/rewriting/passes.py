@@ -42,6 +42,11 @@ Registered passes
 ``lutmffcz`` klut     LUT resynthesis, zero-gain replacements allowed
 ``cleanup``  any      dangling-node removal (kind-generic
                       :func:`repro.networks.transforms.cleanup_dangling`)
+``ppart``    aig      partition-parallel meta-pass: ``ppart(rw;rf,
+                      jobs=4)`` decomposes the AIG into boundary-frozen
+                      regions, optimizes them across a worker pool and
+                      merges the results back
+                      (:func:`repro.partition.partition_optimize`)
 ===========  =======  =====================================================
 
 plus the named scripts ``resyn`` / ``resyn2`` (ABC's classical recipes),
@@ -115,8 +120,11 @@ __all__ = [
     "PassStatistics",
     "FlowStatistics",
     "PassManager",
+    "PpartSpec",
     "optimize",
     "parse_script",
+    "parse_ppart",
+    "pass_base_name",
     "validate_script",
     "PASS_NAMES",
     "PASS_KINDS",
@@ -180,7 +188,48 @@ PASS_KINDS: dict[str, tuple[str, str]] = {
     "lutmffc": ("klut", "klut"),
     "lutmffcz": ("klut", "klut"),
     "cleanup": ("any", "same"),
+    "ppart": ("aig", "aig"),
 }
+
+
+def _split_tokens(script: str) -> list[str]:
+    """Split a script on ``;`` / ``,`` / newlines at parenthesis depth 0.
+
+    Separators inside a ``ppart(...)`` argument list stay with their
+    token; unbalanced parentheses raise ``ValueError``.
+    """
+    tokens: list[str] = []
+    current: list[str] = []
+    depth = 0
+    for character in script:
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced ')' in script {script!r}")
+        if character in ";,\n" and depth == 0:
+            token = "".join(current).strip().lower()
+            if token:
+                tokens.append(token)
+            current = []
+        else:
+            current.append(character)
+    if depth != 0:
+        raise ValueError(f"unbalanced '(' in script {script!r}")
+    token = "".join(current).strip().lower()
+    if token:
+        tokens.append(token)
+    return tokens
+
+
+def pass_base_name(name: str) -> str:
+    """The registered pass behind a (possibly parameterised) token.
+
+    Plain passes are their own base; a meta-pass token like
+    ``ppart(rw;rf,jobs=4)`` resolves to ``ppart``.
+    """
+    return name.split("(", 1)[0].strip()
 
 
 def parse_script(script: str | Sequence[str]) -> list[str]:
@@ -188,26 +237,138 @@ def parse_script(script: str | Sequence[str]) -> list[str]:
 
     Accepts a semicolon/comma/newline-separated string (``"rw; fraig"``)
     or an already-split sequence; named scripts and aliases expand
-    recursively.  Unknown names raise ``ValueError``.
+    recursively.  ``ppart(...)`` meta-pass tokens are validated and
+    canonicalised but kept as single tokens (their inner script runs
+    per partition, not in this flow).  Unknown names raise
+    ``ValueError``.
     """
     if isinstance(script, str):
-        tokens = [t.strip().lower() for t in script.replace(",", ";").replace("\n", ";").split(";")]
-        tokens = [t for t in tokens if t]
+        tokens = _split_tokens(script)
     else:
         tokens = [str(t).strip().lower() for t in script if str(t).strip()]
     result: list[str] = []
     for token in tokens:
+        if "(" in token:
+            if pass_base_name(token) == "ppart":
+                result.append(parse_ppart(token).canonical())
+                continue
+            raise ValueError(
+                f"unknown pass {token!r}; only the ppart meta-pass takes arguments"
+            )
+        if token == "ppart":
+            raise ValueError(
+                "ppart needs arguments: ppart(<aig passes>, jobs=N"
+                "[, max_gates=M, strategy=window|level, merge=substitute|choice])"
+            )
         token = _ALIASES.get(token, token)
         if token in NAMED_SCRIPTS:
             result.extend(parse_script(NAMED_SCRIPTS[token]))
         elif token in PASS_NAMES:
             result.append(token)
         else:
-            known = sorted(set(PASS_NAMES) | set(NAMED_SCRIPTS) | set(_ALIASES))
+            known = sorted(set(PASS_NAMES) | set(NAMED_SCRIPTS) | set(_ALIASES) | {"ppart(...)"})
             raise ValueError(f"unknown pass {token!r}; known passes/scripts: {', '.join(known)}")
     if not result:
         raise ValueError("empty optimization script")
     return result
+
+
+@dataclass(frozen=True)
+class PpartSpec:
+    """Parsed form of one ``ppart(...)`` meta-pass token.
+
+    ``passes`` is the flat canonical per-region script (aig-to-aig
+    passes only, named scripts already expanded); the remaining fields
+    are the partitioning knobs.  :meth:`canonical` renders the token in
+    its normal form, which :func:`parse_script` emits -- so a parsed
+    script round-trips through join / re-parse unchanged.
+    """
+
+    passes: tuple[str, ...]
+    jobs: int = 1
+    max_gates: int = 400
+    strategy: str = "window"
+    merge: str = "substitute"
+
+    def canonical(self) -> str:
+        return (
+            f"ppart({';'.join(self.passes)},jobs={self.jobs},max_gates={self.max_gates},"
+            f"strategy={self.strategy},merge={self.merge})"
+        )
+
+
+def _ppart_int(key: str, value: str, minimum: int) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(f"ppart option {key}={value!r} is not an integer") from None
+    if parsed < minimum:
+        raise ValueError(f"ppart option {key} must be >= {minimum}, got {parsed}")
+    return parsed
+
+
+def parse_ppart(token: str) -> PpartSpec:
+    """Parse and validate one ``ppart(...)`` token.
+
+    Grammar: ``ppart(<passes and key=value options separated by , or
+    ;>)`` where the passes form the per-region script (aliases and
+    named scripts expand as usual, but only plain ``aig -> aig`` passes
+    may remain -- the regions a worker optimizes are AIGs with a frozen
+    boundary) and the options are ``jobs`` (worker count), ``max_gates``
+    (region size cap), ``strategy`` (``window`` / ``level``) and
+    ``merge`` (``substitute`` / ``choice``).  Nested ``ppart`` is
+    rejected.
+    """
+    text = token.strip().lower()
+    if pass_base_name(text) != "ppart":
+        raise ValueError(f"not a ppart token: {token!r}")
+    rest = text[len("ppart") :].strip()
+    if not (rest.startswith("(") and rest.endswith(")")):
+        raise ValueError(
+            "ppart needs arguments: ppart(<aig passes>, jobs=N"
+            "[, max_gates=M, strategy=window|level, merge=substitute|choice])"
+        )
+    inner = rest[1:-1]
+    if "(" in inner or ")" in inner:
+        raise ValueError("ppart arguments cannot nest parentheses (nested ppart is not allowed)")
+    pass_tokens: list[str] = []
+    jobs, max_gates, strategy, merge = 1, 400, "window", "substitute"
+    for part in (p.strip() for p in inner.replace(";", ",").split(",")):
+        if not part:
+            continue
+        if "=" in part:
+            key, _, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if key == "jobs":
+                jobs = _ppart_int(key, value, 1)
+            elif key == "max_gates":
+                max_gates = _ppart_int(key, value, 2)
+            elif key == "strategy":
+                if value not in ("window", "level"):
+                    raise ValueError(f"ppart strategy must be 'window' or 'level', got {value!r}")
+                strategy = value
+            elif key == "merge":
+                if value not in ("substitute", "choice"):
+                    raise ValueError(f"ppart merge must be 'substitute' or 'choice', got {value!r}")
+                merge = value
+            else:
+                raise ValueError(
+                    f"unknown ppart option {key!r} (expected jobs, max_gates, strategy, merge)"
+                )
+        else:
+            pass_tokens.append(part)
+    if not pass_tokens:
+        raise ValueError("ppart needs at least one pass to run per region, e.g. ppart(rw;rf, jobs=4)")
+    passes = parse_script(pass_tokens)
+    for name in passes:
+        base = pass_base_name(name)
+        if base == "ppart":
+            raise ValueError("ppart cannot be nested inside ppart")
+        if PASS_KINDS[base] != ("aig", "aig"):
+            raise ValueError(
+                f"pass {name!r} cannot run inside ppart (plain aig-to-aig passes only)"
+            )
+    return PpartSpec(tuple(passes), jobs=jobs, max_gates=max_gates, strategy=strategy, merge=merge)
 
 
 def validate_script(passes: Sequence[str], start_kind: str = "aig") -> str:
@@ -215,12 +376,13 @@ def validate_script(passes: Sequence[str], start_kind: str = "aig") -> str:
 
     Each pass's declared input kind must match the kind the previous
     passes produce (``"rw"`` cannot follow ``"map"``; ``"lutmffc"``
-    cannot run before it).  Raises ``ValueError`` with the offending
-    pass and the kind mismatch spelled out.
+    cannot run before it).  Parameterised ``ppart(...)`` tokens check as
+    their registered base pass.  Raises ``ValueError`` with the
+    offending pass and the kind mismatch spelled out.
     """
     kind = start_kind
     for name in passes:
-        kinds = PASS_KINDS.get(name)
+        kinds = PASS_KINDS.get(pass_base_name(name))
         if kinds is None:
             raise ValueError(f"unknown pass {name!r}; known passes: {', '.join(PASS_NAMES)}")
         input_kind, output_kind = kinds
@@ -264,6 +426,10 @@ class PassStatistics:
     failure: str | None = None
     verify_status: str | None = None
     details: dict[str, float] = field(default_factory=dict)
+    #: Per-region breakdown of a ``ppart`` meta-pass (``None`` for every
+    #: other pass): one dict per region with its boundary sizes, merge
+    #: status and the worker's per-partition SAT counters.
+    partitions: list[dict[str, object]] | None = None
 
     @property
     def gate_reduction(self) -> float:
@@ -274,7 +440,7 @@ class PassStatistics:
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serializable view (for the future service layer)."""
-        return {
+        result: dict[str, object] = {
             "name": self.name,
             "status": self.status,
             "failure": self.failure,
@@ -288,6 +454,9 @@ class PassStatistics:
             "verify_status": self.verify_status,
             "details": dict(self.details),
         }
+        if self.partitions is not None:
+            result["partitions"] = [dict(region) for region in self.partitions]
+        return result
 
     def __str__(self) -> str:
         if self.verify_status is not None:
@@ -465,6 +634,10 @@ class PassManager:
         deadline sub-budget, so it composes with a flow
         :class:`~repro.resilience.Budget` (the tighter deadline wins)
         and exceeding it aborts only the offending pass.
+    partition_executor:
+        :class:`~repro.partition.RegionExecutor` used by ``ppart(...)``
+        meta-passes; defaults to inline execution for ``jobs=1`` and the
+        process-wide warmed worker pool otherwise.
     """
 
     def __init__(
@@ -480,6 +653,7 @@ class PassManager:
         on_error: str = "raise",
         verify_commit: bool = False,
         pass_timeout: float | None = None,
+        partition_executor: Any | None = None,
     ) -> None:
         self.script = script if isinstance(script, str) else "; ".join(script)
         self.passes = parse_script(script)
@@ -508,6 +682,7 @@ class PassManager:
         self.on_error = on_error
         self.verify_commit = verify_commit
         self.pass_timeout = pass_timeout
+        self.partition_executor = partition_executor
 
     # ------------------------------------------------------------------
 
@@ -563,6 +738,7 @@ class PassManager:
             if progress is not None:
                 progress(stats)
         for name in self.passes:
+            base = pass_base_name(name)
             input_kind = network_kind(current)
             stats = PassStatistics(
                 name=name,
@@ -577,7 +753,7 @@ class PassManager:
                 stats.failure = "flow budget exhausted by an earlier pass"
                 settle(stats)
                 continue
-            required_kind = PASS_KINDS[name][0]
+            required_kind = PASS_KINDS[base][0]
             if required_kind != "any" and required_kind != input_kind:
                 stats.status = "skipped"
                 stats.failure = (
@@ -602,7 +778,11 @@ class PassManager:
                     pass_budget.observe_mutations() if pass_budget is not None else nullcontext()
                 )
                 with observe:
-                    result, details = runners[name](current, pass_budget)
+                    if base == "ppart":
+                        result, details, partitions = self._ppart(name, current, pass_budget)
+                        stats.partitions = partitions
+                    else:
+                        result, details = runners[name](current, pass_budget)
                 stats.details = details
                 stats.kind = network_kind(result)
                 stats.gates_after = result.num_gates
@@ -767,6 +947,28 @@ class PassManager:
     def _cleanup(self, network: Network) -> tuple[Network, dict[str, float]]:
         cleaned, _node_map = cleanup_dangling(network)
         return cleaned, {"removed": float(network.num_gates - cleaned.num_gates)}
+
+    def _ppart(
+        self, token: str, network: Network, budget: Budget | None
+    ) -> tuple[Network, dict[str, float], list[dict[str, object]]]:
+        """Run one ``ppart(...)`` meta-pass: partition, optimize, merge back."""
+        from ..partition.parallel import partition_optimize
+
+        spec = parse_ppart(token)
+        result, report = partition_optimize(
+            self._as_aig(network),
+            "; ".join(spec.passes),
+            jobs=spec.jobs,
+            max_gates=spec.max_gates,
+            strategy=spec.strategy,
+            merge=spec.merge,
+            seed=self.seed,
+            num_patterns=self.num_patterns,
+            conflict_limit=self.conflict_limit,
+            budget=budget,
+            executor=self.partition_executor,
+        )
+        return result, report.as_details(), report.partition_dicts()
 
 
 def _sweep_details(stats: SweepStatistics) -> dict[str, float]:

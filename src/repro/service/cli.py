@@ -97,6 +97,10 @@ def submit_main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--host", default="127.0.0.1", help="server address")
     parser.add_argument("--port", type=int, default=8390, help="server port")
     parser.add_argument("--script", default="resyn2", help="optimization script (default: resyn2)")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="run the leading AIG passes partition-parallel across N workers on the server",
+    )
     parser.add_argument("--lut-size", "-k", type=int, default=None, help="LUT size of the map passes")
     parser.add_argument("--seed", type=int, default=1, help="random seed")
     parser.add_argument("--patterns", type=int, default=64, help="pattern count of the SAT passes")
@@ -131,6 +135,7 @@ def submit_main(argv: "list[str] | None" = None) -> int:
             circuit=circuit,
             format=_FORMAT_BY_EXTENSION.get(extension, "auto"),
             script=arguments.script,
+            jobs=arguments.jobs if arguments.jobs is not None else 0,
             lut_size=arguments.lut_size,
             seed=arguments.seed,
             num_patterns=arguments.patterns,

@@ -97,6 +97,10 @@ class JobRequest:
     on_error: str = "rollback"
     verify_commit: bool = False
     verify: bool = True
+    #: Partition-parallel worker count; 0 (the default) runs the script
+    #: as given, N >= 1 wraps its leading AIG passes into a
+    #: ``ppart(..., jobs=N)`` meta-pass before execution.
+    jobs: int = 0
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "JobRequest":
@@ -116,6 +120,7 @@ class JobRequest:
             "on_error": (str,),
             "verify_commit": (bool,),
             "verify": (bool,),
+            "jobs": (int,),
         }
         unknown = sorted(set(payload) - set(schema))
         if unknown:
@@ -152,6 +157,7 @@ class JobRequest:
             "on_error": self.on_error,
             "verify_commit": self.verify_commit,
             "verify": self.verify,
+            "jobs": self.jobs,
         }
 
     # ------------------------------------------------------------------
@@ -193,14 +199,35 @@ class JobRequest:
             raise JobValidationError("timeout must be positive")
         if self.pass_timeout is not None and self.pass_timeout <= 0:
             raise JobValidationError("pass_timeout must be positive")
+        if self.jobs < 0:
+            raise JobValidationError(f"jobs must be >= 0, got {self.jobs}")
         try:
-            validate_script(parse_script(self.script), self.start_kind())
+            validate_script(parse_script(self.effective_script()), self.start_kind())
         except ValueError as error:
             raise JobValidationError(f"invalid script: {error}") from None
 
+    def effective_script(self) -> str:
+        """The script the flow actually runs: ``jobs``-wrapped when requested.
+
+        With ``jobs >= 1`` the leading AIG passes are folded into one
+        ``ppart(..., jobs=N)`` meta-pass (no-op on klut-only scripts and
+        scripts that already carry an explicit ``ppart``).
+        """
+        if self.jobs < 1 or self.start_kind() != "aig":
+            return self.script
+        from ..partition.script import wrap_script_with_jobs
+
+        script, _wrapped = wrap_script_with_jobs(self.script, self.jobs)
+        return script
+
     def canonical_script(self) -> str:
-        """The script as the flat canonical pass list (cache-key form)."""
-        return "; ".join(parse_script(self.script))
+        """The script as the flat canonical pass list (cache-key form).
+
+        Canonicalizes the *effective* script, so a ``jobs``-wrapped run
+        never shares a cache entry with the sequential form of the same
+        script (their results may differ structurally).
+        """
+        return "; ".join(parse_script(self.effective_script()))
 
     def parse_network(self) -> Network:
         """Parse the circuit text into its network.

@@ -52,6 +52,10 @@ class ServiceMetrics:
         #: pass's ``sat_``-prefixed details (conflicts, restarts,
         #: propagations, learned-clause GC, solver-window reuse).
         self._sat_counters: dict[str, float] = {}
+        #: Cumulative partition-parallel counters folded from every
+        #: executed ``ppart`` pass's ``ppart_``-prefixed details
+        #: (regions built / merged / rolled back, worker restarts).
+        self._partition_counters: dict[str, float] = {}
 
     # ------------------------------------------------------------------
 
@@ -85,11 +89,18 @@ class ServiceMetrics:
                     details = stats.get("details")
                     if isinstance(details, Mapping):
                         for key, value in details.items():
+                            key = str(key)
+                            if key.startswith("ppart_"):
+                                counter = key[6:]
+                                self._partition_counters[counter] = self._partition_counters.get(
+                                    counter, 0.0
+                                ) + float(value or 0.0)
+                                continue
                             # Rates do not sum; consumers derive the
                             # lifetime rate from window_reuses / calls.
-                            if not str(key).startswith("sat_") or key == "sat_window_reuse_rate":
+                            if not key.startswith("sat_") or key == "sat_window_reuse_rate":
                                 continue
-                            counter = str(key)[4:]
+                            counter = key[4:]
                             self._sat_counters[counter] = self._sat_counters.get(
                                 counter, 0.0
                             ) + float(value or 0.0)
@@ -128,5 +139,6 @@ class ServiceMetrics:
                     "by_name": per_pass,
                 },
                 "sat": dict(self._sat_counters),
+                "partitions": dict(self._partition_counters),
                 "cache": self._cache.stats(),
             }

@@ -112,7 +112,7 @@ def execute_job(
 
     try:
         manager = PassManager(
-            request.script,
+            request.effective_script(),
             seed=request.seed,
             num_patterns=request.num_patterns,
             conflict_limit=request.conflict_limit,

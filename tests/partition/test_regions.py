@@ -1,0 +1,118 @@
+"""Region decomposition: coverage, convexity, boundaries, extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.epfl import epfl_benchmark
+from repro.circuits.random_logic import random_aig
+from repro.networks.aig import Aig
+from repro.partition.regions import Region, extract_region, partition_network
+from repro.simulation.patterns import PatternSet
+from repro.simulation.bitwise import aig_po_signatures, simulate_aig
+
+
+def _networks() -> list[Aig]:
+    return [
+        random_aig(num_pis=12, num_gates=300, num_pos=8, seed=7),
+        epfl_benchmark("ctrl"),
+        epfl_benchmark("int2float"),
+    ]
+
+
+@pytest.mark.parametrize("strategy", ["window", "level"])
+def test_regions_cover_every_gate_exactly_once(strategy: str) -> None:
+    for aig in _networks():
+        regions = partition_network(aig, max_gates=60, strategy=strategy)
+        covered: list[int] = []
+        for region in regions:
+            assert region.num_gates <= 60
+            covered.extend(region.gates)
+        assert sorted(covered) == sorted(aig.topological_order())
+        assert len(covered) == len(set(covered))
+
+
+@pytest.mark.parametrize("strategy", ["window", "level"])
+def test_regions_are_convex_with_upstream_boundaries(strategy: str) -> None:
+    """Every boundary input precedes its whole region: no re-entrant paths."""
+    for aig in _networks():
+        gates = aig.topological_order()
+        if strategy == "level":
+            # The level strategy slices the (level, node) order, which is
+            # the topological order its convexity argument runs over.
+            level = aig.levels()
+            gates = sorted(gates, key=lambda node: (level[node], node))
+        order = {node: index for index, node in enumerate(gates)}
+        for region in partition_network(aig, max_gates=50, strategy=strategy):
+            first = min(order[gate] for gate in region.gates)
+            for node in region.inputs:
+                assert not aig.is_constant(node)
+                # PIs are not in the gate order at all; gates must be earlier.
+                if node in order:
+                    assert order[node] < first
+            members = set(region.gates)
+            for gate in region.gates:
+                for fanin in aig.fanin_nodes(gate):
+                    if not aig.is_constant(fanin) and fanin not in members:
+                        assert fanin in region.inputs
+
+
+@pytest.mark.parametrize("strategy", ["window", "level"])
+def test_region_outputs_are_exactly_the_visible_gates(strategy: str) -> None:
+    for aig in _networks():
+        po_nodes = set(aig.po_nodes())
+        for region in partition_network(aig, max_gates=50, strategy=strategy):
+            members = set(region.gates)
+            for gate in region.gates:
+                visible = gate in po_nodes or any(
+                    fanout not in members for fanout in aig.fanouts(gate)
+                )
+                assert (gate in region.outputs) == visible
+
+
+def test_decomposition_is_deterministic() -> None:
+    aig = epfl_benchmark("int2float")
+    first = partition_network(aig, max_gates=40)
+    second = partition_network(aig.clone(), max_gates=40)
+    assert first == second
+
+
+def test_extracted_region_matches_parent_cone() -> None:
+    """The extraction computes the same functions as the parent's gates."""
+    aig = random_aig(num_pis=10, num_gates=200, num_pos=6, seed=3)
+    patterns = PatternSet.random(aig.num_pis, 128, seed=5)
+    values = simulate_aig(aig, patterns)
+    for region in partition_network(aig, max_gates=45):
+        sub = extract_region(aig, region)
+        assert sub.num_pis == len(region.inputs)
+        assert sub.num_pos == len(region.outputs)
+        # Drive the sub-network's PIs with the parent's boundary values.
+        sub_patterns = PatternSet(
+            len(region.inputs),
+            patterns.num_patterns,
+            [values.signature(node) for node in region.inputs],
+        )
+        sub_signatures = aig_po_signatures(sub, simulate_aig(sub, sub_patterns))
+        parent_signatures = [values.signature(node) for node in region.outputs]
+        assert sub_signatures == parent_signatures
+
+
+def test_partition_network_rejects_bad_arguments() -> None:
+    aig = random_aig(num_pis=4, num_gates=20, num_pos=2, seed=1)
+    with pytest.raises(ValueError):
+        partition_network(aig, max_gates=1)
+    with pytest.raises(ValueError):
+        partition_network(aig, strategy="magic")
+
+
+def test_empty_network_yields_no_regions() -> None:
+    aig = Aig("empty")
+    pi = aig.add_pi("a")
+    aig.add_po(pi, "f")
+    assert partition_network(aig) == []
+
+
+def test_region_dataclass_is_frozen() -> None:
+    region = Region(0, (3,), (1, 2), (3,))
+    with pytest.raises(AttributeError):
+        region.index = 1  # type: ignore[misc]

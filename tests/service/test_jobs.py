@@ -49,6 +49,8 @@ def test_from_payload_rejects_bool_where_int_is_meant(adder_text: str) -> None:
         ("timeout", -1.0),
         ("pass_timeout", 0.0),
         ("script", "definitely-not-a-pass"),
+        ("jobs", -1),
+        ("jobs", True),
     ],
 )
 def test_validate_rejects_bad_fields(adder_text: str, field: str, value: object) -> None:
@@ -82,6 +84,80 @@ def test_canonical_script_expands_named_flows(adder_text: str) -> None:
     spelled = JobRequest(circuit=adder_text, script=named.canonical_script())
     assert named.canonical_script() == spelled.canonical_script()
     assert ";" in named.canonical_script()
+
+
+def test_jobs_field_wraps_the_effective_script(adder_text: str) -> None:
+    plain = JobRequest(circuit=adder_text, script="rw; rf")
+    parallel = JobRequest(circuit=adder_text, script="rw; rf", jobs=2)
+    assert plain.effective_script() == "rw; rf"
+    assert parallel.effective_script().startswith("ppart(")
+    assert "jobs=2" in parallel.effective_script()
+    parallel.validate()  # the wrapped script is still a legal aig flow
+    # Distinct cache identity: a jobs-wrapped run is not the serial run.
+    assert parallel.canonical_script() != plain.canonical_script()
+
+
+def test_jobs_field_is_a_noop_on_klut_only_scripts() -> None:
+    request = JobRequest(circuit=BLIF, script="lutmffc; cleanup", jobs=4)
+    request.validate()
+    assert request.effective_script() == "lutmffc; cleanup"
+
+
+def test_jobs_round_trips_through_the_payload(adder_text: str) -> None:
+    request = JobRequest(circuit=adder_text, script="rw", jobs=3)
+    rebuilt = JobRequest.from_payload(request.as_payload())
+    assert rebuilt.jobs == 3
+    assert rebuilt == request
+
+
+def test_execute_job_runs_a_partitioned_flow(adder_text: str) -> None:
+    """A ``jobs=1`` service job runs ``ppart`` inline end to end."""
+    from repro.service.worker import execute_job
+
+    payload = JobRequest(
+        circuit=adder_text, script="rw; b", jobs=1, verify=True
+    ).as_payload()
+    result = execute_job("job-ppart", payload)
+    assert result["status"] == "ok"
+    first_pass = result["flow"]["passes"][0]
+    assert first_pass["name"].startswith("ppart(")
+    assert first_pass["status"] == "ok"
+    assert first_pass["partitions"], "per-partition stats must be serialized"
+    assert result["flow"]["verified"] is True
+
+
+def test_metrics_fold_partition_counters() -> None:
+    """``ppart_*`` pass details accumulate into the ``partitions`` block."""
+    from repro.service.cache import JobCache
+    from repro.service.metrics import ServiceMetrics
+
+    metrics = ServiceMetrics(JobCache(capacity=4))
+    flow = {
+        "passes": [
+            {
+                "name": "ppart(rw,jobs=2,max_gates=400,strategy=window,merge=substitute)",
+                "status": "ok",
+                "total_time": 0.1,
+                "details": {
+                    "ppart_regions_built": 5.0,
+                    "ppart_regions_merged": 4.0,
+                    "ppart_regions_rolled_back": 1.0,
+                    "ppart_worker_restarts": 0.0,
+                    "sat_calls": 12.0,
+                },
+            }
+        ]
+    }
+    metrics.job_accepted(cached=False)
+    metrics.job_finished("ok", flow)
+    metrics.job_accepted(cached=False)
+    metrics.job_finished("ok", flow)
+    snapshot = metrics.as_dict()
+    assert snapshot["partitions"]["regions_built"] == 10.0
+    assert snapshot["partitions"]["regions_merged"] == 8.0
+    assert snapshot["partitions"]["regions_rolled_back"] == 2.0
+    # The ppart SAT counters still land in the lifetime ``sat`` block.
+    assert snapshot["sat"]["calls"] == 24.0
 
 
 def test_exit_code_scheme_matches_cli() -> None:
