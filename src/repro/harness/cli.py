@@ -375,6 +375,24 @@ def _print_sat_profile(flow: FlowStatistics) -> None:
     )
 
 
+def _parse_jobs(value: str) -> int:
+    """``--jobs`` argument type: a positive integer or ``auto``.
+
+    ``auto`` resolves to the machine's CPU count right here, so the
+    wrapped ``ppart(..., jobs=N)`` token -- and every surface echoing it
+    (the printed script, ``--stats-json``'s ``ppart_jobs`` detail) --
+    always shows the concrete worker count that actually ran.
+    """
+    if value.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def optimize_main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro-optimize``."""
     parser = argparse.ArgumentParser(
@@ -423,8 +441,11 @@ def optimize_main(argv: list[str] | None = None) -> int:
         help="print a per-pass SAT breakdown (calls, conflicts, solver-window reuse)",
     )
     parser.add_argument(
-        "--jobs", "-j", type=int, default=None,
-        help="partition the network and run the leading AIG passes across N worker processes",
+        "--jobs", "-j", type=_parse_jobs, default=None,
+        help=(
+            "partition the network and run the leading AIG passes across N worker "
+            "processes; 'auto' uses every CPU the machine reports"
+        ),
     )
     parser.add_argument(
         "--partition-max-gates", type=int, default=400,
@@ -437,6 +458,17 @@ def optimize_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--partition-merge", choices=["substitute", "choice"], default="substitute",
         help="merge-back mode: substitute boundary cones or record them as choices (with --jobs)",
+    )
+    parser.add_argument(
+        "--partition-window", type=int, default=None,
+        help="per-region SAT solver window inside each worker (with --jobs)",
+    )
+    parser.add_argument(
+        "--partition-batch-bytes", type=int, default=None,
+        help=(
+            "wire-batch byte budget: regions are packed into worker batches of "
+            "roughly this size; 0 dispatches one region per job (with --jobs)"
+        ),
     )
     arguments = parser.parse_args(argv)
 
@@ -456,6 +488,8 @@ def optimize_main(argv: list[str] | None = None) -> int:
                 max_gates=arguments.partition_max_gates,
                 strategy=arguments.partition_strategy,
                 merge=arguments.partition_merge,
+                window=arguments.partition_window,
+                batch=arguments.partition_batch_bytes,
             )
         except ValueError as error:
             print(str(error), file=sys.stderr)

@@ -401,9 +401,10 @@ class Aig(IncrementalNetworkMixin):
         Performs the exact same choice-closed TFI traversal as the
         generic mixin version (same visit order, same outcome, same
         ``CHOICE_TFI_LIMIT`` bound) but reads the fanin fields directly
-        instead of going through ``gate_fanin_nodes`` -- the walk is the
-        dominant cost of choice recording, and the per-visit method
-        calls and list allocations of the generic version triple it.
+        instead of going through ``gate_fanin_nodes``.  ``add_choice``
+        itself now answers through the incremental class ranks
+        (``_choice_merge_allowed``); this walk remains the exact oracle
+        the choice fuzz suite compares the ranks against.
         """
         nodes = self._nodes
         num_pis = len(self._pis)

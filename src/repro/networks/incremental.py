@@ -32,7 +32,10 @@ Classes are kept sound under mutation:
   invariant is exactly what makes choice-aware cut selection acyclic:
   a cut recorded at any member only ever reaches leaves whose collapsed
   class strictly precedes the member's class, so a mapping that mixes
-  implementations can never close a combinational cycle.
+  implementations can never close a combinational cycle.  The refusal
+  is answered through incrementally maintained class-level topological
+  *ranks* (equal ranks merge in O(1); unequal ranks pay one bounded
+  forward walk), not a per-link O(cone) fanin sweep.
 * ``substitute`` re-anchors the replaced node's class onto the
   replacement (best effort: links that would break the invariant are
   dropped), so sweeping a choice-carrying network keeps the recorded
@@ -160,6 +163,8 @@ class IncrementalNetworkMixin:
     _choice_repr: dict[int, int]
     _choice_phase: dict[int, bool]
     _choice_members: dict[int, list[int]]
+    _choice_rank: dict[int, int] | None
+    _choice_rank_cyclic: bool
 
     if TYPE_CHECKING:  # pragma: no cover - the host container provides these
         # Declared for the type checker only (no runtime definition, so
@@ -199,6 +204,18 @@ class IncrementalNetworkMixin:
         self._choice_repr = {}
         self._choice_phase = {}
         self._choice_members = {}
+        # Class-level acyclicity ranks over the choice-collapsed graph:
+        # every collapsed edge goes from a strictly smaller to a strictly
+        # larger rank, and all members of one class share a rank.  Built
+        # lazily by the first ``add_choice`` and maintained incrementally
+        # afterwards; ``None`` means "not built" (choice-free networks
+        # never pay for it).  ``substitute`` can close a collapsed cycle
+        # among *existing* classes (it rewires structural edges without
+        # re-checking them); a detected cycle sets ``_choice_rank_cyclic``
+        # and merge checks fall back to the exhaustive walk until every
+        # class is dissolved (an empty class set is trivially acyclic).
+        self._choice_rank = None
+        self._choice_rank_cyclic = False
 
     # ------------------------------------------------------------------
     # Construction-time bookkeeping
@@ -285,7 +302,18 @@ class IncrementalNetworkMixin:
 
         Creation order extends any valid order: a new gate's fanins
         already exist, hence precede it.  A dirty cache stays dirty.
+        When the choice ranks are active, the fresh gate (which starts
+        classless and fanout-free) is ranked one past its fanins so the
+        collapsed-rank invariant keeps covering every gate.
         """
+        ranks = self._choice_rank
+        if ranks is not None:
+            base = 0
+            for fanin in self.gate_fanin_nodes(node):
+                fanin_rank = ranks.get(fanin, 0)
+                if fanin_rank > base:
+                    base = fanin_rank
+            ranks[node] = base + 1
         if self._topo_cache is not None:
             assert self._topo_pos is not None
             self._topo_pos[node] = len(self._topo_cache)
@@ -303,7 +331,14 @@ class IncrementalNetworkMixin:
         strictly before the replaced node, every redirected edge still
         points backwards and the cached order remains valid; otherwise
         the cache is dropped and recomputed lazily.
+
+        With active choice ranks the redirected edges (the replacement's
+        freshly gained fanouts) are re-ranked: any fanout whose class no
+        longer out-ranks the replacement's class is raised, restoring the
+        collapsed-rank invariant in O(affected cone).
         """
+        if self._choice_rank is not None:
+            self._choice_ranks_raise((new_node,))
         if self._topo_cache is None:
             return
         pos = self._topo_pos
@@ -445,6 +480,11 @@ class IncrementalNetworkMixin:
         reports a cycle as soon as any prospective member is reached.
         The walk is bounded by :attr:`CHOICE_TFI_LIMIT`; overflowing the
         bound conservatively counts as a cycle.
+
+        ``add_choice`` answers through the incremental rank structure
+        (:meth:`_choice_merge_allowed`) instead; this exhaustive walk is
+        retained as the reference the fuzz suite checks the ranks
+        against.
         """
         targets = set(members)
         visited: set[int] = set()
@@ -467,6 +507,197 @@ class IncrementalNetworkMixin:
                     other for other in self._choice_members[representative] if other not in visited
                 )
         return False
+
+    # -- collapsed-acyclicity ranks ------------------------------------
+    #
+    # ``_choice_merge_creates_cycle`` answers every link by walking the
+    # whole choice-closed TFI of the prospective class -- O(cone) per
+    # recorded link, which dominates choice recording on choice-rich
+    # networks.  The rank structure replaces that walk with an O(1)
+    # comparison in the common case: every gate carries a rank such that
+    # each collapsed edge goes from a strictly smaller to a strictly
+    # larger rank and all members of one class share a rank.  Two classes
+    # of *equal* rank can then never reach each other (any collapsed path
+    # strictly increases ranks), so merging them is safe without any
+    # traversal; unequal ranks only require a forward walk from the
+    # lower-ranked class, pruned at the higher rank.  The exhaustive walk
+    # is kept (above, plus the AIG's specialised override) as the test
+    # oracle.
+
+    def _choice_ranks_build(self) -> bool:
+        """Compute the collapsed-graph ranks for every existing gate.
+
+        Iterative DFS over the choice-collapsed graph: the rank of a
+        class is one past the largest rank among the classes feeding any
+        of its members, with PIs and constants implicitly at rank 0.
+        O(N) once; ranks are maintained incrementally afterwards.
+
+        Returns ``False`` (setting :attr:`_choice_rank_cyclic`, leaving
+        the ranks unbuilt) when the collapsed graph turns out to hold a
+        cycle -- ``substitute`` can close one among existing classes --
+        in which case no rank assignment exists and merge checks fall
+        back to the exhaustive walk.
+        """
+        choice_repr = self._choice_repr
+        choice_members = self._choice_members
+        ranks: dict[int, int] = {}
+        on_path: set[int] = set()
+        for root in self.gates():
+            if root in ranks:
+                continue
+            stack: list[tuple[int, bool]] = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                members = choice_members.get(choice_repr.get(node, node))
+                group: Sequence[int] = members if members is not None else (node,)
+                if expanded:
+                    on_path.difference_update(group)
+                    base = 0
+                    for member in group:
+                        for fanin in self.gate_fanin_nodes(member):
+                            fanin_rank = ranks.get(fanin, 0)
+                            if fanin_rank > base:
+                                base = fanin_rank
+                    value = base + 1
+                    for member in group:
+                        ranks[member] = value
+                    continue
+                if node in ranks:
+                    continue
+                if node in on_path:
+                    # Reached a class that is currently being expanded:
+                    # a collapsed cycle.
+                    self._choice_rank = None
+                    self._choice_rank_cyclic = True
+                    return False
+                on_path.update(group)
+                stack.append((node, True))
+                for member in group:
+                    for fanin in self.gate_fanin_nodes(member):
+                        if fanin not in ranks and self.is_gate(fanin):
+                            stack.append((fanin, False))
+        self._choice_rank = ranks
+        return True
+
+    def _choice_ranks_raise(self, seeds: Iterable[int]) -> None:
+        """Propagate rank increases downstream over the collapsed graph.
+
+        For every seed whose rank may have grown (a freshly merged class,
+        a substitution target that just inherited fanouts), re-checks its
+        collapsed fanout edges and raises any class that no longer
+        out-ranks its fanin, transitively.  Raising a class re-queues all
+        its members (their fanouts must out-rank the new value too).  The
+        walk is bounded by :attr:`CHOICE_TFI_LIMIT` (on overflow the rank
+        structure is dropped and rebuilt by the next ``add_choice`` --
+        correctness never depends on it) and by the node count as a rank
+        ceiling: an acyclic collapsed graph never ranks past its node
+        count, so exceeding it proves ``substitute`` closed a collapsed
+        cycle and flips :attr:`_choice_rank_cyclic`.
+        """
+        ranks = self._choice_rank
+        if ranks is None:
+            return
+        choice_repr = self._choice_repr
+        choice_members = self._choice_members
+        fanouts = self._fanouts
+        ceiling = len(fanouts)
+        stack = list(seeds)
+        touched = 0
+        while stack:
+            node = stack.pop()
+            base = ranks.get(node, 0)
+            for out in fanouts[node]:
+                if ranks.get(out, 0) > base:
+                    continue
+                members = choice_members.get(choice_repr.get(out, out))
+                group: Sequence[int] = members if members is not None else (out,)
+                value = base + 1
+                if value > ceiling:
+                    self._choice_rank = None
+                    self._choice_rank_cyclic = True
+                    return
+                for member in group:
+                    ranks[member] = value
+                    stack.append(member)
+                touched += len(group)
+                if touched > self.CHOICE_TFI_LIMIT:
+                    self._choice_rank = None
+                    return
+
+    def _choice_merge_allowed(
+        self, target_members: Sequence[int], alt_members: Sequence[int]
+    ) -> bool:
+        """Rank-based replacement for the collapsed-acyclicity walk.
+
+        Equal class ranks are accepted in O(1) (no collapsed path can
+        connect equally-ranked classes).  Unequal ranks trigger one
+        forward walk from the lower-ranked class over choice-closed
+        fanouts, pruned wherever the rank reaches the higher class's rank
+        -- a path there would have to keep climbing past it.  Overflowing
+        :attr:`CHOICE_TFI_LIMIT` conservatively rejects, exactly like the
+        exhaustive walk.
+
+        On a collapsed graph known to hold a cycle
+        (:attr:`_choice_rank_cyclic`) no rank assignment exists: the
+        answer comes from the exhaustive walk until the class set empties
+        and the flag resets.
+        """
+        if self._choice_rank_cyclic:
+            return not self._choice_merge_creates_cycle(
+                list(target_members) + list(alt_members)
+            )
+        ranks = self._choice_rank
+        if ranks is None:
+            if not self._choice_ranks_build():
+                return not self._choice_merge_creates_cycle(
+                    list(target_members) + list(alt_members)
+                )
+            ranks = self._choice_rank
+            assert ranks is not None
+        rank_a = ranks.get(target_members[0])
+        rank_b = ranks.get(alt_members[0])
+        if rank_a is None or rank_b is None:  # pragma: no cover - defensive
+            return not self._choice_merge_creates_cycle(
+                list(target_members) + list(alt_members)
+            )
+        if rank_a == rank_b:
+            return True
+        if rank_a < rank_b:
+            low, high, high_rank = target_members, alt_members, rank_b
+        else:
+            low, high, high_rank = alt_members, target_members, rank_a
+        choice_repr = self._choice_repr
+        choice_members = self._choice_members
+        fanouts = self._fanouts
+        high_set = set(high)
+        visited = set(low)
+        stack: list[int] = []
+        for member in low:
+            stack.extend(fanouts[member])
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            if node in high_set:
+                return False
+            if len(visited) > self.CHOICE_TFI_LIMIT:
+                return False
+            if ranks.get(node, 0) >= high_rank:
+                # Any collapsed path onwards keeps strictly increasing
+                # ranks, so it can never come back down to ``high``.
+                continue
+            members = choice_members.get(choice_repr.get(node, node))
+            if members is None:
+                stack.extend(fanouts[node])
+            else:
+                # The whole class is one collapsed node: continue through
+                # every member's fanouts (class rank < high_rank, so no
+                # member can itself be in ``high``).
+                for member in members:
+                    visited.add(member)
+                    stack.extend(fanouts[member])
+        return True
 
     def add_choice(self, repr_node: int, alternative: int) -> bool:
         """Record ``alternative`` as a functionally-equivalent choice of ``repr_node``.
@@ -493,7 +724,7 @@ class IncrementalNetworkMixin:
         alt_repr = self._choice_repr.get(alt_node, alt_node)
         alt_members = self._choice_members.get(alt_repr, [alt_node])
         target_members = self._choice_members.get(target, [target])
-        if self._choice_merge_creates_cycle(list(target_members) + list(alt_members)):
+        if not self._choice_merge_allowed(target_members, alt_members):
             return False
         # Phase of the alternative's representative relative to `target`:
         # alt_node == target ^ (phase(repr_node) ^ alt_phase) and
@@ -510,6 +741,15 @@ class IncrementalNetworkMixin:
             merged.append(member)
         if alt_repr in self._choice_members and alt_repr != target:
             del self._choice_members[alt_repr]
+        ranks = self._choice_rank
+        if ranks is not None:
+            # The merged class takes the larger of the two ranks; the
+            # raised half's fanouts may no longer out-rank it, so
+            # propagate downstream.
+            value = max(ranks.get(member, 0) for member in merged)
+            for member in merged:
+                ranks[member] = value
+            self._choice_ranks_raise(tuple(merged))
         self._notify_choice(target, tuple(merged))
         return True
 
@@ -533,6 +773,10 @@ class IncrementalNetworkMixin:
                 self._choice_repr.pop(member, None)
                 self._choice_phase.pop(member, None)
             del self._choice_members[representative]
+            if not self._choice_members:
+                # No classes left: the collapsed graph is the structural
+                # DAG again, so a cycle flagged earlier is gone.
+                self._choice_rank_cyclic = False
         elif node == representative:
             new_representative = members[0]
             base = self._choice_phase[new_representative]
@@ -550,6 +794,7 @@ class IncrementalNetworkMixin:
         self._choice_repr.clear()
         self._choice_phase.clear()
         self._choice_members.clear()
+        self._choice_rank_cyclic = False
         for members in affected:
             self._notify_choice(members[0], members)
 
@@ -648,3 +893,5 @@ class IncrementalNetworkMixin:
         other._choice_repr = dict(self._choice_repr)
         other._choice_phase = dict(self._choice_phase)
         other._choice_members = {node: list(members) for node, members in self._choice_members.items()}
+        other._choice_rank = dict(self._choice_rank) if self._choice_rank is not None else None
+        other._choice_rank_cyclic = self._choice_rank_cyclic

@@ -4,16 +4,25 @@
 ``repro optimize --jobs N`` and the service's ``jobs`` field:
 
 1. **Decompose** the input into convex regions
-   (:func:`~repro.partition.regions.partition_network`) and extract each
-   as a standalone sub-network, keeping the extraction as the
-   verification reference.
-2. **Dispatch** one job per region to the executor (inline / threads /
-   warmed spawned processes).  The flow
-   :class:`~repro.resilience.Budget` is split across partitions: the
-   shared conflict pool is divided evenly, every worker gets a deadline
-   bounded by the flow's remaining wall clock over the number of
-   execution waves, and the parent charges each worker's actual
-   conflict spend back against the pool.
+   (:func:`~repro.partition.regions.partition_network`) and *stream*
+   each extraction (:func:`~repro.partition.regions.
+   stream_region_networks`): every sub-network lives only long enough
+   to be encoded to its compact binary wire blob
+   (:mod:`~repro.partition.wire`), so peak extraction state is
+   O(largest region) and the retained footprint is flat bytes -- the
+   million-gate memory posture.  The blob doubles as the verification
+   reference (decoded lazily at merge time).
+2. **Dispatch** the wire payloads to the executor (inline / threads /
+   warmed spawned processes), packed into byte-budgeted batches
+   (:func:`~repro.partition.wire.plan_batches`) so many small regions
+   share one IPC round-trip; ``batch_bytes=0`` restores one job per
+   region.  The flow :class:`~repro.resilience.Budget` is split across
+   partitions: the shared conflict pool is divided evenly, every
+   worker gets a deadline bounded by the flow's remaining wall clock
+   over the number of execution waves, and the parent charges each
+   worker's actual conflict spend back against the pool.  Because
+   every region job is an independent deterministic function of its
+   own payload, batch composition never changes results.
 3. **Verify and merge in deterministic region-index order.**  The
    parent *never trusts a worker*: every returned cone is re-simulated
    against the original extraction, re-instantiated through the
@@ -52,18 +61,25 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from ..io import ParseError, read_aiger, write_aiger
+from ..io import ParseError, read_aiger
 from ..networks.aig import Aig
 from ..networks.transforms import cleanup_dangling
 from ..resilience import Budget, BudgetExceeded, NetworkCheckpoint, simulation_equivalent
 from .pool import InlineExecutor, RegionExecutor, shared_process_executor
-from .regions import Region, extract_region, partition_network
+from .regions import Region, partition_network, stream_region_networks
+from .wire import decode_region, encode_region, plan_batches
 
-__all__ = ["RegionReport", "PartitionReport", "partition_optimize"]
+__all__ = ["RegionReport", "PartitionReport", "partition_optimize", "DEFAULT_BATCH_BYTES"]
 
 #: Extra collection time granted on top of the worker deadline before a
 #: worker counts as hung.
 _TIMEOUT_GRACE = 30.0
+
+#: Default byte budget of one dispatch batch (``batch_bytes=None``).
+#: 64 KiB of wire bytes is a few dozen default-sized regions -- enough
+#: to amortize the per-job IPC round-trip without letting one batch
+#: serialize a whole wave behind it.
+DEFAULT_BATCH_BYTES = 1 << 16
 
 
 @dataclass
@@ -124,6 +140,11 @@ class PartitionReport:
     worker_restarts: int = 0
     choices_recorded: int = 0
     wall_clock: float = 0.0
+    #: Worker jobs dispatched (each one region, or one byte-budgeted
+    #: batch of regions).
+    batches: int = 0
+    #: Total wire bytes shipped to workers (the compact binary payloads).
+    wire_bytes: int = 0
 
     @property
     def regions_built(self) -> int:
@@ -156,6 +177,9 @@ class PartitionReport:
             "ppart_regions_rolled_back": float(self.regions_rolled_back),
             "ppart_regions_skipped": float(self.regions_skipped),
             "ppart_worker_restarts": float(self.worker_restarts),
+            "ppart_jobs": float(self.jobs),
+            "ppart_batches": float(self.batches),
+            "ppart_wire_bytes": float(self.wire_bytes),
         }
         if self.merge == "choice":
             details["ppart_choices_recorded"] = float(self.choices_recorded)
@@ -223,6 +247,50 @@ def _instantiate(
     return replacements
 
 
+def _flatten_outcomes(
+    plan: Sequence[Sequence[int]],
+    payloads: Sequence[Mapping[str, Any]],
+    raw_outcomes: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Expand per-job outcomes back to one outcome per region payload.
+
+    A healthy batch outcome carries ``results`` aligned with its
+    entries.  A batch that failed as a whole (hang, unexploded crash)
+    carries a plain failure status instead -- every member inherits it,
+    which is exactly the "blast radius = that batch" contract the chaos
+    suite pins down.  A malformed ``results`` list never silently drops
+    a region: missing entries become ``worker_crashed``.
+    """
+    outcomes: list[dict[str, Any]] = []
+    for group, outcome in zip(plan, raw_outcomes):
+        if len(group) == 1 and "results" not in outcome:
+            outcomes.append(dict(outcome))
+            continue
+        results = outcome.get("results")
+        for offset, position in enumerate(group):
+            region_index = int(payloads[position].get("region", -1))
+            if isinstance(results, list):
+                if offset < len(results) and isinstance(results[offset], Mapping):
+                    outcomes.append(dict(results[offset]))
+                else:
+                    outcomes.append(
+                        {
+                            "region": region_index,
+                            "status": "worker_crashed",
+                            "message": "batch result is missing this region",
+                        }
+                    )
+            else:
+                outcomes.append(
+                    {
+                        "region": region_index,
+                        "status": str(outcome.get("status", "worker_crashed")),
+                        "message": str(outcome.get("message", "")),
+                    }
+                )
+    return outcomes
+
+
 def partition_optimize(
     network: Aig,
     script: str | Sequence[str] = "rw; rf",
@@ -234,6 +302,8 @@ def partition_optimize(
     seed: int = 1,
     num_patterns: int = 64,
     conflict_limit: int | None = 10_000,
+    window_size: int | None = None,
+    batch_bytes: int | None = None,
     budget: Budget | None = None,
     executor: RegionExecutor | None = None,
     region_timeout: float | None = None,
@@ -248,6 +318,15 @@ def partition_optimize(
     otherwise; tests inject thread executors or fault plans
     (region index -> fault mode, forwarded to the workers) explicitly.
 
+    ``window_size`` threads the persistent-solver window through to each
+    region job's own pass manager (one ``CircuitSolver`` window per
+    region job, retired on merge-back).  ``batch_bytes`` is the byte
+    budget of one dispatch batch: ``None`` uses
+    :data:`DEFAULT_BATCH_BYTES`, ``0`` disables batching (one job per
+    region -- what the fault-injection suites use to aim a hard fault at
+    exactly one region).  Neither knob changes results: each region job
+    is a deterministic function of its own payload.
+
     Budget exhaustion mid-merge degrades gracefully: the regions merged
     so far stay committed (each was independently verified, so the
     partial result is equivalent), the remaining regions are marked
@@ -258,6 +337,10 @@ def partition_optimize(
         raise ValueError(f"merge must be 'substitute' or 'choice', got {merge!r}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if batch_bytes is not None and batch_bytes < 0:
+        raise ValueError(f"batch_bytes must be >= 0, got {batch_bytes}")
+    if window_size is not None and window_size < 1:
+        raise ValueError(f"window_size must be >= 1, got {window_size}")
     script_text = script if isinstance(script, str) else "; ".join(script)
     started = time.perf_counter()
     work = network.clone()
@@ -271,9 +354,14 @@ def partition_optimize(
         executor = InlineExecutor() if jobs == 1 else shared_process_executor(jobs)
     restarts_before = executor.restarts
 
-    # -- extraction and budget split -----------------------------------
-    originals = [extract_region(work, region) for region in regions]
-    for region in regions:
+    # -- streaming extraction and budget split --------------------------
+    # One pass over the region slices: each sub-network is alive only
+    # long enough to be encoded to its compact wire blob, so peak
+    # extraction state is O(largest region).  Dead cones (no visible
+    # outputs) are never even encoded.  The blob is both the worker
+    # payload and the verification reference, decoded lazily at merge.
+    wires: list[bytes | None] = []
+    for region, sub in stream_region_networks(work, regions):
         report.regions.append(
             RegionReport(
                 index=region.index,
@@ -282,6 +370,8 @@ def partition_optimize(
                 outputs=len(region.outputs),
             )
         )
+        wires.append(encode_region(sub) if region.outputs else None)
+    report.wire_bytes = sum(len(blob) for blob in wires if blob is not None)
     # Regions with no visible outputs are dead cones -- nothing outside
     # them observes their gates, so there is nothing to merge back.
     # Skip the worker round-trip entirely and leave them untouched.
@@ -307,14 +397,18 @@ def partition_optimize(
     payloads: list[dict[str, Any]] = []
     for index in active:
         region = regions[index]
+        blob = wires[index]
+        assert blob is not None, "active regions always have a wire blob"
         payload: dict[str, Any] = {
             "region": region.index,
-            "aag": write_aiger(originals[index]).decode("ascii"),
+            "wire": blob,
             "script": script_text,
             "seed": seed,
             "num_patterns": num_patterns,
             "conflict_limit": conflict_limit,
         }
+        if window_size is not None:
+            payload["window"] = window_size
         if worker_deadline is not None:
             payload["deadline"] = worker_deadline
         if conflict_share is not None:
@@ -327,19 +421,43 @@ def partition_optimize(
                 payload["fault_sleep"] = fault_sleep
         payloads.append(payload)
 
+    # -- batching -------------------------------------------------------
+    # Pack the wire payloads into contiguous byte-budgeted batches so
+    # small regions share one IPC round-trip; min_batches=jobs keeps a
+    # small workload fanned out across the whole pool.  Composition is
+    # purely a transport decision -- every entry still runs under its
+    # own seed and Budget, so results are batch-invariant.
+    budget_bytes = DEFAULT_BATCH_BYTES if batch_bytes is None else batch_bytes
+    if budget_bytes and payloads:
+        plan = plan_batches(
+            [len(payload["wire"]) for payload in payloads], budget_bytes, min_batches=jobs
+        )
+    else:
+        plan = [[index] for index in range(len(payloads))]
+    dispatch: list[dict[str, Any]] = [
+        payloads[group[0]]
+        if len(group) == 1
+        else {"batch": [payloads[position] for position in group]}
+        for group in plan
+    ]
+    report.batches = len(dispatch)
+
     # -- dispatch -------------------------------------------------------
     collect_timeout: float | None = None
     if worker_deadline is not None:
-        collect_timeout = worker_deadline * waves + _TIMEOUT_GRACE
-    outcomes = executor.map_regions(payloads, timeout=collect_timeout) if payloads else []
+        max_batch = max((len(group) for group in plan), default=1)
+        dispatch_waves = max(1, math.ceil(max(1, len(dispatch)) / jobs))
+        collect_timeout = worker_deadline * max_batch * dispatch_waves + _TIMEOUT_GRACE
+    raw_outcomes = executor.map_regions(dispatch, timeout=collect_timeout) if dispatch else []
     report.worker_restarts = executor.restarts - restarts_before
+
+    outcomes = _flatten_outcomes(plan, payloads, raw_outcomes)
 
     # -- verify and merge, in region-index order ------------------------
     substituted: dict[int, int] = {}
     exhausted = False
     for index, outcome in zip(active, outcomes):
         region = regions[index]
-        original = originals[index]
         region_report = report.regions[index]
         status = str(outcome.get("status", "worker_crashed"))
         region_report.wall_clock = float(outcome.get("wall_clock", 0.0) or 0.0)
@@ -362,11 +480,20 @@ def partition_optimize(
         if budget is not None:
             budget.spend_conflicts(int(outcome.get("conflicts_spent", 0) or 0))
         try:
-            optimized = read_aiger(str(outcome.get("aag", "")))
+            result_wire = outcome.get("wire")
+            if result_wire is not None:
+                optimized = decode_region(bytes(result_wire), name=f"region{region.index}")
+            else:
+                optimized = read_aiger(str(outcome.get("aag", "")))
         except (ParseError, ValueError) as error:
             region_report.status = "worker_failed"
             region_report.failure = f"unparseable worker result: {error}"
             continue
+        blob = wires[index]
+        assert blob is not None, "active regions always have a wire blob"
+        # The verification reference is decoded lazily from the retained
+        # wire blob -- only one original sub-network is alive at a time.
+        original = decode_region(blob, name=f"region{region.index}")
         region_report.gates_before = original.num_ands
         region_report.gates_after = optimized.num_ands
         # The parent never trusts a worker: re-check the cone against

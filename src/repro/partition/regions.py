@@ -36,10 +36,11 @@ what makes ``--jobs 1`` and ``--jobs 4`` decompose identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from ..networks.aig import Aig
 
-__all__ = ["Region", "partition_network", "extract_region"]
+__all__ = ["Region", "partition_network", "extract_region", "stream_region_networks"]
 
 #: Decomposition strategies accepted by :func:`partition_network`.
 STRATEGIES = ("window", "level")
@@ -222,3 +223,40 @@ def extract_region(aig: Aig, region: Region, name: str | None = None) -> Aig:
     for node in region.outputs:
         sub.add_po(literal_map[node], f"o{node}")
     return sub
+
+
+def stream_region_networks(
+    aig: Aig, regions: Sequence[Region]
+) -> Iterator[tuple[Region, Aig]]:
+    """Yield ``(region, sub_network)`` one region at a time.
+
+    The regions of one decomposition tile a single fixed topological
+    order of the parent (contiguous slices, in order), so iterating them
+    in sequence *is* one topological sweep over the parent's gates: each
+    gate is visited exactly once, in order, and only the per-region
+    literal map of the region currently being built is alive.  Peak
+    materialized state is therefore O(largest region), not O(network) --
+    the property the million-gate driver path relies on (the driver
+    encodes each yielded sub-network to compact wire bytes and drops it
+    before advancing the generator).
+
+    Every yielded sub-network is structurally identical to
+    ``extract_region(aig, region)`` -- same PI/PO order and names, same
+    gate numbering -- which the streaming fuzz suite asserts.  The
+    parent must not be mutated while the generator is live.
+    """
+    for region in regions:
+        sub = Aig(f"{aig.name}.part{region.index}")
+        literal_map: dict[int, int] = {0: 0}
+        for node in region.inputs:
+            literal_map[node] = sub.add_pi(f"i{node}")
+        for node in region.gates:
+            fanin0, fanin1 = aig.fanins(node)
+            literal_map[node] = sub.add_and(
+                literal_map[fanin0 >> 1] ^ (fanin0 & 1),
+                literal_map[fanin1 >> 1] ^ (fanin1 & 1),
+            )
+        for node in region.outputs:
+            sub.add_po(literal_map[node], f"o{node}")
+        del literal_map
+        yield region, sub

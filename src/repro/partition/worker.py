@@ -1,20 +1,30 @@
-"""The per-region job a partition worker executes.
+"""The per-region and per-batch jobs a partition worker executes.
 
 :func:`run_region_job` is a plain module-level function over a plain
 JSON/pickle-able payload dict, so the same code runs identically in a
 spawned ``ProcessPoolExecutor``, in a thread pool, and inline in the
 parent (``jobs=1``) -- the inline path IS the deterministic reference
 the determinism tests compare the pools against.
+:func:`run_batch_job` runs a list of such payloads sequentially inside
+one worker job (the IPC-amortizing batch path) and
+:func:`run_partition_job` is the single entry point the executors
+submit, routing on the payload shape.
 
-The worker parses the serialized region, runs the requested pass
-script under its own :class:`~repro.resilience.Budget` (a wall-clock
-deadline plus the region's share of the flow's conflict pool, both
-handed down by the parent) with ``on_error="rollback"``, and returns
-the optimized region as AIGER text together with its flattened pass
-details -- the ``sat_``-prefixed CDCL counters become the parent's
-*per-partition* solver statistics.  The worker never verifies its own
-result; the parent re-checks every returned cone against the original
-extraction before committing anything.
+The worker parses the serialized region -- compact binary wire bytes
+(``"wire"``, the scale path: no AAG text render or parse on either
+side) or AIGER text (``"aag"``) -- runs the requested pass script under
+its own :class:`~repro.resilience.Budget` (a wall-clock deadline plus
+the region's share of the flow's conflict pool, both handed down by the
+parent) with ``on_error="rollback"``, and returns the optimized region
+in the same serialization it arrived in, together with its flattened
+pass details -- the ``sat_``-prefixed CDCL counters become the parent's
+*per-partition* solver statistics.  A ``"window"`` payload key threads
+the PR 8 persistent-solver window size through to the region's own
+:class:`~repro.rewriting.passes.PassManager`, so one region job keeps
+one ``CircuitSolver`` window alive for its whole inner script (retired
+with the job).  The worker never verifies its own result; the parent
+re-checks every returned cone against the original extraction before
+committing anything.
 
 Fault hooks (``fault`` payload key) drive the chaos suite:
 
@@ -27,6 +37,13 @@ Fault hooks (``fault`` payload key) drive the chaos suite:
                 (first PO complemented) -- must die at parent-side
                 verification, never in the merged result
 =============== ==========================================================
+
+Inside a batch, the *soft* faults (``crash-soft``, ``exception``) are
+contained to their own entry -- :func:`run_batch_job` catches per entry,
+so one bad region never takes its batch-mates down.  The *hard* faults
+(``crash`` kills the process, ``timeout`` hangs it) necessarily cost
+the whole batch; the executor layer shrinks the ``crash`` blast radius
+back to one region by retrying the batch entries one at a time.
 """
 
 from __future__ import annotations
@@ -39,24 +56,35 @@ from ..io import ParseError, read_aiger, write_aiger
 from ..networks.aig import Aig
 from ..resilience import Budget, BudgetExceeded
 from ..rewriting.passes import PassManager
+from .wire import decode_region, encode_region
 
-__all__ = ["SimulatedWorkerCrash", "warm_partition_worker", "run_region_job"]
+__all__ = [
+    "SimulatedWorkerCrash",
+    "warm_partition_worker",
+    "run_region_job",
+    "run_batch_job",
+    "run_partition_job",
+]
 
 
 class SimulatedWorkerCrash(RuntimeError):
     """Stand-in for hard worker death where ``os._exit`` would kill the suite."""
 
 
-def warm_partition_worker() -> None:
+def warm_partition_worker(shared: Any | None = None) -> None:
     """Pool initializer: warm the NPN/structure libraries once per worker.
 
     Delegates to the service's :func:`~repro.service.worker.warm_worker`
     (idempotent), so partition workers and service workers pay the
-    exact-enumeration warm-up the same single time per process.
+    exact-enumeration warm-up the same single time per process.  When
+    the parent published its exact-enumeration tables as a shared
+    read-only blob, ``shared`` is the (picklable) descriptor -- the
+    worker *attaches* instead of re-enumerating, so warm-up cost and
+    per-worker RSS stop scaling with the pool size.
     """
     from ..service.worker import warm_worker
 
-    warm_worker()
+    warm_worker(shared)
 
 
 def _fold_details(passes: list[Any]) -> dict[str, float]:
@@ -78,6 +106,30 @@ def _fold_details(passes: list[Any]) -> dict[str, float]:
     return details
 
 
+def _compact(aig: Aig) -> Aig:
+    """Replay ``aig`` into construction form (gates contiguous, topo order).
+
+    Optimized networks can carry holes from substitutions;
+    :func:`~repro.partition.wire.encode_region` needs the contiguous
+    construction-form numbering, so the result is rebuilt through the
+    strashing constructor first (O(n), same replay the parent's
+    merge-back performs anyway).
+    """
+    out = Aig(aig.name)
+    literal_map: dict[int, int] = {0: 0}
+    for node in aig.pis:
+        literal_map[node] = out.add_pi(f"i{node}")
+    for node in aig.topological_order():
+        fanin0, fanin1 = aig.fanins(node)
+        literal_map[node] = out.add_and(
+            literal_map[fanin0 >> 1] ^ (fanin0 & 1),
+            literal_map[fanin1 >> 1] ^ (fanin1 & 1),
+        )
+    for index, literal in enumerate(aig.pos):
+        out.add_po(literal_map[literal >> 1] ^ (literal & 1), f"o{index}")
+    return out
+
+
 def run_region_job(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Optimize one extracted region; returns a JSON-ready result payload.
 
@@ -96,8 +148,12 @@ def run_region_job(payload: Mapping[str, Any]) -> dict[str, Any]:
         time.sleep(float(payload.get("fault_sleep", 3600.0)))
 
     started = time.perf_counter()
+    wire = payload.get("wire")
     try:
-        sub = read_aiger(str(payload["aag"]))
+        if wire is not None:
+            sub = decode_region(bytes(wire), name=f"region{region_index}")
+        else:
+            sub = read_aiger(str(payload["aag"]))
     except (ParseError, ValueError, KeyError) as error:
         return {"region": region_index, "status": "invalid", "message": str(error)}
 
@@ -109,6 +165,7 @@ def run_region_job(payload: Mapping[str, Any]) -> dict[str, Any]:
             wall_clock=float(deadline) if deadline is not None else None,
             conflicts=int(conflicts) if conflicts is not None else None,
         )
+    window = payload.get("window")
     try:
         manager = PassManager(
             str(payload["script"]),
@@ -117,6 +174,7 @@ def run_region_job(payload: Mapping[str, Any]) -> dict[str, Any]:
             conflict_limit=(
                 int(payload["conflict_limit"]) if payload.get("conflict_limit") is not None else None
             ),
+            window_size=int(window) if window is not None else None,
             on_error="rollback",
         )
         optimized, flow = manager.run(sub, budget=budget)
@@ -137,10 +195,9 @@ def run_region_job(payload: Mapping[str, Any]) -> dict[str, Any]:
 
     details = _fold_details(flow.passes)
     details["passes_ok"] = float(sum(1 for stats in flow.passes if stats.status == "ok"))
-    return {
+    result: dict[str, Any] = {
         "region": region_index,
         "status": "ok",
-        "aag": write_aiger(optimized).decode("ascii"),
         "gates_before": int(flow.gates_before),
         "gates_after": int(flow.gates_after),
         "wall_clock": time.perf_counter() - started,
@@ -148,3 +205,40 @@ def run_region_job(payload: Mapping[str, Any]) -> dict[str, Any]:
         "budget_exhausted": bool(flow.budget_exhausted),
         "details": details,
     }
+    if wire is not None:
+        result["wire"] = encode_region(_compact(optimized))
+    else:
+        result["aag"] = write_aiger(optimized).decode("ascii")
+    return result
+
+
+def run_batch_job(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Run a batch of region payloads sequentially inside one worker job.
+
+    Soft failures are contained per entry: an exception escaping one
+    region job (the chaos suite's ``crash-soft``/``exception`` faults)
+    becomes that entry's ``worker_crashed`` outcome and its batch-mates
+    still run.  Only hard death (``os._exit``) or a hang takes the
+    whole batch -- that bounded blast radius is exactly what the
+    mid-batch chaos tests assert.
+    """
+    results: list[dict[str, Any]] = []
+    for entry in payload["batch"]:
+        try:
+            results.append(run_region_job(entry))
+        except Exception as error:
+            results.append(
+                {
+                    "region": int(entry.get("region", -1)),
+                    "status": "worker_crashed",
+                    "message": f"{type(error).__name__}: {error}",
+                }
+            )
+    return {"batch": True, "results": results}
+
+
+def run_partition_job(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The single executor entry point: route on the payload shape."""
+    if "batch" in payload:
+        return run_batch_job(payload)
+    return run_region_job(payload)

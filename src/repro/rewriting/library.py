@@ -37,7 +37,7 @@ per cut.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..networks.aig import Aig
 from ..truthtable import TruthTable
@@ -209,7 +209,7 @@ def _enumerate_exact(num_vars: int, max_gates: int) -> dict[int, tuple]:
     return entries
 
 
-def _materialize(entries: dict[int, tuple], bits: int, num_vars: int) -> AigStructure:
+def _materialize(entries: Mapping[int, tuple], bits: int, num_vars: int) -> AigStructure:
     """Turn one enumeration entry into an :class:`AigStructure` (with sharing)."""
     builder = _StructureBuilder(num_vars)
     memo: dict[int, int] = {}
@@ -386,7 +386,10 @@ class RewriteLibrary:
             raise ValueError(f"library limited to {MAX_NPN_VARS}-input cuts, got {num_vars}")
         self.num_vars = num_vars
         self.exact_gate_limit = exact_gate_limit
-        self._exact_by_arity: dict[int, dict[int, tuple]] = {}
+        # Values are Mappings, not necessarily dicts: a worker that
+        # attached the parent's shared-memory blob installs read-only
+        # binary views here (see :mod:`repro.rewriting.shared`).
+        self._exact_by_arity: dict[int, Mapping[int, tuple]] = {}
         self._class_structures: dict[tuple[int, int], AigStructure] = {}
         self.exact_hits = 0
         self.decomposed = 0
@@ -429,7 +432,7 @@ class RewriteLibrary:
         self._class_structures[key] = structure
         return structure
 
-    def _exact_entries(self, num_vars: int) -> dict[int, tuple]:
+    def _exact_entries(self, num_vars: int) -> Mapping[int, tuple]:
         entries = self._exact_by_arity.get(num_vars)
         if entries is None:
             entries = _enumerate_exact(num_vars, self.exact_gate_limit)

@@ -289,12 +289,28 @@ class PpartSpec:
     max_gates: int = 400
     strategy: str = "window"
     merge: str = "substitute"
+    #: Per-region SAT solver window (``window=N``): how many sweep
+    #: windows share one persistent solver inside each worker.  ``None``
+    #: keeps the sweepers' own default.
+    window: int | None = None
+    #: Wire-batch byte budget (``batch=N``): regions are packed into
+    #: worker batches of roughly this many payload bytes; ``0`` disables
+    #: batching (one dispatch per region).  ``None`` keeps the driver
+    #: default.
+    batch: int | None = None
 
     def canonical(self) -> str:
-        return (
-            f"ppart({';'.join(self.passes)},jobs={self.jobs},max_gates={self.max_gates},"
-            f"strategy={self.strategy},merge={self.merge})"
+        # The optional knobs are emitted only when set, so scripts
+        # written before they existed render byte-identically.
+        options = (
+            f",jobs={self.jobs},max_gates={self.max_gates},"
+            f"strategy={self.strategy},merge={self.merge}"
         )
+        if self.window is not None:
+            options += f",window={self.window}"
+        if self.batch is not None:
+            options += f",batch={self.batch}"
+        return f"ppart({';'.join(self.passes)}{options})"
 
 
 def _ppart_int(key: str, value: str, minimum: int) -> int:
@@ -315,9 +331,10 @@ def parse_ppart(token: str) -> PpartSpec:
     named scripts expand as usual, but only plain ``aig -> aig`` passes
     may remain -- the regions a worker optimizes are AIGs with a frozen
     boundary) and the options are ``jobs`` (worker count), ``max_gates``
-    (region size cap), ``strategy`` (``window`` / ``level``) and
-    ``merge`` (``substitute`` / ``choice``).  Nested ``ppart`` is
-    rejected.
+    (region size cap), ``strategy`` (``window`` / ``level``), ``merge``
+    (``substitute`` / ``choice``), ``window`` (per-region solver window,
+    >= 1) and ``batch`` (wire-batch byte budget, 0 disables batching).
+    Nested ``ppart`` is rejected.
     """
     text = token.strip().lower()
     if pass_base_name(text) != "ppart":
@@ -333,6 +350,8 @@ def parse_ppart(token: str) -> PpartSpec:
         raise ValueError("ppart arguments cannot nest parentheses (nested ppart is not allowed)")
     pass_tokens: list[str] = []
     jobs, max_gates, strategy, merge = 1, 400, "window", "substitute"
+    window: int | None = None
+    batch: int | None = None
     for part in (p.strip() for p in inner.replace(";", ",").split(",")):
         if not part:
             continue
@@ -351,9 +370,14 @@ def parse_ppart(token: str) -> PpartSpec:
                 if value not in ("substitute", "choice"):
                     raise ValueError(f"ppart merge must be 'substitute' or 'choice', got {value!r}")
                 merge = value
+            elif key == "window":
+                window = _ppart_int(key, value, 1)
+            elif key == "batch":
+                batch = _ppart_int(key, value, 0)
             else:
                 raise ValueError(
-                    f"unknown ppart option {key!r} (expected jobs, max_gates, strategy, merge)"
+                    f"unknown ppart option {key!r} "
+                    "(expected jobs, max_gates, strategy, merge, window, batch)"
                 )
         else:
             pass_tokens.append(part)
@@ -368,7 +392,15 @@ def parse_ppart(token: str) -> PpartSpec:
             raise ValueError(
                 f"pass {name!r} cannot run inside ppart (plain aig-to-aig passes only)"
             )
-    return PpartSpec(tuple(passes), jobs=jobs, max_gates=max_gates, strategy=strategy, merge=merge)
+    return PpartSpec(
+        tuple(passes),
+        jobs=jobs,
+        max_gates=max_gates,
+        strategy=strategy,
+        merge=merge,
+        window=window,
+        batch=batch,
+    )
 
 
 def validate_script(passes: Sequence[str], start_kind: str = "aig") -> str:
@@ -603,6 +635,13 @@ class PassManager:
         construction time (an AIG pass cannot follow ``map``).
     seed, num_patterns, conflict_limit:
         Forwarded to the SAT-based passes (``fraig``, ``stp``, ``cp``).
+    window_size:
+        Persistent-solver window size forwarded to the sweeping passes
+        (``fraig``, ``stp``, ``choice``): ``None`` keeps the default
+        fresh-encode behaviour, ``1`` keeps one ``CircuitSolver`` alive
+        for the whole sweep, ``N`` retires it every ``N`` windows.  The
+        partition worker sets this so each region job holds exactly one
+        solver window for its whole inner script.
     lut_size, cut_limit:
         LUT size and priority-cut limit of the ``map`` pass; the
         mapped-network passes inherit ``lut_size`` as their fan-in
@@ -646,6 +685,7 @@ class PassManager:
         seed: int = 1,
         num_patterns: int = 64,
         conflict_limit: int | None = 10_000,
+        window_size: int | None = None,
         lut_size: int | None = None,
         cut_limit: int = 8,
         verify_each: bool = False,
@@ -675,6 +715,7 @@ class PassManager:
         self.seed = seed
         self.num_patterns = num_patterns
         self.conflict_limit = conflict_limit
+        self.window_size = window_size
         self.lut_size = lut_size
         self.cut_limit = cut_limit
         self.verify_each = verify_each
@@ -888,6 +929,7 @@ class PassManager:
             num_patterns=self.num_patterns,
             seed=self.seed,
             conflict_limit=self.conflict_limit,
+            window_size=self.window_size,
             budget=budget,
         ).run()
         return swept, _sweep_details(stats)
@@ -898,6 +940,7 @@ class PassManager:
             num_patterns=self.num_patterns,
             seed=self.seed,
             conflict_limit=self.conflict_limit,
+            window_size=self.window_size,
             budget=budget,
         ).run()
         return swept, _sweep_details(stats)
@@ -924,6 +967,7 @@ class PassManager:
             num_patterns=self.num_patterns,
             seed=self.seed,
             conflict_limit=self.conflict_limit,
+            window_size=self.window_size,
             library=self.library,
             budget=budget,
         )
@@ -967,6 +1011,10 @@ class PassManager:
             conflict_limit=self.conflict_limit,
             budget=budget,
             executor=self.partition_executor,
+            # The token's own knobs win; otherwise the flow-level solver
+            # window applies inside each region worker too.
+            window_size=spec.window if spec.window is not None else self.window_size,
+            batch_bytes=spec.batch,
         )
         return result, report.as_details(), report.partition_dicts()
 

@@ -83,6 +83,22 @@ def _print_event(event: Mapping[str, Any]) -> None:
         print(line, flush=True)
 
 
+def _parse_submit_jobs(value: str) -> "int | str":
+    """``--jobs`` type for ``repro submit``: an integer or ``auto``.
+
+    ``auto`` is forwarded verbatim -- the *server* resolves it to its own
+    CPU count, which is what matters when client and server differ.
+    """
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+
+
 def submit_main(argv: "list[str] | None" = None) -> int:
     """Entry point of ``repro submit``."""
     parser = argparse.ArgumentParser(
@@ -98,8 +114,11 @@ def submit_main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--port", type=int, default=8390, help="server port")
     parser.add_argument("--script", default="resyn2", help="optimization script (default: resyn2)")
     parser.add_argument(
-        "--jobs", "-j", type=int, default=None,
-        help="run the leading AIG passes partition-parallel across N workers on the server",
+        "--jobs", "-j", type=_parse_submit_jobs, default=None,
+        help=(
+            "run the leading AIG passes partition-parallel across N workers on the "
+            "server; 'auto' resolves to the server machine's CPU count"
+        ),
     )
     parser.add_argument("--lut-size", "-k", type=int, default=None, help="LUT size of the map passes")
     parser.add_argument("--seed", type=int, default=1, help="random seed")

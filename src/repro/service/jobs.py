@@ -33,6 +33,7 @@ network text).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Mapping, Union
 
@@ -99,8 +100,11 @@ class JobRequest:
     verify: bool = True
     #: Partition-parallel worker count; 0 (the default) runs the script
     #: as given, N >= 1 wraps its leading AIG passes into a
-    #: ``ppart(..., jobs=N)`` meta-pass before execution.
-    jobs: int = 0
+    #: ``ppart(..., jobs=N)`` meta-pass before execution.  The string
+    #: ``"auto"`` resolves to the machine's CPU count at validation time
+    #: (the resolved count is what lands in the wrapped script, the
+    #: cache key and the ``ppart_jobs`` metric).
+    jobs: "int | str" = 0
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "JobRequest":
@@ -120,7 +124,7 @@ class JobRequest:
             "on_error": (str,),
             "verify_commit": (bool,),
             "verify": (bool,),
-            "jobs": (int,),
+            "jobs": (int, str),
         }
         unknown = sorted(set(payload) - set(schema))
         if unknown:
@@ -199,25 +203,39 @@ class JobRequest:
             raise JobValidationError("timeout must be positive")
         if self.pass_timeout is not None and self.pass_timeout <= 0:
             raise JobValidationError("pass_timeout must be positive")
-        if self.jobs < 0:
+        if isinstance(self.jobs, str):
+            if self.jobs != "auto":
+                raise JobValidationError(
+                    f"jobs must be an integer >= 0 or 'auto', got {self.jobs!r}"
+                )
+        elif self.jobs < 0:
             raise JobValidationError(f"jobs must be >= 0, got {self.jobs}")
         try:
             validate_script(parse_script(self.effective_script()), self.start_kind())
         except ValueError as error:
             raise JobValidationError(f"invalid script: {error}") from None
 
+    def resolved_jobs(self) -> int:
+        """The concrete worker count (``"auto"`` -> this machine's CPUs)."""
+        if self.jobs == "auto":
+            return os.cpu_count() or 1
+        assert isinstance(self.jobs, int)
+        return self.jobs
+
     def effective_script(self) -> str:
         """The script the flow actually runs: ``jobs``-wrapped when requested.
 
-        With ``jobs >= 1`` the leading AIG passes are folded into one
-        ``ppart(..., jobs=N)`` meta-pass (no-op on klut-only scripts and
-        scripts that already carry an explicit ``ppart``).
+        With ``jobs >= 1`` (or ``"auto"``, resolved to the CPU count) the
+        leading AIG passes are folded into one ``ppart(..., jobs=N)``
+        meta-pass (no-op on klut-only scripts and scripts that already
+        carry an explicit ``ppart``).
         """
-        if self.jobs < 1 or self.start_kind() != "aig":
+        jobs = self.resolved_jobs()
+        if jobs < 1 or self.start_kind() != "aig":
             return self.script
         from ..partition.script import wrap_script_with_jobs
 
-        script, _wrapped = wrap_script_with_jobs(self.script, self.jobs)
+        script, _wrapped = wrap_script_with_jobs(self.script, jobs)
         return script
 
     def canonical_script(self) -> str:

@@ -50,22 +50,39 @@ class EventSink(Protocol):
 _WARMED = False
 
 
-def warm_worker() -> None:
-    """Build the shared read-only libraries once per worker process.
+def warm_worker(shared: Any | None = None) -> None:
+    """Build (or attach) the shared read-only libraries once per worker.
 
     Forces the 4-input exact structure enumeration (the expensive part
     of :func:`~repro.rewriting.library.default_library`) and, through
     NPN canonicalization of the probe tables, the transform tables --
     the caches every ``rw`` / ``rf`` / ``choice`` pass consults.
     Idempotent; safe to call from the server process too (thread mode).
+
+    ``shared`` is an optional
+    :class:`~repro.rewriting.shared.SharedLibraryDescriptor` published
+    by the parent: the worker then *attaches* the parent's
+    exact-enumeration blob (read-only, zero-copy) instead of
+    re-enumerating, so the probes below only materialize three class
+    structures.  Attach failure silently falls back to the local
+    enumeration -- shared memory is a performance path, never a
+    correctness dependency.
     """
     global _WARMED
+    if shared is not None:
+        try:
+            from ..rewriting.shared import attach_shared_library
+
+            attach_shared_library(shared)
+        except Exception:
+            pass
     if _WARMED:
         return
     from ..rewriting.library import default_library
 
     library = default_library()
-    # One probe per arity triggers that arity's exact enumeration.
+    # One probe per arity triggers that arity's exact enumeration (or,
+    # with an attached blob, just a shared-table lookup).
     library.structure(TruthTable(4, 0x6996))  # 4-input XOR
     library.structure(TruthTable(3, 0xE8))  # majority-3
     library.structure(TruthTable(2, 0x8))  # AND2

@@ -1,0 +1,136 @@
+"""Batched dispatch chaos: faults inside a batch have batch-shaped blast radii.
+
+``test_partition_chaos`` pins the per-region blast radius with batching
+disabled; this suite pins the *batched* contract.  Soft faults (an
+exception inside one region's entry) are contained by
+:func:`~repro.partition.worker.run_batch_job` to exactly that entry --
+batch-mates still commit.  Hard faults (a hang that times out the whole
+future) cost the whole batch and nothing else; every other batch
+commits and the merged network stays CEC-equivalent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.random_logic import random_aig
+from repro.circuits.sweep_workloads import inject_redundancy
+from repro.networks import Aig
+from repro.partition import parallel as parallel_module
+from repro.partition.parallel import partition_optimize
+from repro.partition.pool import ThreadExecutor
+from repro.partition.regions import partition_network
+from repro.sweeping.cec import check_combinational_equivalence
+
+MAX_GATES = 25
+
+
+def _workload(seed: int) -> Aig:
+    base = random_aig(num_pis=8, num_gates=120, num_pos=6, seed=seed)
+    workload, _report = inject_redundancy(
+        base,
+        duplication_fraction=0.2,
+        constant_cones=1,
+        near_miss_count=1,
+        cut_size=3,
+        seed=seed + 1,
+    )
+    return workload
+
+
+@pytest.mark.parametrize("fault", ["crash-soft", "exception"])
+def test_soft_fault_in_a_batch_costs_only_its_own_region(fault: str) -> None:
+    """Everything in one giant batch; one entry faults; batch-mates commit."""
+    aig = _workload(31)
+    regions = partition_network(aig, max_gates=MAX_GATES)
+    eligible = [region.index for region in regions if region.outputs]
+    assert len(eligible) >= 4
+    faulted = eligible[1]
+    executor = ThreadExecutor(1)
+    try:
+        optimized, report = partition_optimize(
+            aig,
+            "rw",
+            jobs=1,  # min_batches=1 + a huge budget = one batch for everything
+            max_gates=MAX_GATES,
+            executor=executor,
+            fault_plan={faulted: fault},
+            batch_bytes=1 << 30,
+        )
+    finally:
+        executor.close()
+    assert report.batches == 1
+    by_index = {region.index: region for region in report.regions}
+    assert by_index[faulted].status == "worker_failed"
+    for index in eligible:
+        if index != faulted:
+            assert by_index[index].status in ("merged", "unchanged"), (
+                f"region {index}: {by_index[index].status} ({by_index[index].failure})"
+            )
+    assert report.regions_rolled_back == 1
+    outcome = check_combinational_equivalence(aig, optimized)
+    assert outcome.equivalent
+
+
+def test_hard_fault_costs_the_whole_batch_and_nothing_else(monkeypatch) -> None:
+    """A hang times out its batch; the sibling batch still commits."""
+    monkeypatch.setattr(parallel_module, "_TIMEOUT_GRACE", 1.5)
+    aig = _workload(32)
+    regions = partition_network(aig, max_gates=MAX_GATES)
+    eligible = [region.index for region in regions if region.outputs]
+    assert len(eligible) >= 4
+    faulted = eligible[0]  # lands in the first batch
+    executor = ThreadExecutor(2)
+    try:
+        optimized, report = partition_optimize(
+            aig,
+            "rw",
+            jobs=2,  # min_batches=2: a big budget still splits into two batches
+            max_gates=MAX_GATES,
+            executor=executor,
+            region_timeout=0.4,
+            fault_plan={faulted: "timeout"},
+            fault_sleep=30.0,
+            batch_bytes=1 << 30,
+        )
+    finally:
+        executor.close()
+    # min_batches=jobs makes the even split an upper bound per batch, so
+    # greedy packing yields at least two batches (sometimes three).
+    assert report.batches >= 2
+    by_index = {region.index: region for region in report.regions}
+    failed = [index for index in eligible if by_index[index].status == "worker_failed"]
+    committed = [index for index in eligible if by_index[index].status in ("merged", "unchanged")]
+    # The faulted region went down, taking at most its own batch with it...
+    assert faulted in failed
+    assert len(failed) < len(eligible)
+    # ...the failures are one contiguous batch in dispatch order...
+    positions = [eligible.index(index) for index in failed]
+    assert positions == list(range(positions[0], positions[0] + len(positions)))
+    # ...and the sibling batch committed untouched.
+    assert committed
+    outcome = check_combinational_equivalence(aig, optimized)
+    assert outcome.equivalent
+
+
+def test_batched_and_unbatched_runs_agree_structurally() -> None:
+    """Batch composition is a transport decision: results are identical."""
+    from repro.networks.structural_hash import structural_hash
+
+    aig = _workload(33)
+    hashes = set()
+    for batch_bytes in (0, 512, 1 << 30):
+        executor = ThreadExecutor(2)
+        try:
+            optimized, _report = partition_optimize(
+                aig.clone(),
+                "rw; rf",
+                jobs=2,
+                max_gates=MAX_GATES,
+                executor=executor,
+                batch_bytes=batch_bytes,
+            )
+        finally:
+            executor.close()
+        hashes.add(structural_hash(optimized))
+    assert len(hashes) == 1

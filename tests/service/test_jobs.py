@@ -110,6 +110,31 @@ def test_jobs_round_trips_through_the_payload(adder_text: str) -> None:
     assert rebuilt == request
 
 
+def test_jobs_auto_resolves_to_the_cpu_count(adder_text: str) -> None:
+    import os
+
+    request = JobRequest(circuit=adder_text, script="rw; rf", jobs="auto")
+    request.validate()
+    expected = os.cpu_count() or 1
+    assert request.resolved_jobs() == expected
+    assert f"jobs={expected}" in request.effective_script()
+    # The cache key is the resolved form: an explicit jobs=<cpu_count>
+    # request shares its entry with the auto request.
+    explicit = JobRequest(circuit=adder_text, script="rw; rf", jobs=expected)
+    assert request.canonical_script() == explicit.canonical_script()
+    # "auto" itself (not the resolution) rides the wire.
+    rebuilt = JobRequest.from_payload(request.as_payload())
+    assert rebuilt.jobs == "auto"
+
+
+def test_jobs_rejects_strings_other_than_auto(adder_text: str) -> None:
+    request = JobRequest(circuit=adder_text, script="rw", jobs="all")
+    with pytest.raises(JobValidationError, match="auto"):
+        request.validate()
+    with pytest.raises(JobValidationError, match="auto"):
+        JobRequest.from_payload({"circuit": adder_text, "jobs": "max"})
+
+
 def test_execute_job_runs_a_partitioned_flow(adder_text: str) -> None:
     """A ``jobs=1`` service job runs ``ppart`` inline end to end."""
     from repro.service.worker import execute_job
